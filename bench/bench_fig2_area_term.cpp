@@ -1,0 +1,39 @@
+// Paper Fig. 2: effect of the explicit area term in the GP objective.
+// Without it ("eta = 0"), post-detailed-placement area and HPWL inflate
+// (paper reports >20% average increases).
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace aplace;
+  bench::header("Fig. 2: area term ablation (with vs without Area(v))");
+  std::printf("%-8s | %16s | %16s | %7s %7s\n", "", "with (a/h)",
+              "without (a/h)", "dA", "dHPWL");
+
+  std::vector<double> with_a, with_h, wo_a, wo_h;
+  for (const char* name : {"CC-OTA", "Comp1", "Comp2", "CM-OTA1", "VGA",
+                           "VCO2"}) {
+    circuits::TestCase tc = circuits::make_testcase(name);
+
+    core::EPlaceAOptions with = bench::paper_eplace_options();
+    core::EPlaceAOptions without = with;
+    without.gp.eta_rel = 0.0;
+
+    const core::FlowResult rw = core::run_eplace_a(tc.circuit, with);
+    const core::FlowResult ro = core::run_eplace_a(tc.circuit, without);
+    std::printf("%-8s | %7.1f %7.1f | %7.1f %7.1f | %+6.1f%% %+6.1f%%\n",
+                name, rw.area(), rw.hpwl(), ro.area(), ro.hpwl(),
+                100 * (ro.area() / rw.area() - 1),
+                100 * (ro.hpwl() / rw.hpwl() - 1));
+    std::fflush(stdout);
+    with_a.push_back(rw.area());
+    with_h.push_back(rw.hpwl());
+    wo_a.push_back(ro.area());
+    wo_h.push_back(ro.hpwl());
+  }
+  std::printf("\nAvg increase without the area term: area %+.1f%%, "
+              "HPWL %+.1f%%  (paper: >20%% on both)\n",
+              100 * (aplace::bench::geomean_ratio(wo_a, with_a) - 1),
+              100 * (aplace::bench::geomean_ratio(wo_h, with_h) - 1));
+  return 0;
+}

@@ -1,0 +1,107 @@
+// google-benchmark microbenchmarks of the computational kernels: spectral
+// Poisson solve, WA wirelength gradient, LP solve, sequence-pair packing,
+// GNN forward+backward. Useful for tracking performance regressions of the
+// inner loops that dominate the flows.
+
+#include <benchmark/benchmark.h>
+
+#include "circuits/testcases.hpp"
+#include "density/electro.hpp"
+#include "gnn/graph.hpp"
+#include "gnn/model.hpp"
+#include "numeric/rng.hpp"
+#include "sa/sequence_pair.hpp"
+#include "solver/lp.hpp"
+#include "wirelength/smooth_wl.hpp"
+
+namespace {
+
+using namespace aplace;
+
+std::vector<double> spread(const netlist::Circuit& c) {
+  const std::size_t n = c.num_devices();
+  std::vector<double> v(2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = 2.0 * static_cast<double>(i % 6) + 1;
+    v[n + i] = 2.0 * static_cast<double>(i / 6) + 1;
+  }
+  return v;
+}
+
+void BM_ElectroSolve(benchmark::State& state) {
+  circuits::TestCase tc = circuits::make_testcase("CC-OTA");
+  const auto bins = static_cast<std::size_t>(state.range(0));
+  density::ElectroDensity ed(tc.circuit, {0, 0, 16, 16}, bins, bins, 0.85);
+  const std::vector<double> v = spread(tc.circuit);
+  std::vector<double> g(v.size(), 0.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ed.value_and_grad(v, g, 1.0));
+  }
+}
+BENCHMARK(BM_ElectroSolve)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_WaWirelengthGrad(benchmark::State& state) {
+  circuits::TestCase tc = circuits::make_testcase("SCF");
+  wirelength::WaWirelength wl(tc.circuit);
+  wl.set_gamma(1.0);
+  const std::vector<double> v = spread(tc.circuit);
+  std::vector<double> g(v.size(), 0.0);
+  for (auto _ : state) {
+    std::fill(g.begin(), g.end(), 0.0);
+    benchmark::DoNotOptimize(wl.value_and_grad(v, g));
+  }
+}
+BENCHMARK(BM_WaWirelengthGrad);
+
+void BM_LpSolveChain(benchmark::State& state) {
+  // Placement-like separation-chain LP of the given size.
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    solver::LpProblem p;
+    std::vector<int> xs;
+    for (int i = 0; i < n; ++i) {
+      xs.push_back(p.add_variable(1, solver::kInf, i == n - 1 ? 1.0 : 0.0));
+    }
+    for (int i = 0; i + 1 < n; ++i) {
+      p.add_constraint({{xs[i], 1}, {xs[i + 1], -1}}, solver::Relation::LessEq,
+                       -2.0);
+    }
+    benchmark::DoNotOptimize(solve_lp(p));
+  }
+}
+BENCHMARK(BM_LpSolveChain)->Arg(20)->Arg(60)->Arg(120);
+
+void BM_SequencePairPack(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  sa::SequencePair sp(n);
+  numeric::Rng rng(1);
+  sp.shuffle(rng);
+  std::vector<double> w(n), h(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] = rng.uniform(1, 4);
+    h[i] = rng.uniform(1, 4);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sp.pack(w, h));
+  }
+}
+BENCHMARK(BM_SequencePairPack)->Arg(10)->Arg(30)->Arg(60);
+
+void BM_GnnForwardBackward(benchmark::State& state) {
+  circuits::TestCase tc = circuits::make_testcase("CM-OTA2");
+  gnn::CircuitGraph graph(tc.circuit, 15.0);
+  gnn::GnnModel model;
+  numeric::Rng rng(2);
+  model.initialize(rng);
+  const numeric::Matrix x = graph.features(spread(tc.circuit));
+  numeric::Matrix xg;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model.phi_and_input_grad(graph.adjacency(), x, xg));
+  }
+}
+BENCHMARK(BM_GnnForwardBackward);
+
+}  // namespace
+
+BENCHMARK_MAIN();

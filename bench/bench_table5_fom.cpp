@@ -1,0 +1,68 @@
+// Paper Table V: FOM comparison — conventional vs performance-driven
+// variants of SA, prior work [11] (Perf* extension) and ePlace-A/ePlace-AP.
+// FOM evaluated by the routed surrogate "SPICE" (perf::PerformanceModel).
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace aplace;
+  bench::header("Table V: FOM, conventional vs performance-driven variants");
+  std::printf("%-8s | %11s | %13s | %13s\n", "", "SA", "prior [11]",
+              "ePlace-A/AP");
+  std::printf("%-8s | %5s %5s | %6s %6s | %6s %6s\n", "Design", "Conv",
+              "Perf", "Conv", "Perf*", "Conv", "Perf");
+
+  double sum[6] = {0, 0, 0, 0, 0, 0};
+  std::size_t count = 0;
+  for (const std::string& name : circuits::testcase_names()) {
+    circuits::TestCase tc = circuits::make_testcase(name);
+    const netlist::Circuit& c = tc.circuit;
+
+    auto ctx = core::build_perf_context(c, tc.spec,
+                                        bench::paper_dataset_options(),
+                                        bench::paper_train_options());
+
+    // Conventional flows, evaluated by the same routed surrogate.
+    core::SaFlowOptions so;
+    so.sa = bench::paper_sa_options();
+    const double sa_conv =
+        evaluate_routed(*ctx, core::run_sa(c, so).placement).fom;
+    const double pw_conv =
+        evaluate_routed(*ctx,
+                        core::run_prior_work(c, bench::paper_prior_options())
+                            .placement)
+            .fom;
+    const double ep_conv =
+        evaluate_routed(
+            *ctx,
+            core::run_eplace_a(c, bench::paper_eplace_options()).placement)
+            .fom;
+
+    // Performance-driven variants.
+    core::SaFlowOptions sp;
+    sp.sa = bench::paper_sa_perf_options();
+    const double sa_perf = core::run_sa_perf(c, *ctx, sp, 1.0).perf.fom;
+    const double pw_perf =
+        core::run_prior_work_perf(c, *ctx, bench::paper_prior_options())
+            .perf.fom;
+    const double ep_perf =
+        core::run_eplace_ap(c, *ctx, bench::paper_eplace_options()).perf.fom;
+
+    std::printf("%-8s | %5.2f %5.2f | %6.2f %6.2f | %6.2f %6.2f\n",
+                name.c_str(), sa_conv, sa_perf, pw_conv, pw_perf, ep_conv,
+                ep_perf);
+    std::fflush(stdout);
+    const double vals[6] = {sa_conv, sa_perf, pw_conv,
+                            pw_perf, ep_conv, ep_perf};
+    for (int k = 0; k < 6; ++k) sum[k] += vals[k];
+    ++count;
+  }
+  std::printf("%-8s | %5.2f %5.2f | %6.2f %6.2f | %6.2f %6.2f\n", "Avg.",
+              sum[0] / count, sum[1] / count, sum[2] / count, sum[3] / count,
+              sum[4] / count, sum[5] / count);
+  std::printf(
+      "\nPaper reference averages: SA 0.81/0.87, prior 0.81/0.88, "
+      "ePlace 0.81/0.90.\nExpected shape: performance-driven > conventional "
+      "for every method; ePlace-AP best overall.\n");
+  return 0;
+}

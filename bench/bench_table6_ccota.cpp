@@ -1,0 +1,40 @@
+// Paper Table VI: detailed CC-OTA metrics (gain, UGF, BW, PM) for the
+// conventional ePlace-A placement vs the performance-driven ePlace-AP one,
+// from the routed surrogate simulation.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace aplace;
+  bench::header("Table VI: detailed CC-OTA performance, ePlace-A vs ePlace-AP");
+
+  circuits::TestCase tc = circuits::make_testcase("CC-OTA");
+  const netlist::Circuit& c = tc.circuit;
+  auto ctx = core::build_perf_context(c, tc.spec,
+                                      bench::paper_dataset_options(),
+                                      bench::paper_train_options());
+
+  const core::FlowResult conv =
+      core::run_eplace_a(c, bench::paper_eplace_options());
+  const perf::PerformanceResult pc = evaluate_routed(*ctx, conv.placement);
+  const core::PerfFlowResult ap =
+      core::run_eplace_ap(c, *ctx, bench::paper_eplace_options());
+
+  std::printf("%-12s | %10s | %12s | %12s\n", "Metric", "Spec",
+              "ePlace-A", "ePlace-AP");
+  for (std::size_t m = 0; m < pc.metrics.size(); ++m) {
+    const perf::MetricResult& a = pc.metrics[m];
+    const perf::MetricResult& b = ap.perf.metrics[m];
+    std::printf("%-12s | %10.1f | %7.1f (%3.0f%%) | %7.1f (%3.0f%%)\n",
+                a.name.c_str(), a.spec, a.value, 100 * a.normalized, b.value,
+                100 * b.normalized);
+  }
+  std::printf("%-12s | %10s | %12.2f | %12.2f\n", "FOM", "", pc.fom,
+              ap.perf.fom);
+  std::printf(
+      "\nPaper reference: Gain 26.2->25.5 dB, UGF 975->1244 MHz,\n"
+      "BW 48.2->69.0 MHz, PM 84.4->78.6 deg; FOM 0.86 -> 0.96.\n"
+      "Expected shape: ePlace-AP recovers the failing specs (UGF/BW) at a\n"
+      "small cost in the already-passing ones.\n");
+  return 0;
+}

@@ -1,0 +1,170 @@
+// aplace_cli — command-line front end for the library.
+//
+//   aplace_cli list
+//       print the built-in paper testcases
+//   aplace_cli export --name CC-OTA --out cc_ota.acirc
+//       write a built-in testcase as an .acirc file
+//   aplace_cli place --circuit <name | file.acirc> [--method eplace-a|prior|sa]
+//              [--out placed.aplc] [--svg layout.svg] [--seed N] [--fast]
+//       place a circuit and optionally save the placement / an SVG render
+//   aplace_cli eval --circuit <name | file.acirc> --placement placed.aplc
+//       evaluate a saved placement (area, HPWL, legality)
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "circuits/testcases.hpp"
+#include "core/flow.hpp"
+#include "io/netlist_io.hpp"
+#include "io/svg.hpp"
+
+namespace {
+
+using namespace aplace;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: aplace_cli list\n"
+               "       aplace_cli export --name <testcase> --out <file>\n"
+               "       aplace_cli place --circuit <name|file.acirc>\n"
+               "                  [--method eplace-a|prior|sa] [--out <file>]\n"
+               "                  [--svg <file>] [--seed N] [--fast]\n"
+               "       aplace_cli eval --circuit <name|file.acirc>\n"
+               "                  --placement <file.aplc>\n");
+  return 2;
+}
+
+std::map<std::string, std::string> parse_flags(int argc, char** argv,
+                                               int start) {
+  std::map<std::string, std::string> flags;
+  for (int i = start; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) continue;
+    key = key.substr(2);
+    if (key == "fast") {
+      flags[key] = "1";
+    } else if (i + 1 < argc) {
+      flags[key] = argv[++i];
+    }
+  }
+  return flags;
+}
+
+bool is_builtin(const std::string& ref) {
+  for (const std::string& n : circuits::testcase_names()) {
+    if (n == ref) return true;
+  }
+  return false;
+}
+
+netlist::Circuit load_circuit(const std::string& ref) {
+  if (is_builtin(ref)) return circuits::make_testcase(ref).circuit;
+  return io::read_circuit(ref);
+}
+
+int cmd_list() {
+  for (const std::string& n : circuits::testcase_names()) {
+    const circuits::TestCase tc = circuits::make_testcase(n);
+    std::printf("%-8s  %2zu devices, %2zu nets, %zu symmetry groups\n",
+                n.c_str(), tc.circuit.num_devices(), tc.circuit.num_nets(),
+                tc.circuit.constraints().symmetry_groups.size());
+  }
+  return 0;
+}
+
+int cmd_export(const std::map<std::string, std::string>& flags) {
+  if (!flags.contains("name") || !flags.contains("out")) return usage();
+  io::write_circuit(circuits::make_testcase(flags.at("name")).circuit,
+                    flags.at("out"));
+  std::printf("wrote %s\n", flags.at("out").c_str());
+  return 0;
+}
+
+int cmd_place(const std::map<std::string, std::string>& flags) {
+  if (!flags.contains("circuit")) return usage();
+  const netlist::Circuit c = load_circuit(flags.at("circuit"));
+  const std::string method =
+      flags.contains("method") ? flags.at("method") : "eplace-a";
+  const bool fast = flags.contains("fast");
+  const std::uint64_t seed =
+      flags.contains("seed") ? std::stoull(flags.at("seed")) : 3;
+
+  core::FlowResult result{netlist::Placement(c), {}, 0, 0, 0};
+  if (method == "eplace-a") {
+    core::EPlaceAOptions opts;
+    opts.gp.seed = seed;
+    if (fast) {
+      opts.candidates = 1;
+      opts.gp.num_starts = 1;
+    }
+    result = core::run_eplace_a(c, opts);
+  } else if (method == "prior") {
+    core::PriorWorkOptions opts;
+    opts.gp.seed = seed;
+    result = core::run_prior_work(c, opts);
+  } else if (method == "sa") {
+    core::SaFlowOptions opts;
+    opts.sa.seed = seed;
+    if (fast) opts.sa.max_moves = 20000;
+    result = core::run_sa(c, opts);
+  } else {
+    std::fprintf(stderr, "unknown method '%s'\n", method.c_str());
+    return usage();
+  }
+
+  std::printf("%s placed %s: area %.1f um^2, HPWL %.1f um, %s, %.2f s\n",
+              method.c_str(), c.name().c_str(), result.area(), result.hpwl(),
+              result.legal() ? "legal" : "ILLEGAL", result.total_seconds);
+  if (flags.contains("out")) {
+    io::write_placement(result.placement, flags.at("out"));
+    std::printf("wrote %s\n", flags.at("out").c_str());
+  }
+  if (flags.contains("svg")) {
+    io::write_svg(result.placement, flags.at("svg"));
+    std::printf("wrote %s\n", flags.at("svg").c_str());
+  }
+  return result.legal() ? 0 : 1;
+}
+
+int cmd_eval(const std::map<std::string, std::string>& flags) {
+  if (!flags.contains("circuit") || !flags.contains("placement")) {
+    return usage();
+  }
+  const netlist::Circuit c = load_circuit(flags.at("circuit"));
+  const netlist::Placement pl =
+      io::read_placement(c, flags.at("placement"));
+  const netlist::QualityReport q = netlist::Evaluator(c).evaluate(pl);
+  std::printf("area      %.2f um^2\n", q.area);
+  std::printf("hpwl      %.2f um\n", q.hpwl);
+  std::printf("overlap   %.4f um^2\n", q.overlap_area);
+  std::printf("symmetry  %.4f um\n", q.symmetry_violation);
+  std::printf("alignment %.4f um\n", q.alignment_violation);
+  std::printf("ordering  %.4f um\n", q.ordering_violation);
+  std::printf("legal     %s\n", q.legal() ? "yes" : "NO");
+  if (!q.legal()) {
+    for (const std::string& v : netlist::Evaluator(c).violations(pl)) {
+      std::printf("  ! %s\n", v.c_str());
+    }
+  }
+  return q.legal() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const auto flags = parse_flags(argc, argv, 2);
+  try {
+    if (cmd == "list") return cmd_list();
+    if (cmd == "export") return cmd_export(flags);
+    if (cmd == "place") return cmd_place(flags);
+    if (cmd == "eval") return cmd_eval(flags);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,82 @@
+// Common-centroid placement demo: a matched current-mirror bank whose four
+// mirror devices must form a cross-coupled quad sharing a centroid (the
+// classic analog matching pattern; see the paper's related work [7], [8]).
+// The ILP detailed placer satisfies the constraint exactly; an SVG render
+// of the result is written next to the binary.
+//
+//   $ ./common_centroid
+
+#include <cstdio>
+
+#include "circuits/builder.hpp"
+#include "core/flow.hpp"
+#include "io/netlist_io.hpp"
+#include "io/svg.hpp"
+#include "netlist/evaluator.hpp"
+
+int main() {
+  using namespace aplace;
+  using netlist::DeviceType;
+
+  circuits::Builder b("cc-mirror-bank");
+  // Reference branch and three mirrored outputs; MA1/MA2 and MB1/MB2 are
+  // the matched quad (2:1 ratio bank).
+  b.mos("MREF", DeviceType::Nmos, 2, 2, "vb", "vb", "gnd");
+  b.mos("MA1", DeviceType::Nmos, 2, 2, "vb", "io1", "gnd");
+  b.mos("MA2", DeviceType::Nmos, 2, 2, "vb", "io1", "gnd");
+  b.mos("MB1", DeviceType::Nmos, 2, 2, "vb", "io2", "gnd");
+  b.mos("MB2", DeviceType::Nmos, 2, 2, "vb", "io2", "gnd");
+  // Cascodes on the two outputs.
+  b.mos("MC1", DeviceType::Nmos, 2, 2, "vcas", "out1", "io1");
+  b.mos("MC2", DeviceType::Nmos, 2, 2, "vcas", "out2", "io2");
+  b.res("R1", 1, 3, "out1", "vdd");
+  b.res("R2", 1, 3, "out2", "vdd");
+  b.cap("C1", 2, 2, "out1", "gnd");
+  b.cap("C2", 2, 2, "out2", "gnd");
+  b.res("RB", 1, 2, "vcas", "vb");
+  b.set_critical("io1");
+  b.set_critical("io2");
+  b.set_weight("gnd", 0.2);
+  b.set_weight("vdd", 0.2);
+  b.symmetry({{"MC1", "MC2"}, {"R1", "R2"}, {"C1", "C2"}});
+
+  netlist::Circuit circuit = [&]() mutable {
+    // Builder::finish() finalizes, so register the quad first through the
+    // underlying circuit: rebuild via text is overkill — use a fresh scope.
+    return b.finish();
+  }();
+
+  // The quad devices were created above; attach the constraint by rebuilding
+  // through the netlist API (Builder has no centroid helper on purpose —
+  // this demo shows the lower-level Circuit interface too).
+  netlist::Circuit c("cc-mirror-bank");
+  {
+    // Round-trip through the text format, appending the centroid directive.
+    const std::string text =
+        aplace::io::circuit_to_text(circuit) + "centroid MA1 MA2 MB1 MB2\n";
+    c = aplace::io::circuit_from_text(text);
+  }
+
+  std::printf("Placing %s (%zu devices, common-centroid quad "
+              "MA1/MA2 x MB1/MB2)...\n",
+              c.name().c_str(), c.num_devices());
+  const core::FlowResult r = core::run_eplace_a(c);
+  const netlist::QualityReport q = netlist::Evaluator(c).evaluate(r.placement);
+  std::printf("area %.1f um^2, HPWL %.1f um, centroid residual %.2e um, %s\n",
+              q.area, q.hpwl, q.centroid_violation,
+              q.legal() ? "legal" : "ILLEGAL");
+
+  const geom::Point a1 = r.placement.position(c.find_device("MA1"));
+  const geom::Point a2 = r.placement.position(c.find_device("MA2"));
+  const geom::Point b1 = r.placement.position(c.find_device("MB1"));
+  const geom::Point b2 = r.placement.position(c.find_device("MB2"));
+  std::printf("quad centers: A (%.1f,%.1f)+(%.1f,%.1f) vs B "
+              "(%.1f,%.1f)+(%.1f,%.1f)\n",
+              a1.x, a1.y, a2.x, a2.y, b1.x, b1.y, b2.x, b2.y);
+  std::printf("shared centroid: (%.2f, %.2f)\n", (a1.x + a2.x) / 2,
+              (a1.y + a2.y) / 2);
+
+  io::write_svg(r.placement, "common_centroid.svg");
+  std::printf("wrote common_centroid.svg\n");
+  return q.legal() ? 0 : 1;
+}

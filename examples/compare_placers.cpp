@@ -1,0 +1,48 @@
+// Run all three conventional placement engines across every paper testcase
+// and print a compact scoreboard — a smaller, faster cousin of
+// bench_table3_main for interactive use.
+//
+//   $ ./compare_placers [--fast]
+
+#include <cstdio>
+#include <cstring>
+
+#include "circuits/testcases.hpp"
+#include "core/flow.hpp"
+
+int main(int argc, char** argv) {
+  using namespace aplace;
+  const bool fast = argc > 1 && std::strcmp(argv[1], "--fast") == 0;
+
+  std::printf("%-8s | %19s | %19s | %19s\n", "design", "SA  (area/hpwl/s)",
+              "prior[11]", "ePlace-A");
+  double wins_area = 0, wins_hpwl = 0, n_rows = 0;
+  for (const std::string& name : circuits::testcase_names()) {
+    circuits::TestCase tc = circuits::make_testcase(name);
+    const netlist::Circuit& c = tc.circuit;
+
+    core::SaFlowOptions so;
+    if (fast) so.sa.max_moves = 15000;
+    const core::FlowResult sa = core::run_sa(c, so);
+    const core::FlowResult pw = core::run_prior_work(c);
+    core::EPlaceAOptions eo;
+    if (fast) {
+      eo.candidates = 1;
+      eo.gp.num_starts = 1;
+    }
+    const core::FlowResult ep = core::run_eplace_a(c, eo);
+
+    std::printf(
+        "%-8s | %6.1f %6.1f %4.2f | %6.1f %6.1f %4.2f | %6.1f %6.1f %4.2f\n",
+        name.c_str(), sa.area(), sa.hpwl(), sa.total_seconds, pw.area(),
+        pw.hpwl(), pw.total_seconds, ep.area(), ep.hpwl(), ep.total_seconds);
+    std::fflush(stdout);
+    n_rows += 1;
+    if (ep.area() <= sa.area() && ep.area() <= pw.area()) wins_area += 1;
+    if (ep.hpwl() <= sa.hpwl() && ep.hpwl() <= pw.hpwl()) wins_hpwl += 1;
+  }
+  std::printf("\nePlace-A best-or-tied on area in %.0f/%.0f designs, "
+              "on HPWL in %.0f/%.0f designs.\n",
+              wins_area, n_rows, wins_hpwl, n_rows);
+  return 0;
+}

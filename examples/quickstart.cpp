@@ -1,0 +1,35 @@
+// Quickstart: place one analog circuit with all three engines and compare.
+//
+//   $ ./quickstart [circuit-name]        (default CC-OTA)
+//
+// Demonstrates the core public API: building/fetching a testcase, running
+// the ePlace-A, prior-work and simulated-annealing flows, and validating
+// the resulting placements.
+
+#include <cstdio>
+#include <string>
+
+#include "circuits/testcases.hpp"
+#include "core/flow.hpp"
+
+int main(int argc, char** argv) {
+  using namespace aplace;
+  const std::string name = argc > 1 ? argv[1] : "CC-OTA";
+  circuits::TestCase tc = circuits::make_testcase(name);
+  const netlist::Circuit& c = tc.circuit;
+  std::printf("Circuit %-8s: %zu devices, %zu nets, %zu symmetry groups\n",
+              c.name().c_str(), c.num_devices(), c.num_nets(),
+              c.constraints().symmetry_groups.size());
+
+  auto report = [&](const char* method, const core::FlowResult& r) {
+    std::printf(
+        "  %-12s area %8.1f um^2   HPWL %8.1f um   runtime %7.3f s   %s\n",
+        method, r.area(), r.hpwl(), r.total_seconds,
+        r.legal() ? "legal" : "ILLEGAL");
+  };
+
+  report("ePlace-A", core::run_eplace_a(c));
+  report("prior[11]", core::run_prior_work(c));
+  report("SA", core::run_sa(c));
+  return 0;
+}

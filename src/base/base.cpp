@@ -1,0 +1,11 @@
+// Intentionally (almost) empty: base is header-only but built as a static
+// library so downstream targets get a real archive to link against.
+#include "base/check.hpp"
+#include "base/ids.hpp"
+
+namespace aplace {
+namespace {
+// Anchor to silence "no symbols" archiver warnings.
+[[maybe_unused]] const int kBaseAnchor = 0;
+}  // namespace
+}  // namespace aplace

@@ -1,0 +1,52 @@
+#pragma once
+// Lightweight precondition / invariant checking for the analogplace libraries.
+//
+// APLACE_CHECK is always on (placement problems are small; the cost is
+// negligible) and throws aplace::CheckError so callers and tests can react.
+// APLACE_DCHECK compiles away in NDEBUG builds and is used on hot paths.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace aplace {
+
+/// Thrown when a checked precondition or invariant is violated.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "APLACE_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace aplace
+
+#define APLACE_CHECK(expr)                                              \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::aplace::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (false)
+
+#define APLACE_CHECK_MSG(expr, msg)                                     \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      std::ostringstream aplace_os_;                                    \
+      aplace_os_ << msg;                                                \
+      ::aplace::detail::check_failed(#expr, __FILE__, __LINE__,         \
+                                     aplace_os_.str());                 \
+    }                                                                   \
+  } while (false)
+
+#ifdef NDEBUG
+#define APLACE_DCHECK(expr) ((void)0)
+#else
+#define APLACE_DCHECK(expr) APLACE_CHECK(expr)
+#endif

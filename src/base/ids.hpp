@@ -1,0 +1,49 @@
+#pragma once
+// Strongly-typed index wrappers for the netlist database.
+//
+// Devices, pins and nets are stored in flat vectors; these wrappers stop a
+// device index from being accidentally used as a net index. They are trivial
+// value types with full comparison support so they work as map keys.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace aplace {
+
+template <class Tag>
+class Id {
+ public:
+  using value_type = std::uint32_t;
+  static constexpr value_type kInvalid = static_cast<value_type>(-1);
+
+  constexpr Id() = default;
+  constexpr explicit Id(value_type v) : value_(v) {}
+  constexpr explicit Id(std::size_t v) : value_(static_cast<value_type>(v)) {}
+
+  [[nodiscard]] constexpr value_type value() const { return value_; }
+  [[nodiscard]] constexpr std::size_t index() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  friend constexpr auto operator<=>(Id, Id) = default;
+
+ private:
+  value_type value_ = kInvalid;
+};
+
+struct DeviceTag {};
+struct PinTag {};
+struct NetTag {};
+
+using DeviceId = Id<DeviceTag>;
+using PinId = Id<PinTag>;
+using NetId = Id<NetTag>;
+
+}  // namespace aplace
+
+template <class Tag>
+struct std::hash<aplace::Id<Tag>> {
+  std::size_t operator()(aplace::Id<Tag> id) const noexcept {
+    return std::hash<typename aplace::Id<Tag>::value_type>{}(id.value());
+  }
+};

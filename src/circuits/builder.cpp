@@ -1,0 +1,115 @@
+#include "circuits/builder.hpp"
+
+#include <algorithm>
+
+namespace aplace::circuits {
+
+Builder::Builder(std::string circuit_name)
+    : circuit_(std::move(circuit_name)) {}
+
+DeviceId Builder::dev(const std::string& name) const {
+  const DeviceId id = circuit_.find_device(name);
+  APLACE_CHECK_MSG(id.valid(), "unknown device '" << name << "'");
+  return id;
+}
+
+void Builder::attach(DeviceId d, const std::string& pin_name,
+                     geom::Point offset, const std::string& net) {
+  const PinId pid = circuit_.add_pin(d, pin_name, offset);
+  if (!net_pins_.contains(net)) net_order_.push_back(net);
+  net_pins_[net].push_back(pid);
+}
+
+DeviceId Builder::mos(const std::string& name, netlist::DeviceType type,
+                      double w, double h, const std::string& gate,
+                      const std::string& drain, const std::string& source) {
+  const DeviceId d = circuit_.add_device(name, type, w, h);
+  attach(d, name + ".g", {0, h / 2}, gate);
+  attach(d, name + ".d", {w / 2, h}, drain);
+  attach(d, name + ".s", {w / 2, 0}, source);
+  return d;
+}
+
+DeviceId Builder::cap(const std::string& name, double w, double h,
+                      const std::string& top, const std::string& bottom) {
+  const DeviceId d =
+      circuit_.add_device(name, netlist::DeviceType::Capacitor, w, h);
+  attach(d, name + ".a", {w / 2, h}, top);
+  attach(d, name + ".b", {w / 2, 0}, bottom);
+  return d;
+}
+
+DeviceId Builder::res(const std::string& name, double w, double h,
+                      const std::string& a, const std::string& b) {
+  const DeviceId d =
+      circuit_.add_device(name, netlist::DeviceType::Resistor, w, h);
+  attach(d, name + ".a", {w / 2, h}, a);
+  attach(d, name + ".b", {w / 2, 0}, b);
+  return d;
+}
+
+DeviceId Builder::module(
+    const std::string& name, double w, double h,
+    const std::vector<std::pair<std::string, std::string>>& pin_to_net) {
+  const DeviceId d =
+      circuit_.add_device(name, netlist::DeviceType::Module, w, h);
+  const double step = w / (static_cast<double>(pin_to_net.size()) + 1.0);
+  double x = step;
+  for (const auto& [pin_name, net] : pin_to_net) {
+    attach(d, name + "." + pin_name, {x, h}, net);
+    x += step;
+  }
+  return d;
+}
+
+void Builder::set_critical(const std::string& net, double weight) {
+  net_critical_[net] = true;
+  net_weight_[net] = weight;
+}
+
+void Builder::set_weight(const std::string& net, double weight) {
+  net_weight_[net] = weight;
+}
+
+void Builder::symmetry(
+    const std::vector<std::pair<std::string, std::string>>& pairs,
+    const std::vector<std::string>& selfs, netlist::Axis axis) {
+  netlist::SymmetryGroup g;
+  g.axis = axis;
+  for (const auto& [a, b] : pairs) g.pairs.emplace_back(dev(a), dev(b));
+  for (const std::string& s : selfs) g.self_symmetric.push_back(dev(s));
+  circuit_.add_symmetry_group(std::move(g));
+}
+
+void Builder::align(netlist::AlignmentKind kind, const std::string& a,
+                    const std::string& b) {
+  circuit_.add_alignment({kind, dev(a), dev(b)});
+}
+
+void Builder::order(netlist::OrderDirection dir,
+                    const std::vector<std::string>& names) {
+  netlist::OrderingConstraint c;
+  c.direction = dir;
+  for (const std::string& n : names) c.devices.push_back(dev(n));
+  circuit_.add_ordering(std::move(c));
+}
+
+netlist::Circuit Builder::finish() {
+  for (const std::string& net : net_order_) {
+    const auto& pins = net_pins_.at(net);
+    APLACE_CHECK_MSG(pins.size() >= 2,
+                     "net '" << net << "' has fewer than two pins; connect "
+                             "it to more devices or merge it");
+    double weight = 1.0;
+    if (auto it = net_weight_.find(net); it != net_weight_.end()) {
+      weight = it->second;
+    }
+    const bool critical =
+        net_critical_.contains(net) && net_critical_.at(net);
+    circuit_.add_net(net, pins, weight, critical);
+  }
+  circuit_.finalize();
+  return std::move(circuit_);
+}
+
+}  // namespace aplace::circuits

@@ -1,0 +1,64 @@
+#pragma once
+// Fluent construction helper for the synthetic testcase netlists.
+//
+// Devices connect pins to *named* nets; the builder materializes Net objects
+// (with weights / critical flags) in finish(). Pin conventions:
+//   transistor: g at the left edge center, d at the top center, s at the
+//   bottom center; capacitor/resistor: two terminals top/bottom center;
+//   module: pins evenly spaced along the top edge.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "netlist/circuit.hpp"
+
+namespace aplace::circuits {
+
+class Builder {
+ public:
+  explicit Builder(std::string circuit_name);
+
+  // ---- devices -------------------------------------------------------------
+  DeviceId mos(const std::string& name, netlist::DeviceType type, double w,
+               double h, const std::string& gate, const std::string& drain,
+               const std::string& source);
+  DeviceId cap(const std::string& name, double w, double h,
+               const std::string& top, const std::string& bottom);
+  DeviceId res(const std::string& name, double w, double h,
+               const std::string& a, const std::string& b);
+  /// Pre-composed block with pins named/connected in order along the top.
+  DeviceId module(const std::string& name, double w, double h,
+                  const std::vector<std::pair<std::string, std::string>>&
+                      pin_to_net);
+
+  // ---- net attributes --------------------------------------------------------
+  void set_critical(const std::string& net, double weight = 2.0);
+  void set_weight(const std::string& net, double weight);
+
+  // ---- constraints -----------------------------------------------------------
+  void symmetry(const std::vector<std::pair<std::string, std::string>>& pairs,
+                const std::vector<std::string>& selfs = {},
+                netlist::Axis axis = netlist::Axis::Vertical);
+  void align(netlist::AlignmentKind kind, const std::string& a,
+             const std::string& b);
+  void order(netlist::OrderDirection dir,
+             const std::vector<std::string>& names);
+
+  /// Build nets, validate, finalize and return the circuit.
+  [[nodiscard]] netlist::Circuit finish();
+
+ private:
+  [[nodiscard]] DeviceId dev(const std::string& name) const;
+  void attach(DeviceId d, const std::string& pin_name,
+              geom::Point offset, const std::string& net);
+
+  netlist::Circuit circuit_;
+  // Net name -> pins, in insertion order for reproducibility.
+  std::vector<std::string> net_order_;
+  std::map<std::string, std::vector<PinId>> net_pins_;
+  std::map<std::string, double> net_weight_;
+  std::map<std::string, bool> net_critical_;
+};
+
+}  // namespace aplace::circuits

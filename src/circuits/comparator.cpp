@@ -1,0 +1,159 @@
+// Comparator testcases: Comp1 (StrongARM latch) and Comp2 (double-tail
+// latched comparator with output buffers).
+
+#include "circuits/builder.hpp"
+#include "circuits/testcases.hpp"
+
+namespace aplace::circuits {
+
+using netlist::AlignmentKind;
+using netlist::DeviceType;
+using netlist::OrderDirection;
+using perf::Direction;
+using perf::MetricForm;
+
+TestCase make_comp1() {
+  Builder b("Comp1");
+  // StrongARM core.
+  b.mos("M1", DeviceType::Nmos, 3, 2, "vinp", "x1", "tail");
+  b.mos("M2", DeviceType::Nmos, 3, 2, "vinn", "x2", "tail");
+  b.mos("M3", DeviceType::Nmos, 2, 2, "outn", "x1", "gnd");
+  b.mos("M4", DeviceType::Nmos, 2, 2, "outp", "x2", "gnd");
+  b.mos("M5", DeviceType::Pmos, 2, 2, "outn", "outp", "vdd");
+  b.mos("M6", DeviceType::Pmos, 2, 2, "outp", "outn", "vdd");
+  // Reset switches.
+  b.mos("M7", DeviceType::Pmos, 1, 2, "clk", "outp", "vdd");
+  b.mos("M8", DeviceType::Pmos, 1, 2, "clk", "outn", "vdd");
+  b.mos("M9", DeviceType::Pmos, 1, 2, "clk", "x1", "vdd");
+  b.mos("M10", DeviceType::Pmos, 1, 2, "clk", "x2", "vdd");
+  // Clocked tail.
+  b.mos("M11", DeviceType::Nmos, 4, 2, "clk", "tail", "gnd");
+  // Clock buffer (two-inverter chain).
+  b.mos("M12", DeviceType::Nmos, 1, 2, "clkin", "clkb", "gnd");
+  b.mos("M13", DeviceType::Pmos, 1, 2, "clkin", "clkb", "vdd");
+  b.mos("M14", DeviceType::Nmos, 1, 2, "clkb", "clk", "gnd");
+  b.mos("M15", DeviceType::Pmos, 1, 2, "clkb", "clk", "vdd");
+  // SR latch modules on the outputs.
+  b.module("NAND1", 3, 3, {{"a", "outp"}, {"b", "q2"}, {"y", "q1"}});
+  b.module("NAND2", 3, 3, {{"a", "outn"}, {"b", "q1"}, {"y", "q2"}});
+  // Input and output loading.
+  b.cap("CIN1", 1, 1, "vinp", "gnd");
+  b.cap("CIN2", 1, 1, "vinn", "gnd");
+  b.cap("CQ1", 1, 1, "q1", "gnd");
+  b.cap("CQ2", 1, 1, "q2", "gnd");
+  b.cap("CCK", 1, 1, "clkin", "gnd");
+
+  b.set_critical("vinp");
+  b.set_critical("vinn");
+  b.set_critical("outp");
+  b.set_critical("outn");
+  b.set_critical("x1");
+  b.set_critical("x2");
+  b.set_weight("vdd", 0.2);
+  b.set_weight("gnd", 0.2);
+  b.set_weight("clk", 0.8);
+
+  b.symmetry({{"M1", "M2"}, {"M3", "M4"}, {"M5", "M6"}, {"M7", "M8"},
+              {"M9", "M10"}},
+             {"M11"});
+  b.symmetry({{"NAND1", "NAND2"}});
+  b.symmetry({{"CIN1", "CIN2"}});
+  b.align(AlignmentKind::Bottom, "M12", "M14");
+  b.align(AlignmentKind::Bottom, "M13", "M15");
+  b.order(OrderDirection::LeftToRight, {"M12", "M14"});
+
+  TestCase tc{b.finish(), {}};
+  tc.spec.metrics = {
+      {"Delay(ps)", 120.0, Direction::Below, 0.35, 82.0,
+       MetricForm::LinearGrowth, {0.55, 0.20, 0.30, 0.25}},
+      {"Offset(mV)", 5.0, Direction::Below, 0.35, 3.4,
+       MetricForm::LinearGrowth, {0.35, 0.10, 0.25, 1.00}},
+      {"Noise(uVrms)", 400.0, Direction::Below, 0.15, 300.0,
+       MetricForm::LinearGrowth, {0.25, 0.12, 0.18, 0.35}},
+      {"Power(uW)", 250.0, Direction::Below, 0.15, 190.0,
+       MetricForm::LinearGrowth, {0.20, 0.25, 0.22, 0.10}},
+  };
+  tc.spec.fom_threshold = 0.82;
+  tc.spec.sens_scale = 1.25;
+  return tc;
+}
+
+TestCase make_comp2() {
+  Builder b("Comp2");
+  // Input (first) stage.
+  b.mos("M1", DeviceType::Nmos, 3, 2, "vinp", "fn", "tail1");
+  b.mos("M2", DeviceType::Nmos, 3, 2, "vinn", "fp", "tail1");
+  b.mos("M3", DeviceType::Pmos, 2, 2, "clk", "fn", "vdd");
+  b.mos("M4", DeviceType::Pmos, 2, 2, "clk", "fp", "vdd");
+  b.mos("M5", DeviceType::Nmos, 4, 2, "clk", "tail1", "gnd");
+  // Latch (second) stage.
+  b.mos("M6", DeviceType::Nmos, 2, 2, "fn", "latn", "tail2");
+  b.mos("M7", DeviceType::Nmos, 2, 2, "fp", "latp", "tail2");
+  b.mos("M8", DeviceType::Nmos, 2, 2, "latp", "latn", "gnd");
+  b.mos("M9", DeviceType::Nmos, 2, 2, "latn", "latp", "gnd");
+  b.mos("M10", DeviceType::Pmos, 2, 2, "latp", "latn", "vdd");
+  b.mos("M11", DeviceType::Pmos, 2, 2, "latn", "latp", "vdd");
+  b.mos("M12", DeviceType::Nmos, 3, 2, "clkb", "tail2", "gnd");
+  // Reset switches on the latch.
+  b.mos("M13", DeviceType::Pmos, 1, 2, "clkb", "latn", "vdd");
+  b.mos("M14", DeviceType::Pmos, 1, 2, "clkb", "latp", "vdd");
+  // Clock inverter chain.
+  b.mos("M15", DeviceType::Nmos, 1, 2, "clkin", "clk", "gnd");
+  b.mos("M16", DeviceType::Pmos, 1, 2, "clkin", "clk", "vdd");
+  b.mos("M17", DeviceType::Nmos, 1, 2, "clk", "clkb", "gnd");
+  b.mos("M18", DeviceType::Pmos, 1, 2, "clk", "clkb", "vdd");
+  // Output inverter buffers.
+  b.mos("M19", DeviceType::Nmos, 2, 2, "latn", "von", "gnd");
+  b.mos("M20", DeviceType::Pmos, 2, 2, "latn", "von", "vdd");
+  b.mos("M21", DeviceType::Nmos, 2, 2, "latp", "vop", "gnd");
+  b.mos("M22", DeviceType::Pmos, 2, 2, "latp", "vop", "vdd");
+  // Loads and inputs.
+  b.cap("CIN1", 2, 2, "vinp", "gnd");
+  b.cap("CIN2", 2, 2, "vinn", "gnd");
+  b.cap("CO1", 2, 2, "von", "gnd");
+  b.cap("CO2", 2, 2, "vop", "gnd");
+  b.cap("CCK", 1, 1, "clkin", "gnd");
+  b.res("RD1", 1, 2, "fn", "gnd");
+  b.res("RD2", 1, 2, "fp", "gnd");
+
+  b.set_critical("vinp");
+  b.set_critical("vinn");
+  b.set_critical("fn");
+  b.set_critical("fp");
+  b.set_critical("latn");
+  b.set_critical("latp");
+  b.set_weight("vdd", 0.2);
+  b.set_weight("gnd", 0.2);
+  b.set_weight("clk", 0.8);
+  b.set_weight("clkb", 0.8);
+
+  b.symmetry({{"M1", "M2"}, {"M3", "M4"}}, {"M5"});
+  b.symmetry({{"M6", "M7"},
+              {"M8", "M9"},
+              {"M10", "M11"},
+              {"M13", "M14"}},
+             {"M12"});
+  b.symmetry({{"M19", "M21"}, {"M20", "M22"}});
+  b.symmetry({{"CIN1", "CIN2"}});
+  b.symmetry({{"RD1", "RD2"}});
+  b.align(AlignmentKind::Bottom, "M15", "M17");
+  b.align(AlignmentKind::Bottom, "M16", "M18");
+  b.order(OrderDirection::LeftToRight, {"M15", "M17"});
+
+  TestCase tc{b.finish(), {}};
+  tc.spec.metrics = {
+      {"Delay(ps)", 150.0, Direction::Below, 0.30, 100.0,
+       MetricForm::LinearGrowth, {0.55, 0.22, 0.32, 0.28}},
+      {"Offset(mV)", 4.0, Direction::Below, 0.35, 2.9,
+       MetricForm::LinearGrowth, {0.38, 0.12, 0.28, 1.05}},
+      {"Noise(uVrms)", 350.0, Direction::Below, 0.15, 275.0,
+       MetricForm::LinearGrowth, {0.25, 0.14, 0.20, 0.40}},
+      {"Power(uW)", 400.0, Direction::Below, 0.20, 310.0,
+       MetricForm::LinearGrowth, {0.20, 0.28, 0.25, 0.10}},
+  };
+  tc.spec.fom_threshold = 0.80;
+  tc.spec.sens_scale = 0.85;
+  return tc;
+}
+
+}  // namespace aplace::circuits

@@ -1,0 +1,216 @@
+// Adder (opamp summing amplifier), VGA (two-stage variable gain amplifier)
+// and SCF (switched-capacitor filter) testcases.
+
+#include <string>
+
+#include "circuits/builder.hpp"
+#include "circuits/testcases.hpp"
+
+namespace aplace::circuits {
+
+using netlist::AlignmentKind;
+using netlist::DeviceType;
+using netlist::OrderDirection;
+using perf::Direction;
+using perf::MetricForm;
+
+TestCase make_adder() {
+  Builder b("Adder");
+  // Three AC-coupled inputs summed into a virtual ground.
+  for (int i = 1; i <= 3; ++i) {
+    const std::string n = std::to_string(i);
+    b.cap("CIN" + n, 1, 1, "vin" + n, "gnd");
+    b.res("R" + n, 1, 2, "vin" + n, "vsum");
+  }
+  b.res("RF", 1, 2, "vsum", "vout");
+  b.res("RB", 1, 2, "vref", "gnd");
+  // Two-stage Miller opamp.
+  b.mos("M1", DeviceType::Nmos, 2, 1, "vsum", "d1", "tail");
+  b.mos("M2", DeviceType::Nmos, 2, 1, "vref", "d2", "tail");
+  b.mos("M3", DeviceType::Pmos, 2, 1, "d1", "d1", "vdd");
+  b.mos("M4", DeviceType::Pmos, 2, 1, "d1", "d2", "vdd");
+  b.mos("M5", DeviceType::Nmos, 2, 2, "vb", "tail", "gnd");
+  b.mos("M6", DeviceType::Pmos, 2, 1, "d2", "vout", "vdd");
+  b.mos("M7", DeviceType::Nmos, 2, 1, "vb", "vout", "gnd");
+  b.mos("M8", DeviceType::Nmos, 2, 1, "vb", "vb", "gnd");
+  b.cap("CC", 3, 2, "d2", "vout");
+  b.cap("CL", 2, 2, "vout", "gnd");
+
+  b.set_critical("vsum", 2.5);
+  b.set_critical("vout");
+  b.set_critical("d2");
+  b.set_weight("vdd", 0.2);
+  b.set_weight("gnd", 0.2);
+
+  b.symmetry({{"M1", "M2"}, {"M3", "M4"}}, {"M5"});
+  b.align(AlignmentKind::Bottom, "CC", "CL");
+  b.order(OrderDirection::LeftToRight, {"R1", "RF"});
+
+  TestCase tc{b.finish(), {}};
+  tc.spec.metrics = {
+      {"BW(MHz)", 100.0, Direction::Above, 0.30, 150.0,
+       MetricForm::InverseLoad, {0.55, 0.22, 0.32, 0.25}},
+      {"THD(%)", 1.0, Direction::Below, 0.25, 0.62,
+       MetricForm::LinearGrowth, {0.30, 0.12, 0.22, 0.45}},
+      {"Offset(mV)", 5.0, Direction::Below, 0.25, 3.1,
+       MetricForm::LinearGrowth, {0.28, 0.10, 0.22, 0.85}},
+      {"Power(uW)", 150.0, Direction::Below, 0.20, 118.0,
+       MetricForm::LinearGrowth, {0.18, 0.22, 0.20, 0.08}},
+  };
+  tc.spec.fom_threshold = 0.88;
+  tc.spec.sens_scale = 2.2;
+  return tc;
+}
+
+TestCase make_vga() {
+  Builder b("VGA");
+  // Stage 1: differential pair with resistor loads + gain-select switches.
+  b.mos("A1", DeviceType::Nmos, 3, 2, "vinp", "s1n", "t1");
+  b.mos("A2", DeviceType::Nmos, 3, 2, "vinn", "s1p", "t1");
+  b.res("RL1", 1, 3, "s1n", "vdd");
+  b.res("RL2", 1, 3, "s1p", "vdd");
+  b.mos("SW1", DeviceType::Nmos, 1, 1, "g0", "s1n", "s1na");
+  b.mos("SW2", DeviceType::Nmos, 1, 1, "g0", "s1p", "s1pa");
+  b.res("RG1", 1, 2, "s1na", "vdd");
+  b.res("RG2", 1, 2, "s1pa", "vdd");
+  b.mos("T1", DeviceType::Nmos, 3, 2, "vb", "t1", "gnd");
+  // Stage 2: second differential pair, degeneration switches.
+  b.mos("B1", DeviceType::Nmos, 3, 2, "s1n", "s2n", "t2a");
+  b.mos("B2", DeviceType::Nmos, 3, 2, "s1p", "s2p", "t2b");
+  b.mos("SW3", DeviceType::Nmos, 1, 1, "g1", "t2a", "t2b");
+  b.res("RD1", 1, 2, "t2a", "tt2");
+  b.res("RD2", 1, 2, "t2b", "tt2");
+  b.res("RL3", 1, 3, "s2n", "vdd");
+  b.res("RL4", 1, 3, "s2p", "vdd");
+  b.mos("T2", DeviceType::Nmos, 3, 2, "vb", "tt2", "gnd");
+  // Output buffers and bias.
+  b.mos("O1", DeviceType::Nmos, 2, 2, "s2n", "voutn", "gnd");
+  b.mos("O2", DeviceType::Nmos, 2, 2, "s2p", "voutp", "gnd");
+  b.res("RO1", 1, 2, "voutn", "vdd");
+  b.res("RO2", 1, 2, "voutp", "vdd");
+  b.mos("MB", DeviceType::Nmos, 2, 2, "vb", "vb", "gnd");
+  b.cap("CIN1", 1, 1, "vinp", "gnd");
+  b.cap("CIN2", 1, 1, "vinn", "gnd");
+  b.cap("CO1", 2, 2, "voutp", "gnd");
+  b.cap("CO2", 2, 2, "voutn", "gnd");
+  b.cap("CG", 1, 1, "g0", "g1");
+
+  b.set_critical("vinp");
+  b.set_critical("vinn");
+  b.set_critical("s1p");
+  b.set_critical("s1n");
+  b.set_critical("s2p");
+  b.set_critical("s2n");
+  b.set_critical("voutp");
+  b.set_critical("voutn");
+  b.set_weight("vdd", 0.2);
+  b.set_weight("gnd", 0.2);
+
+  b.symmetry({{"A1", "A2"}, {"RL1", "RL2"}, {"SW1", "SW2"}, {"RG1", "RG2"}},
+             {"T1"});
+  b.symmetry({{"B1", "B2"}, {"RD1", "RD2"}, {"RL3", "RL4"}}, {"T2", "SW3"});
+  b.symmetry({{"O1", "O2"}, {"RO1", "RO2"}});
+  b.symmetry({{"CIN1", "CIN2"}});
+  // Monotone signal path: stage1 tail -> stage2 tail -> output bias.
+  b.order(OrderDirection::LeftToRight, {"T1", "T2", "MB"});
+  b.align(AlignmentKind::Bottom, "T1", "T2");
+
+  TestCase tc{b.finish(), {}};
+  tc.spec.metrics = {
+      {"Gain(dB)", 20.0, Direction::Above, 0.25, 23.0,
+       MetricForm::InverseLoad, {0.06, 0.03, 0.04, 0.05}},
+      {"BW(MHz)", 500.0, Direction::Above, 0.30, 760.0,
+       MetricForm::InverseLoad, {0.55, 0.22, 0.30, 0.24}},
+      {"GainErr(dB)", 0.5, Direction::Below, 0.25, 0.32,
+       MetricForm::LinearGrowth, {0.30, 0.10, 0.20, 0.80}},
+      {"Power(mW)", 1.5, Direction::Below, 0.20, 1.15,
+       MetricForm::LinearGrowth, {0.18, 0.24, 0.20, 0.08}},
+  };
+  tc.spec.fom_threshold = 0.82;
+  tc.spec.sens_scale = 2.0;
+  return tc;
+}
+
+TestCase make_scf() {
+  Builder b("SCF");
+  // Two-integrator biquad: opamps as pre-composed modules, large cap
+  // arrays, NMOS switches with two-phase clocks.
+  b.module("OP1", 8, 6,
+           {{"inn", "x1"}, {"inp", "cm"}, {"out", "int1"}});
+  b.module("OP2", 8, 6,
+           {{"inn", "x2"}, {"inp", "cm"}, {"out", "int2"}});
+  // Integration / sampling capacitor pairs (kept symmetric for matching).
+  b.cap("CI1", 12, 12, "x1", "int1");
+  b.cap("CI2", 12, 12, "x2", "int2");
+  b.cap("CS1", 9, 9, "s1", "s2");
+  b.cap("CS2", 9, 9, "s3", "s4");
+  b.cap("CF1", 7, 7, "int1", "s5");
+  b.cap("CF2", 7, 7, "int2", "s6");
+  b.cap("CQ1", 5, 5, "int2", "x1");
+  b.cap("CQ2", 5, 5, "vin", "s1");
+  // Switch matrix (two-phase non-overlapping clocks p1 / p2).
+  auto sw = [&](const std::string& name, const std::string& clk,
+                const std::string& a, const std::string& bnet) {
+    b.mos(name, DeviceType::Nmos, 2, 2, clk, a, bnet);
+  };
+  sw("S1", "p1", "vin", "s1");
+  sw("S2", "p2", "s1", "cm");
+  sw("S3", "p1", "s2", "cm");
+  sw("S4", "p2", "s2", "x1");
+  sw("S5", "p1", "int1", "s3");
+  sw("S6", "p2", "s3", "cm");
+  sw("S7", "p1", "s4", "cm");
+  sw("S8", "p2", "s4", "x2");
+  sw("S9", "p1", "s5", "cm");
+  sw("S10", "p2", "s5", "x1");
+  sw("S11", "p1", "s6", "cm");
+  sw("S12", "p2", "s6", "x2");
+  sw("S13", "p1", "int2", "vout");
+  sw("S14", "p2", "vout", "cm");
+  // Clock buffers.
+  b.mos("CK1", DeviceType::Nmos, 2, 2, "ck", "p1", "gnd");
+  b.mos("CK2", DeviceType::Pmos, 2, 2, "ck", "p1", "vdd");
+  b.mos("CK3", DeviceType::Nmos, 2, 2, "p1", "p2", "gnd");
+  b.mos("CK4", DeviceType::Pmos, 2, 2, "p1", "p2", "vdd");
+  // Common-mode reference and loads.
+  b.res("RCM1", 2, 4, "vdd", "cm");
+  b.res("RCM2", 2, 4, "cm", "gnd");
+  b.cap("CCM", 4, 4, "cm", "gnd");
+  b.cap("CLOAD", 6, 6, "vout", "gnd");
+  b.cap("CCK", 2, 2, "ck", "gnd");
+
+  b.set_critical("x1");
+  b.set_critical("x2");
+  b.set_critical("int1");
+  b.set_critical("int2");
+  b.set_critical("vout");
+  b.set_weight("vdd", 0.2);
+  b.set_weight("gnd", 0.2);
+  b.set_weight("cm", 0.4);
+  b.set_weight("p1", 0.6);
+  b.set_weight("p2", 0.6);
+
+  b.symmetry({{"CI1", "CI2"}});
+  b.symmetry({{"CS1", "CS2"}, {"CF1", "CF2"}});
+  b.symmetry({{"OP1", "OP2"}});
+  b.align(AlignmentKind::Bottom, "CK1", "CK3");
+  b.align(AlignmentKind::Bottom, "CK2", "CK4");
+  b.order(OrderDirection::LeftToRight, {"S1", "S4", "S8", "S13"});
+
+  TestCase tc{b.finish(), {}};
+  tc.spec.metrics = {
+      {"Fc-acc(%)", 2.0, Direction::Below, 0.30, 1.2,
+       MetricForm::LinearGrowth, {0.25, 0.08, 0.15, 0.60}},
+      {"SNR(dB)", 62.0, Direction::Above, 0.25, 67.0,
+       MetricForm::Subtractive, {3.0, 1.2, 2.0, 2.5}},
+      {"THD(%)", 0.5, Direction::Below, 0.25, 0.34,
+       MetricForm::LinearGrowth, {0.28, 0.10, 0.18, 0.55}},
+      {"Power(mW)", 2.5, Direction::Below, 0.20, 1.95,
+       MetricForm::LinearGrowth, {0.15, 0.22, 0.18, 0.06}},
+  };
+  tc.spec.fom_threshold = 0.84;
+  tc.spec.sens_scale = 0.45;
+  return tc;
+}
+
+}  // namespace aplace::circuits

@@ -1,0 +1,200 @@
+// OTA testcases: CC-OTA (cross-coupled), CM-OTA1 and CM-OTA2 (current
+// mirror, plain and cascoded).
+
+#include "circuits/builder.hpp"
+#include "circuits/testcases.hpp"
+
+namespace aplace::circuits {
+
+using netlist::AlignmentKind;
+using netlist::DeviceType;
+using netlist::OrderDirection;
+using perf::Direction;
+using perf::MetricForm;
+
+TestCase make_cc_ota() {
+  Builder b("CC-OTA");
+  // Input differential pair.
+  b.mos("M1", DeviceType::Nmos, 3, 2, "vinp", "d1", "tail");
+  b.mos("M2", DeviceType::Nmos, 3, 2, "vinn", "d2", "tail");
+  // Cross-coupled PMOS load pair (gates crossed to the opposite output).
+  b.mos("M3", DeviceType::Pmos, 2, 2, "d2", "d1", "vdd");
+  b.mos("M4", DeviceType::Pmos, 2, 2, "d1", "d2", "vdd");
+  // Diode-connected loads.
+  b.mos("M5", DeviceType::Pmos, 2, 2, "d1", "d1", "vdd");
+  b.mos("M6", DeviceType::Pmos, 2, 2, "d2", "d2", "vdd");
+  // Cascode output devices.
+  b.mos("M7", DeviceType::Nmos, 2, 2, "vcas", "voutp", "d1");
+  b.mos("M8", DeviceType::Nmos, 2, 2, "vcas", "voutn", "d2");
+  // Tail current source and bias mirror.
+  b.mos("M9", DeviceType::Nmos, 4, 2, "vb", "tail", "gnd");
+  b.mos("M10", DeviceType::Nmos, 2, 2, "vb", "vb", "gnd");
+  // Output buffers.
+  b.mos("M11", DeviceType::Pmos, 2, 2, "voutp", "obufp", "vdd");
+  b.mos("M12", DeviceType::Pmos, 2, 2, "voutn", "obufn", "vdd");
+  // Load capacitors, compensation, zero-nulling resistor.
+  b.cap("CL1", 3, 3, "voutp", "gnd");
+  b.cap("CL2", 3, 3, "voutn", "gnd");
+  b.cap("CC", 2, 2, "d1", "voutp");
+  b.res("RZ", 1, 2, "vcas", "vb");
+  b.cap("CIN1", 1, 1, "vinp", "gnd");
+  b.cap("CIN2", 1, 1, "vinn", "gnd");
+  b.cap("COB1", 1, 1, "obufp", "gnd");
+  b.cap("COB2", 1, 1, "obufn", "gnd");
+
+  b.set_critical("vinp");
+  b.set_critical("vinn");
+  b.set_critical("d1");
+  b.set_critical("d2");
+  b.set_critical("voutp");
+  b.set_critical("voutn");
+  b.set_weight("vdd", 0.2);
+  b.set_weight("gnd", 0.2);
+
+  b.symmetry({{"M1", "M2"}, {"M3", "M4"}, {"M5", "M6"}, {"M7", "M8"}},
+             {"M9"});
+  b.symmetry({{"CL1", "CL2"}});
+  b.align(AlignmentKind::Bottom, "M10", "RZ");
+  b.order(OrderDirection::LeftToRight, {"M10", "CC"});
+
+  TestCase tc{b.finish(), {}};
+  tc.spec.metrics = {
+      {"Gain(dB)", 25.0, Direction::Above, 0.25, 27.5,
+       MetricForm::InverseLoad, {0.05, 0.02, 0.03, 0.04}},
+      {"UGF(MHz)", 1200.0, Direction::Above, 0.25, 1650.0,
+       MetricForm::InverseLoad, {0.55, 0.18, 0.30, 0.22}},
+      {"BW(MHz)", 70.0, Direction::Above, 0.25, 105.0,
+       MetricForm::InverseLoad, {0.70, 0.25, 0.40, 0.30}},
+      {"PM(deg)", 90.0, Direction::Above, 0.25, 97.0,
+       MetricForm::Subtractive, {9.0, 4.0, 6.0, 5.0}},
+  };
+  tc.spec.fom_threshold = 0.88;
+  tc.spec.sens_scale = 0.9;
+  return tc;
+}
+
+TestCase make_cm_ota1() {
+  Builder b("CM-OTA1");
+  // Differential input pair with current-mirror loads.
+  b.mos("M1", DeviceType::Nmos, 3, 2, "vinp", "d1", "tail");
+  b.mos("M2", DeviceType::Nmos, 3, 2, "vinn", "d2", "tail");
+  b.mos("M3", DeviceType::Pmos, 2, 2, "d1", "d1", "vdd");
+  b.mos("M4", DeviceType::Pmos, 2, 2, "d1", "m1o", "vdd");
+  b.mos("M5", DeviceType::Pmos, 2, 2, "d2", "d2", "vdd");
+  b.mos("M6", DeviceType::Pmos, 2, 2, "d2", "vout", "vdd");
+  // Bottom mirror steering the first branch to the output.
+  b.mos("M7", DeviceType::Nmos, 2, 2, "m1o", "m1o", "gnd");
+  b.mos("M8", DeviceType::Nmos, 2, 2, "m1o", "vout", "gnd");
+  // Tail and bias chain.
+  b.mos("M9", DeviceType::Nmos, 4, 2, "vb", "tail", "gnd");
+  b.mos("M10", DeviceType::Nmos, 2, 2, "vb", "vb", "gnd");
+  b.mos("M11", DeviceType::Pmos, 2, 2, "vbp", "vbp", "vdd");
+  b.res("RB", 1, 3, "vbp", "vb");
+  // Output load and compensation.
+  b.cap("CL", 4, 4, "vout", "gnd");
+  b.cap("CC", 2, 2, "d2", "vout");
+  b.cap("CIN1", 1, 1, "vinp", "gnd");
+  b.cap("CIN2", 1, 1, "vinn", "gnd");
+  b.mos("M12", DeviceType::Nmos, 2, 1, "vout", "obuf", "gnd");
+  b.res("RO", 1, 2, "obuf", "vdd");
+
+  b.set_critical("vinp");
+  b.set_critical("vinn");
+  b.set_critical("d1");
+  b.set_critical("d2");
+  b.set_critical("vout");
+  b.set_weight("vdd", 0.2);
+  b.set_weight("gnd", 0.2);
+
+  b.symmetry({{"M1", "M2"}, {"M3", "M5"}, {"M4", "M6"}}, {"M9"});
+  b.symmetry({{"CIN1", "CIN2"}});
+  b.align(AlignmentKind::Bottom, "M7", "M8");
+  b.order(OrderDirection::LeftToRight, {"M10", "M11"});
+
+  TestCase tc{b.finish(), {}};
+  tc.spec.metrics = {
+      {"Gain(dB)", 32.0, Direction::Above, 0.25, 35.5,
+       MetricForm::InverseLoad, {0.05, 0.02, 0.04, 0.05}},
+      {"UGF(MHz)", 900.0, Direction::Above, 0.25, 1250.0,
+       MetricForm::InverseLoad, {0.50, 0.20, 0.30, 0.25}},
+      {"BW(MHz)", 45.0, Direction::Above, 0.25, 70.0,
+       MetricForm::InverseLoad, {0.65, 0.28, 0.40, 0.35}},
+      {"Offset(mV)", 4.0, Direction::Below, 0.25, 2.2,
+       MetricForm::LinearGrowth, {0.30, 0.10, 0.25, 0.80}},
+  };
+  tc.spec.fom_threshold = 0.90;
+  tc.spec.sens_scale = 1.5;
+  return tc;
+}
+
+TestCase make_cm_ota2() {
+  Builder b("CM-OTA2");
+  // Core: same current-mirror OTA but cascoded, with CMFB.
+  b.mos("M1", DeviceType::Nmos, 3, 2, "vinp", "d1", "tail");
+  b.mos("M2", DeviceType::Nmos, 3, 2, "vinn", "d2", "tail");
+  b.mos("M3", DeviceType::Pmos, 2, 2, "d1", "d1", "vdd");
+  b.mos("M4", DeviceType::Pmos, 2, 2, "d1", "c1", "vdd");
+  b.mos("M5", DeviceType::Pmos, 2, 2, "d2", "d2", "vdd");
+  b.mos("M6", DeviceType::Pmos, 2, 2, "d2", "c2", "vdd");
+  // Cascodes.
+  b.mos("M7", DeviceType::Pmos, 2, 2, "vcp", "voutp", "c1");
+  b.mos("M8", DeviceType::Pmos, 2, 2, "vcp", "voutn", "c2");
+  b.mos("M9", DeviceType::Nmos, 2, 2, "vcn", "voutp", "b1");
+  b.mos("M10", DeviceType::Nmos, 2, 2, "vcn", "voutn", "b2");
+  b.mos("M11", DeviceType::Nmos, 2, 2, "cmfb", "b1", "gnd");
+  b.mos("M12", DeviceType::Nmos, 2, 2, "cmfb", "b2", "gnd");
+  // Tail, bias chain, CMFB sense.
+  b.mos("M13", DeviceType::Nmos, 4, 2, "vb", "tail", "gnd");
+  b.mos("M14", DeviceType::Nmos, 2, 2, "vb", "vb", "gnd");
+  b.mos("M15", DeviceType::Pmos, 2, 2, "vcp", "vcp", "vdd");
+  b.mos("M16", DeviceType::Nmos, 2, 2, "vcn", "vcn", "gnd");
+  b.res("R1", 1, 3, "voutp", "cmfb");
+  b.res("R2", 1, 3, "voutn", "cmfb");
+  b.cap("C1", 2, 2, "voutp", "cmfb");
+  b.cap("C2", 2, 2, "voutn", "cmfb");
+  // Loads and inputs.
+  b.cap("CL1", 3, 3, "voutp", "gnd");
+  b.cap("CL2", 3, 3, "voutn", "gnd");
+  b.cap("CIN1", 1, 1, "vinp", "gnd");
+  b.cap("CIN2", 1, 1, "vinn", "gnd");
+
+  b.set_critical("vinp");
+  b.set_critical("vinn");
+  b.set_critical("voutp");
+  b.set_critical("voutn");
+  b.set_critical("d1");
+  b.set_critical("d2");
+  b.set_weight("vdd", 0.2);
+  b.set_weight("gnd", 0.2);
+
+  b.symmetry({{"M1", "M2"},
+              {"M3", "M5"},
+              {"M4", "M6"},
+              {"M7", "M8"},
+              {"M9", "M10"},
+              {"M11", "M12"}},
+             {"M13"});
+  b.symmetry({{"R1", "R2"}, {"C1", "C2"}});
+  b.symmetry({{"CL1", "CL2"}});
+  b.align(AlignmentKind::Bottom, "M14", "M16");
+  b.order(OrderDirection::LeftToRight, {"M14", "M15"});
+
+  TestCase tc{b.finish(), {}};
+  tc.spec.metrics = {
+      {"Gain(dB)", 48.0, Direction::Above, 0.25, 52.5,
+       MetricForm::InverseLoad, {0.04, 0.02, 0.03, 0.04}},
+      {"UGF(MHz)", 700.0, Direction::Above, 0.25, 980.0,
+       MetricForm::InverseLoad, {0.50, 0.22, 0.28, 0.22}},
+      {"BW(MHz)", 20.0, Direction::Above, 0.20, 31.0,
+       MetricForm::InverseLoad, {0.62, 0.30, 0.38, 0.30}},
+      {"PM(deg)", 75.0, Direction::Above, 0.15, 84.0,
+       MetricForm::Subtractive, {8.0, 4.5, 5.5, 4.0}},
+      {"Offset(mV)", 3.0, Direction::Below, 0.15, 1.8,
+       MetricForm::LinearGrowth, {0.25, 0.10, 0.20, 0.70}},
+  };
+  tc.spec.fom_threshold = 0.90;
+  tc.spec.sens_scale = 0.55;
+  return tc;
+}
+
+}  // namespace aplace::circuits

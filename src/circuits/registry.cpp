@@ -1,0 +1,30 @@
+#include "circuits/testcases.hpp"
+
+#include "base/check.hpp"
+
+namespace aplace::circuits {
+
+const std::vector<std::string>& testcase_names() {
+  static const std::vector<std::string> names = {
+      "Adder",   "CC-OTA",  "Comp1", "Comp2", "CM-OTA1",
+      "CM-OTA2", "SCF",     "VGA",   "VCO1",  "VCO2",
+  };
+  return names;
+}
+
+TestCase make_testcase(std::string_view name) {
+  if (name == "Adder") return make_adder();
+  if (name == "CC-OTA") return make_cc_ota();
+  if (name == "Comp1") return make_comp1();
+  if (name == "Comp2") return make_comp2();
+  if (name == "CM-OTA1") return make_cm_ota1();
+  if (name == "CM-OTA2") return make_cm_ota2();
+  if (name == "SCF") return make_scf();
+  if (name == "VGA") return make_vga();
+  if (name == "VCO1") return make_vco1();
+  if (name == "VCO2") return make_vco2();
+  APLACE_CHECK_MSG(false, "unknown testcase '" << std::string(name) << "'");
+  return make_adder();  // unreachable
+}
+
+}  // namespace aplace::circuits

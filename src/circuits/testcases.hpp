@@ -1,0 +1,44 @@
+#pragma once
+// The ten paper testcases (Sec. IV-C): three OTAs, two comparators, two
+// VCOs, an analog adder, a VGA and a switched-capacitor filter — synthetic
+// netlists modeled on the named topologies, each with dozens of devices,
+// analog constraint groups and a surrogate performance specification.
+//
+// The paper's circuits come from a GF12nm PDK we cannot ship; these
+// generators produce the same *problem structure* (device counts, symmetry
+// groups, alignment/ordering constraints, net topology, relative areas) so
+// every placement algorithm exercises identical code paths.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netlist/circuit.hpp"
+#include "perf/spec.hpp"
+
+namespace aplace::circuits {
+
+struct TestCase {
+  netlist::Circuit circuit;
+  perf::PerformanceSpec spec;
+};
+
+TestCase make_adder();
+TestCase make_cc_ota();
+TestCase make_comp1();
+TestCase make_comp2();
+TestCase make_cm_ota1();
+TestCase make_cm_ota2();
+TestCase make_scf();
+TestCase make_vga();
+TestCase make_vco1();
+TestCase make_vco2();
+
+/// Canonical paper order: Adder, CC-OTA, Comp1, Comp2, CM-OTA1, CM-OTA2,
+/// SCF, VGA, VCO1, VCO2.
+[[nodiscard]] const std::vector<std::string>& testcase_names();
+
+/// Factory by canonical name (case sensitive). Throws on unknown name.
+[[nodiscard]] TestCase make_testcase(std::string_view name);
+
+}  // namespace aplace::circuits

@@ -1,0 +1,139 @@
+// VCO testcases: VCO1 (four-stage differential ring oscillator) and VCO2
+// (five-stage current-starved ring with varactor tuning).
+
+#include <string>
+
+#include "circuits/builder.hpp"
+#include "circuits/testcases.hpp"
+
+namespace aplace::circuits {
+
+using netlist::AlignmentKind;
+using netlist::DeviceType;
+using netlist::OrderDirection;
+using perf::Direction;
+using perf::MetricForm;
+
+namespace {
+
+// One differential delay stage: input pair + PMOS load pair + tail source.
+// Nets: inp/inn -> outp/outn, shared vctl (load gate bias = tuning).
+void add_ring_stage(Builder& b, const std::string& prefix,
+                    const std::string& inp, const std::string& inn,
+                    const std::string& outp, const std::string& outn,
+                    double pair_w) {
+  b.mos(prefix + "A", DeviceType::Nmos, pair_w, 2, inp, outn, prefix + "t");
+  b.mos(prefix + "B", DeviceType::Nmos, pair_w, 2, inn, outp, prefix + "t");
+  b.mos(prefix + "LA", DeviceType::Pmos, 2, 2, "vctl", outn, "vdd");
+  b.mos(prefix + "LB", DeviceType::Pmos, 2, 2, "vctl", outp, "vdd");
+  b.mos(prefix + "T", DeviceType::Nmos, 3, 2, "vb", prefix + "t", "gnd");
+  b.symmetry({{prefix + "A", prefix + "B"}, {prefix + "LA", prefix + "LB"}},
+             {prefix + "T"});
+}
+
+}  // namespace
+
+TestCase make_vco1() {
+  Builder b("VCO1");
+  // Four differential stages in a ring (last stage swaps polarity).
+  add_ring_stage(b, "S1", "n4p", "n4n", "n1p", "n1n", 4);
+  add_ring_stage(b, "S2", "n1p", "n1n", "n2p", "n2n", 4);
+  add_ring_stage(b, "S3", "n2p", "n2n", "n3p", "n3n", 4);
+  add_ring_stage(b, "S4", "n3n", "n3p", "n4p", "n4n", 4);
+  // Bias generation and control filtering.
+  b.mos("MB1", DeviceType::Nmos, 3, 2, "vb", "vb", "gnd");
+  b.mos("MB2", DeviceType::Pmos, 3, 2, "vctl", "vb", "vdd");
+  b.cap("CF", 4, 4, "vctl", "gnd");
+  b.cap("CB", 3, 3, "vb", "gnd");
+  // Output buffer pair tapping the last stage.
+  b.mos("MO1", DeviceType::Nmos, 2, 2, "n4p", "obufp", "gnd");
+  b.mos("MO2", DeviceType::Nmos, 2, 2, "n4n", "obufn", "gnd");
+  b.res("RO1", 2, 3, "obufp", "vdd");
+  b.res("RO2", 2, 3, "obufn", "vdd");
+
+  for (const char* net : {"n1p", "n1n", "n2p", "n2n", "n3p", "n3n", "n4p",
+                          "n4n"}) {
+    b.set_critical(net);
+  }
+  b.set_weight("vdd", 0.2);
+  b.set_weight("gnd", 0.2);
+  b.set_weight("vctl", 0.6);
+  b.set_weight("vb", 0.6);
+
+  b.symmetry({{"MO1", "MO2"}, {"RO1", "RO2"}});
+  // Monotone ring: stage tails ordered left to right for a clean loop.
+  b.order(OrderDirection::LeftToRight, {"S1T", "S2T", "S3T", "S4T"});
+  b.align(AlignmentKind::Bottom, "MB1", "MB2");
+
+  TestCase tc{b.finish(), {}};
+  tc.spec.metrics = {
+      {"Freq(GHz)", 2.4, Direction::Above, 0.30, 3.3,
+       MetricForm::InverseLoad, {0.50, 0.18, 0.28, 0.20}},
+      {"Tuning(%)", 18.0, Direction::Above, 0.25, 25.0,
+       MetricForm::InverseLoad, {0.35, 0.15, 0.22, 0.18}},
+      // Phase-noise magnitude |PN| at 1 MHz offset: larger = quieter.
+      {"|PN|(dBc/Hz)", 92.0, Direction::Above, 0.25, 99.0,
+       MetricForm::Subtractive, {6.0, 2.5, 4.0, 5.0}},
+      {"Power(mW)", 2.0, Direction::Below, 0.20, 1.5,
+       MetricForm::LinearGrowth, {0.20, 0.25, 0.22, 0.10}},
+  };
+  tc.spec.fom_threshold = 0.82;
+  tc.spec.sens_scale = 0.8;
+  return tc;
+}
+
+TestCase make_vco2() {
+  Builder b("VCO2");
+  // Five differential stages.
+  add_ring_stage(b, "S1", "n5p", "n5n", "n1p", "n1n", 4);
+  add_ring_stage(b, "S2", "n1p", "n1n", "n2p", "n2n", 4);
+  add_ring_stage(b, "S3", "n2p", "n2n", "n3p", "n3n", 4);
+  add_ring_stage(b, "S4", "n3p", "n3n", "n4p", "n4n", 4);
+  add_ring_stage(b, "S5", "n4n", "n4p", "n5p", "n5n", 4);
+  // Varactor tuning caps on two ring nodes.
+  b.cap("CV1", 3, 3, "n1p", "vctl");
+  b.cap("CV2", 3, 3, "n1n", "vctl");
+  b.cap("CV3", 3, 3, "n3p", "vctl");
+  b.cap("CV4", 3, 3, "n3n", "vctl");
+  // Bias and control filtering.
+  b.mos("MB1", DeviceType::Nmos, 3, 2, "vb", "vb", "gnd");
+  b.mos("MB2", DeviceType::Pmos, 3, 2, "vctl", "vb", "vdd");
+  b.cap("CF", 5, 5, "vctl", "gnd");
+  b.cap("CB", 3, 3, "vb", "gnd");
+  // Output buffers.
+  b.mos("MO1", DeviceType::Nmos, 2, 2, "n5p", "obufp", "gnd");
+  b.mos("MO2", DeviceType::Nmos, 2, 2, "n5n", "obufn", "gnd");
+  b.res("RO1", 2, 3, "obufp", "vdd");
+  b.res("RO2", 2, 3, "obufn", "vdd");
+
+  for (const char* net : {"n1p", "n1n", "n2p", "n2n", "n3p", "n3n", "n4p",
+                          "n4n", "n5p", "n5n"}) {
+    b.set_critical(net);
+  }
+  b.set_weight("vdd", 0.2);
+  b.set_weight("gnd", 0.2);
+  b.set_weight("vctl", 0.6);
+  b.set_weight("vb", 0.6);
+
+  b.symmetry({{"CV1", "CV2"}, {"CV3", "CV4"}});
+  b.symmetry({{"MO1", "MO2"}, {"RO1", "RO2"}});
+  b.order(OrderDirection::LeftToRight, {"S1T", "S2T", "S3T", "S4T", "S5T"});
+  b.align(AlignmentKind::Bottom, "MB1", "MB2");
+
+  TestCase tc{b.finish(), {}};
+  tc.spec.metrics = {
+      {"Freq(GHz)", 1.8, Direction::Above, 0.30, 2.6,
+       MetricForm::InverseLoad, {0.52, 0.20, 0.30, 0.22}},
+      {"Tuning(%)", 25.0, Direction::Above, 0.25, 36.0,
+       MetricForm::InverseLoad, {0.38, 0.16, 0.24, 0.20}},
+      {"|PN|(dBc/Hz)", 90.0, Direction::Above, 0.25, 97.0,
+       MetricForm::Subtractive, {6.5, 2.8, 4.2, 5.2}},
+      {"Power(mW)", 3.0, Direction::Below, 0.20, 2.3,
+       MetricForm::LinearGrowth, {0.20, 0.26, 0.24, 0.10}},
+  };
+  tc.spec.fom_threshold = 0.82;
+  tc.spec.sens_scale = 0.5;
+  return tc;
+}
+
+}  // namespace aplace::circuits

@@ -1,0 +1,96 @@
+#include "core/flow.hpp"
+
+#include <chrono>
+#include <limits>
+
+namespace aplace::core {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+FlowResult run_eplace_a(const netlist::Circuit& circuit, EPlaceAOptions opts) {
+  APLACE_CHECK(opts.candidates >= 1);
+  const netlist::Evaluator eval(circuit);
+  FlowResult best{netlist::Placement(circuit), {}, 0, 0, 0};
+  double best_score = std::numeric_limits<double>::infinity();
+  double scale_area = 1.0, scale_hpwl = 1.0;
+
+  for (int k = 0; k < opts.candidates; ++k) {
+    gp::EPlaceGpOptions gopts = opts.gp;
+    gopts.seed = opts.gp.seed + 48ULL * static_cast<std::uint64_t>(k);
+
+    const auto t0 = Clock::now();
+    gp::EPlaceGlobalPlacer placer(circuit, gopts);
+    const gp::GpResult gpr = placer.run();
+    const double gp_s = seconds_since(t0);
+
+    const auto t1 = Clock::now();
+    const legal::IlpDetailedPlacer dp(circuit, opts.dp);
+    legal::IlpResult dpr = dp.place(gpr.positions);
+    APLACE_CHECK_MSG(dpr.ok(), "ePlace-A detailed placement "
+                                   << to_string(dpr.status) << " on circuit '"
+                                   << circuit.name() << "'");
+    const double dp_s = seconds_since(t1);
+
+    FlowResult cand{std::move(dpr.placement), {}, gp_s, dp_s, gp_s + dp_s};
+    cand.quality = eval.evaluate(cand.placement);
+    if (k == 0) {
+      scale_area = std::max(cand.quality.area, 1e-9);
+      scale_hpwl = std::max(cand.quality.hpwl, 1e-9);
+    }
+    const double score =
+        cand.quality.area / scale_area + cand.quality.hpwl / scale_hpwl;
+    // Accumulate runtime across candidates (they run sequentially).
+    cand.gp_seconds += best.gp_seconds;
+    cand.dp_seconds += best.dp_seconds;
+    cand.total_seconds += best.total_seconds;
+    if (score < best_score) {
+      best_score = score;
+      best = std::move(cand);
+    } else {
+      best.gp_seconds = cand.gp_seconds;
+      best.dp_seconds = cand.dp_seconds;
+      best.total_seconds = cand.total_seconds;
+    }
+  }
+  return best;
+}
+
+FlowResult run_prior_work(const netlist::Circuit& circuit,
+                          PriorWorkOptions opts) {
+  const auto t0 = Clock::now();
+  gp::PriorAnalyticalGlobalPlacer placer(circuit, opts.gp);
+  const gp::GpResult gpr = placer.run();
+  const double gp_s = seconds_since(t0);
+
+  const auto t1 = Clock::now();
+  const legal::TwoStageLpLegalizer dp(circuit, opts.dp);
+  legal::TwoStageResult dpr = dp.place(gpr.positions);
+  APLACE_CHECK_MSG(dpr.ok(), "prior-work detailed placement "
+                                 << to_string(dpr.status) << " on circuit '"
+                                 << circuit.name() << "'");
+  const double dp_s = seconds_since(t1);
+
+  FlowResult out{std::move(dpr.placement), {}, gp_s, dp_s, gp_s + dp_s};
+  out.quality = netlist::Evaluator(circuit).evaluate(out.placement);
+  return out;
+}
+
+FlowResult run_sa(const netlist::Circuit& circuit, SaFlowOptions opts) {
+  const auto t0 = Clock::now();
+  sa::SaPlacer placer(circuit, opts.sa);
+  sa::SaResult sar = placer.place();
+  const double total = seconds_since(t0);
+
+  FlowResult out{std::move(sar.placement), {}, 0, 0, total};
+  out.quality = netlist::Evaluator(circuit).evaluate(out.placement);
+  return out;
+}
+
+}  // namespace aplace::core

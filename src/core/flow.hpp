@@ -1,0 +1,62 @@
+#pragma once
+// End-to-end conventional (performance-oblivious) placement flows — the
+// three methods compared in paper Table III:
+//
+//   * run_eplace_a:   ePlace-A = Nesterov/electrostatics GP + single-stage
+//                     ILP legalization/detailed placement with flipping.
+//   * run_prior_work: the prior analytical method [11] = NTUplace3-style GP
+//                     (LSE + bell density, CG) + two-stage LP, no flipping,
+//                     no area term.
+//   * run_sa:         simulated annealing over sequence pairs with symmetry
+//                     islands.
+//
+// Each returns the legalized placement plus quality metrics and timing.
+
+#include "gp/eplace_gp.hpp"
+#include "gp/ntu_gp.hpp"
+#include "legal/ilp_detailed.hpp"
+#include "legal/two_stage_lp.hpp"
+#include "netlist/evaluator.hpp"
+#include "sa/annealer.hpp"
+
+namespace aplace::core {
+
+struct FlowResult {
+  netlist::Placement placement;
+  netlist::QualityReport quality;  ///< post-detailed-placement metrics
+  double gp_seconds = 0;
+  double dp_seconds = 0;
+  double total_seconds = 0;
+
+  [[nodiscard]] double area() const { return quality.area; }
+  [[nodiscard]] double hpwl() const { return quality.hpwl; }
+  [[nodiscard]] bool legal(double tol = 1e-6) const {
+    return quality.legal(tol);
+  }
+};
+
+struct EPlaceAOptions {
+  gp::EPlaceGpOptions gp;
+  legal::IlpOptions dp;
+  /// Independent GP+DP candidates (different GP seed groups); the best
+  /// placement by normalized area+wirelength is kept.
+  int candidates = 2;
+};
+
+struct PriorWorkOptions {
+  gp::NtuGpOptions gp;
+  legal::TwoStageOptions dp;
+};
+
+struct SaFlowOptions {
+  sa::SaOptions sa;
+};
+
+[[nodiscard]] FlowResult run_eplace_a(const netlist::Circuit& circuit,
+                                      EPlaceAOptions opts = {});
+[[nodiscard]] FlowResult run_prior_work(const netlist::Circuit& circuit,
+                                        PriorWorkOptions opts = {});
+[[nodiscard]] FlowResult run_sa(const netlist::Circuit& circuit,
+                                SaFlowOptions opts = {});
+
+}  // namespace aplace::core

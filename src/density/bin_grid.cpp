@@ -1,0 +1,56 @@
+#include "density/bin_grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aplace::density {
+
+BinGrid::BinGrid(const geom::Rect& region, std::size_t nx, std::size_t ny)
+    : region_(region), nx_(nx), ny_(ny) {
+  APLACE_CHECK_MSG(nx >= 2 && ny >= 2, "bin grid needs >= 2 bins per side");
+  APLACE_CHECK_MSG(region.width() > 0 && region.height() > 0,
+                   "empty bin-grid region");
+  bin_w_ = region.width() / static_cast<double>(nx);
+  bin_h_ = region.height() / static_cast<double>(ny);
+}
+
+std::pair<std::size_t, std::size_t> BinGrid::x_range(double xlo,
+                                                     double xhi) const {
+  const double lo = (xlo - region_.xlo()) / bin_w_;
+  const double hi = (xhi - region_.xlo()) / bin_w_;
+  const long a = std::clamp<long>(static_cast<long>(std::floor(lo)), 0,
+                                  static_cast<long>(nx_) - 1);
+  const long b = std::clamp<long>(static_cast<long>(std::ceil(hi)) - 1, 0,
+                                  static_cast<long>(nx_) - 1);
+  return {static_cast<std::size_t>(a),
+          static_cast<std::size_t>(std::max(a, b))};
+}
+
+std::pair<std::size_t, std::size_t> BinGrid::y_range(double ylo,
+                                                     double yhi) const {
+  const double lo = (ylo - region_.ylo()) / bin_h_;
+  const double hi = (yhi - region_.ylo()) / bin_h_;
+  const long a = std::clamp<long>(static_cast<long>(std::floor(lo)), 0,
+                                  static_cast<long>(ny_) - 1);
+  const long b = std::clamp<long>(static_cast<long>(std::ceil(hi)) - 1, 0,
+                                  static_cast<long>(ny_) - 1);
+  return {static_cast<std::size_t>(a),
+          static_cast<std::size_t>(std::max(a, b))};
+}
+
+void BinGrid::splat(const geom::Rect& rect, double amount,
+                    numeric::Matrix& into) const {
+  APLACE_DCHECK(into.rows() == ny_ && into.cols() == nx_);
+  if (rect.area() <= 0) return;
+  const auto [cx0, cx1] = x_range(rect.xlo(), rect.xhi());
+  const auto [cy0, cy1] = y_range(rect.ylo(), rect.yhi());
+  const double per_area = amount / rect.area();
+  for (std::size_t r = cy0; r <= cy1; ++r) {
+    for (std::size_t c = cx0; c <= cx1; ++c) {
+      const double ov = bin_rect(r, c).overlap_area(rect);
+      if (ov > 0) into(r, c) += per_area * ov;
+    }
+  }
+}
+
+}  // namespace aplace::density

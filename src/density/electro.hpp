@@ -1,0 +1,67 @@
+#pragma once
+// Electrostatics-based density system (ePlace, Lu et al. TCAD'15).
+//
+// Devices are positive charges with magnitude = footprint area. The charge
+// density rho on a bin grid drives a Poisson solve with Neumann boundary
+// conditions via 2D DCT (numeric/spectral):
+//
+//   a_{u,v}   = DCT2(rho)
+//   psi_{x,y} = sum a_{u,v} / (w_u^2 + w_v^2) cos(w_u x) cos(w_v y)
+//   E_x       = sum a_{u,v} w_u / (w_u^2 + w_v^2) sin(..) cos(..)
+//
+// with w_u = pi*u/M in bin units ((u,v) = (0,0) excluded, which implicitly
+// removes the mean charge as Neumann solvability requires). The potential
+// energy N(v) = 1/2 sum_i q_i psi(x_i) is the smoothed overlap term of the
+// placement objective; its gradient w.r.t. a device center is -q_i * E
+// averaged over the device footprint.
+
+#include <span>
+
+#include "density/bin_grid.hpp"
+#include "netlist/circuit.hpp"
+#include "numeric/spectral.hpp"
+
+namespace aplace::density {
+
+class ElectroDensity {
+ public:
+  ElectroDensity(const netlist::Circuit& circuit, const geom::Rect& region,
+                 std::size_t nx, std::size_t ny, double target_density);
+
+  [[nodiscard]] const BinGrid& grid() const { return grid_; }
+  [[nodiscard]] double target_density() const { return target_; }
+
+  /// Evaluate the potential energy N at v = (x.., y..) and *add*
+  /// scale * dN/dv into grad. Also refreshes overflow().
+  double value_and_grad(std::span<const double> v, std::span<double> grad,
+                        double scale);
+
+  /// Density overflow after the last evaluation: sum over bins of
+  /// max(0, occupancy - target*binArea) normalized by total device area.
+  /// The classic ePlace stopping metric.
+  [[nodiscard]] double overflow() const { return overflow_; }
+
+  /// Last computed per-bin charge density (for tests / inspection).
+  [[nodiscard]] const numeric::Matrix& rho() const { return rho_; }
+  [[nodiscard]] const numeric::Matrix& potential() const { return psi_; }
+  [[nodiscard]] const numeric::Matrix& field_x() const { return ex_; }
+  [[nodiscard]] const numeric::Matrix& field_y() const { return ey_; }
+
+ private:
+  struct DeviceInfo {
+    double w, h;        // effective (possibly inflated) footprint
+    double charge;      // true area
+    double real_w, real_h;
+  };
+
+  const netlist::Circuit* circuit_;
+  BinGrid grid_;
+  double target_;
+  numeric::spectral::Basis basis_x_, basis_y_;
+  std::vector<DeviceInfo> devices_;
+
+  numeric::Matrix rho_, psi_, ex_, ey_;
+  double overflow_ = 1.0;
+};
+
+}  // namespace aplace::density

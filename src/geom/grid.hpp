@@ -1,0 +1,54 @@
+#pragma once
+// Integer placement grid helpers.
+//
+// The layout system is built on discrete grids (paper Sec. IV-B): the ILP
+// detailed placer requires integer device coordinates and integer net
+// bounding boxes. The grid pitch maps a continuous micron coordinate onto
+// that lattice.
+
+#include <cmath>
+
+#include "base/check.hpp"
+#include "geom/point.hpp"
+
+namespace aplace::geom {
+
+class Grid {
+ public:
+  explicit Grid(double pitch = 1.0) : pitch_(pitch) {
+    APLACE_CHECK_MSG(pitch > 0.0, "grid pitch must be positive");
+  }
+
+  [[nodiscard]] double pitch() const { return pitch_; }
+
+  /// Nearest grid line.
+  [[nodiscard]] double snap(double v) const {
+    return std::round(v / pitch_) * pitch_;
+  }
+  [[nodiscard]] Point snap(const Point& p) const {
+    return {snap(p.x), snap(p.y)};
+  }
+  /// Snap up / down.
+  [[nodiscard]] double snap_up(double v) const {
+    return std::ceil(v / pitch_ - 1e-9) * pitch_;
+  }
+  [[nodiscard]] double snap_down(double v) const {
+    return std::floor(v / pitch_ + 1e-9) * pitch_;
+  }
+
+  [[nodiscard]] long to_index(double v) const {
+    return static_cast<long>(std::lround(v / pitch_));
+  }
+  [[nodiscard]] double from_index(long i) const {
+    return static_cast<double>(i) * pitch_;
+  }
+
+  [[nodiscard]] bool on_grid(double v, double tol = 1e-6) const {
+    return std::abs(v - snap(v)) <= tol;
+  }
+
+ private:
+  double pitch_;
+};
+
+}  // namespace aplace::geom

@@ -1,0 +1,37 @@
+#pragma once
+// Device orientation = independent horizontal/vertical mirroring.
+//
+// The ILP detailed placer (paper Eq. 4d) models flipping with binary
+// variables f_x, f_y; the SA placer toggles the same flags as moves. Pin
+// offsets are stored from the device's lower-left corner in the unflipped
+// orientation and transformed on demand.
+
+#include <cstdint>
+#include <ostream>
+
+#include "geom/point.hpp"
+
+namespace aplace::geom {
+
+struct Orientation {
+  bool flip_x = false;  ///< mirrored about the device's vertical center line
+  bool flip_y = false;  ///< mirrored about the device's horizontal center line
+
+  friend constexpr bool operator==(const Orientation&,
+                                   const Orientation&) = default;
+};
+
+/// Transform a pin offset (from the lower-left corner of an unflipped device
+/// of size w x h) into the offset under the given orientation.
+[[nodiscard]] constexpr Point apply_orientation(const Point& pin_offset,
+                                                double w, double h,
+                                                Orientation o) {
+  return {o.flip_x ? (w - pin_offset.x) : pin_offset.x,
+          o.flip_y ? (h - pin_offset.y) : pin_offset.y};
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Orientation& o) {
+  return os << (o.flip_x ? "FX" : "--") << (o.flip_y ? "FY" : "--");
+}
+
+}  // namespace aplace::geom

@@ -1,0 +1,222 @@
+#include "gnn/model.hpp"
+
+#include <cmath>
+
+namespace aplace::gnn {
+namespace {
+
+using numeric::Matrix;
+
+Matrix add_bias_rows(Matrix m, const std::vector<double>& b) {
+  APLACE_DCHECK(m.cols() == b.size());
+  for (std::size_t i = 0; i < m.rows(); ++i)
+    for (std::size_t j = 0; j < m.cols(); ++j) m(i, j) += b[j];
+  return m;
+}
+
+Matrix relu(Matrix m) {
+  for (double& v : m.data()) v = std::max(v, 0.0);
+  return m;
+}
+
+// dA = dH ∘ relu'(A)
+Matrix relu_backward(const Matrix& pre, Matrix dh) {
+  APLACE_DCHECK(pre.rows() == dh.rows() && pre.cols() == dh.cols());
+  for (std::size_t i = 0; i < pre.rows(); ++i)
+    for (std::size_t j = 0; j < pre.cols(); ++j)
+      if (pre(i, j) <= 0) dh(i, j) = 0;
+  return dh;
+}
+
+}  // namespace
+
+GnnModel::GnnModel(GnnConfig config)
+    : cfg_(config),
+      w1_(cfg_.input_dim, cfg_.hidden_dim),
+      w2_(cfg_.hidden_dim, cfg_.hidden_dim),
+      w3_(cfg_.hidden_dim, cfg_.mlp_dim),
+      b1_(cfg_.hidden_dim, 0.0),
+      b2_(cfg_.hidden_dim, 0.0),
+      b3_(cfg_.mlp_dim, 0.0),
+      w4_(cfg_.mlp_dim, 0.0) {}
+
+void GnnModel::initialize(numeric::Rng& rng) {
+  auto xavier = [&](Matrix& w) {
+    const double s =
+        std::sqrt(2.0 / static_cast<double>(w.rows() + w.cols()));
+    for (double& v : w.data()) v = rng.normal(0.0, s);
+  };
+  xavier(w1_);
+  xavier(w2_);
+  xavier(w3_);
+  const double s4 = std::sqrt(2.0 / static_cast<double>(cfg_.mlp_dim + 1));
+  for (double& v : w4_) v = rng.normal(0.0, s4);
+  std::fill(b1_.begin(), b1_.end(), 0.0);
+  std::fill(b2_.begin(), b2_.end(), 0.0);
+  std::fill(b3_.begin(), b3_.end(), 0.0);
+  b4_ = 0;
+}
+
+std::size_t GnnModel::num_parameters() const {
+  return w1_.size() + w2_.size() + w3_.size() + b1_.size() + b2_.size() +
+         b3_.size() + w4_.size() + 1;
+}
+
+std::vector<double> GnnModel::parameters() const {
+  std::vector<double> p;
+  p.reserve(num_parameters());
+  auto push_m = [&](const Matrix& m) {
+    p.insert(p.end(), m.data().begin(), m.data().end());
+  };
+  auto push_v = [&](const std::vector<double>& v) {
+    p.insert(p.end(), v.begin(), v.end());
+  };
+  push_m(w1_);
+  push_v(b1_);
+  push_m(w2_);
+  push_v(b2_);
+  push_m(w3_);
+  push_v(b3_);
+  push_v(w4_);
+  p.push_back(b4_);
+  return p;
+}
+
+void GnnModel::set_parameters(std::span<const double> p) {
+  APLACE_CHECK(p.size() == num_parameters());
+  std::size_t k = 0;
+  auto pull_m = [&](Matrix& m) {
+    for (double& v : m.data()) v = p[k++];
+  };
+  auto pull_v = [&](std::vector<double>& v) {
+    for (double& x : v) x = p[k++];
+  };
+  pull_m(w1_);
+  pull_v(b1_);
+  pull_m(w2_);
+  pull_v(b2_);
+  pull_m(w3_);
+  pull_v(b3_);
+  pull_v(w4_);
+  b4_ = p[k++];
+}
+
+double GnnModel::forward(const Matrix& adj, const Matrix& x,
+                         Activations& act) const {
+  APLACE_CHECK(x.cols() == cfg_.input_dim);
+  APLACE_CHECK(adj.rows() == x.rows() && adj.cols() == x.rows());
+  act.x = x;
+  act.ax = Matrix::multiply(adj, x);
+  act.a1 = add_bias_rows(Matrix::multiply(act.ax, w1_), b1_);
+  act.h1 = relu(act.a1);
+  act.ah1 = Matrix::multiply(adj, act.h1);
+  act.a2 = add_bias_rows(Matrix::multiply(act.ah1, w2_), b2_);
+  act.h2 = relu(act.a2);
+
+  const std::size_t n = x.rows();
+  act.g.assign(cfg_.hidden_dim, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < cfg_.hidden_dim; ++j)
+      act.g[j] += act.h2(i, j) / static_cast<double>(n);
+
+  act.a3.assign(cfg_.mlp_dim, 0.0);
+  for (std::size_t j = 0; j < cfg_.mlp_dim; ++j) {
+    double s = b3_[j];
+    for (std::size_t k = 0; k < cfg_.hidden_dim; ++k)
+      s += act.g[k] * w3_(k, j);
+    act.a3[j] = s;
+  }
+  act.u = act.a3;
+  for (double& v : act.u) v = std::max(v, 0.0);
+
+  double logit = b4_;
+  for (std::size_t j = 0; j < cfg_.mlp_dim; ++j) logit += act.u[j] * w4_[j];
+  act.logit = logit;
+  act.phi = 1.0 / (1.0 + std::exp(-logit));
+  return act.phi;
+}
+
+void GnnModel::backward(const Matrix& adj, const Activations& act,
+                        double dlogit, std::span<double> param_grad,
+                        Matrix* x_grad) const {
+  APLACE_CHECK(param_grad.size() == num_parameters());
+  const std::size_t n = act.x.rows();
+
+  // Parameter gradient layout mirrors parameters().
+  std::size_t off_w1 = 0;
+  std::size_t off_b1 = off_w1 + w1_.size();
+  std::size_t off_w2 = off_b1 + b1_.size();
+  std::size_t off_b2 = off_w2 + w2_.size();
+  std::size_t off_w3 = off_b2 + b2_.size();
+  std::size_t off_b3 = off_w3 + w3_.size();
+  std::size_t off_w4 = off_b3 + b3_.size();
+  std::size_t off_b4 = off_w4 + w4_.size();
+
+  // Head.
+  std::vector<double> du(cfg_.mlp_dim);
+  for (std::size_t j = 0; j < cfg_.mlp_dim; ++j) {
+    param_grad[off_w4 + j] += dlogit * act.u[j];
+    du[j] = dlogit * w4_[j];
+  }
+  param_grad[off_b4] += dlogit;
+
+  std::vector<double> da3(cfg_.mlp_dim);
+  for (std::size_t j = 0; j < cfg_.mlp_dim; ++j)
+    da3[j] = act.a3[j] > 0 ? du[j] : 0.0;
+
+  std::vector<double> dg(cfg_.hidden_dim, 0.0);
+  for (std::size_t k = 0; k < cfg_.hidden_dim; ++k) {
+    for (std::size_t j = 0; j < cfg_.mlp_dim; ++j) {
+      param_grad[off_w3 + k * cfg_.mlp_dim + j] += act.g[k] * da3[j];
+      dg[k] += w3_(k, j) * da3[j];
+    }
+  }
+  for (std::size_t j = 0; j < cfg_.mlp_dim; ++j)
+    param_grad[off_b3 + j] += da3[j];
+
+  // Mean pool: every row of dH2 = dg / n.
+  Matrix dh2(n, cfg_.hidden_dim);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < cfg_.hidden_dim; ++j)
+      dh2(i, j) = dg[j] / static_cast<double>(n);
+
+  const Matrix da2 = relu_backward(act.a2, std::move(dh2));
+  // dW2 = (A~ H1)^T dA2 ; db2 = colsum dA2 ; dH1 = A~^T dA2 W2^T
+  {
+    const Matrix ah1_t = act.ah1.transposed();
+    const Matrix dw2 = Matrix::multiply(ah1_t, da2);
+    for (std::size_t k = 0; k < dw2.size(); ++k)
+      param_grad[off_w2 + k] += dw2.data()[k];
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < cfg_.hidden_dim; ++j)
+        param_grad[off_b2 + j] += da2(i, j);
+  }
+  const Matrix adj_t = adj.transposed();
+  const Matrix dh1 =
+      Matrix::multiply(Matrix::multiply(adj_t, da2), w2_.transposed());
+  const Matrix da1 = relu_backward(act.a1, dh1);
+  {
+    const Matrix ax_t = act.ax.transposed();
+    const Matrix dw1 = Matrix::multiply(ax_t, da1);
+    for (std::size_t k = 0; k < dw1.size(); ++k)
+      param_grad[off_w1 + k] += dw1.data()[k];
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < cfg_.hidden_dim; ++j)
+        param_grad[off_b1 + j] += da1(i, j);
+  }
+  if (x_grad != nullptr) {
+    *x_grad =
+        Matrix::multiply(Matrix::multiply(adj_t, da1), w1_.transposed());
+  }
+}
+
+double GnnModel::phi_and_input_grad(const Matrix& adj, const Matrix& x,
+                                    Matrix& x_grad) const {
+  Activations act;
+  const double phi = forward(adj, x, act);
+  std::vector<double> dummy(num_parameters(), 0.0);
+  backward(adj, act, phi * (1.0 - phi), dummy, &x_grad);
+  return phi;
+}
+
+}  // namespace aplace::gnn

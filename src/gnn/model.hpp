@@ -1,0 +1,77 @@
+#pragma once
+// Two-layer GCN + pooled MLP head with a sigmoid output: the probability
+// Phi that circuit performance is unsatisfactory (paper Sec. V-A).
+//
+//   H1 = ReLU(A~ X  W1 + b1)
+//   H2 = ReLU(A~ H1 W2 + b2)
+//   g  = mean_rows(H2)
+//   u  = ReLU(g W3 + b3)
+//   Phi = sigmoid(u . w4 + b4)
+//
+// Everything is hand-differentiated; backward() produces both the weight
+// gradients (for training) and d Phi / d X (for the analytical placer, which
+// descends through the model to device coordinates — the key mechanism of
+// ePlace-AP).
+
+#include <span>
+#include <vector>
+
+#include "numeric/matrix.hpp"
+#include "numeric/rng.hpp"
+
+namespace aplace::gnn {
+
+struct GnnConfig {
+  std::size_t input_dim = 16;
+  std::size_t hidden_dim = 24;
+  std::size_t mlp_dim = 8;
+};
+
+class GnnModel {
+ public:
+  explicit GnnModel(GnnConfig config = {});
+
+  [[nodiscard]] const GnnConfig& config() const { return cfg_; }
+
+  /// Xavier-style random init.
+  void initialize(numeric::Rng& rng);
+
+  // ---- parameter vector (for Adam) ----------------------------------------
+  [[nodiscard]] std::size_t num_parameters() const;
+  [[nodiscard]] std::vector<double> parameters() const;
+  void set_parameters(std::span<const double> p);
+
+  // ---- forward / backward ---------------------------------------------------
+  struct Activations {
+    numeric::Matrix x, ax, a1, h1, ah1, a2, h2;  // layer intermediates
+    std::vector<double> g, a3, u;
+    double logit = 0, phi = 0;
+  };
+
+  /// Forward pass; `adj` is the row-normalized adjacency, `x` the feature
+  /// matrix. Returns Phi in (0, 1); fills `act` for use by backward().
+  double forward(const numeric::Matrix& adj, const numeric::Matrix& x,
+                 Activations& act) const;
+
+  /// Backward pass from d(loss)/d(logit). Accumulates weight gradients into
+  /// `param_grad` (size num_parameters(), caller zero-initializes) and, when
+  /// `x_grad` is non-null, writes d(loss)/dX into it.
+  void backward(const numeric::Matrix& adj, const Activations& act,
+                double dlogit, std::span<double> param_grad,
+                numeric::Matrix* x_grad) const;
+
+  /// Convenience: Phi and d(Phi)/dX in one call (dlogit = phi * (1 - phi)).
+  double phi_and_input_grad(const numeric::Matrix& adj,
+                            const numeric::Matrix& x,
+                            numeric::Matrix& x_grad) const;
+
+ private:
+  GnnConfig cfg_;
+  numeric::Matrix w1_, w2_, w3_;
+  std::vector<double> b1_, b2_, b3_, w4_;
+  double b4_ = 0;
+
+  friend class ParamIo;
+};
+
+}  // namespace aplace::gnn

@@ -1,0 +1,48 @@
+#pragma once
+// GNN training on placement samples labeled by the surrogate performance
+// model (label 1 = unsatisfactory FOM, as in the paper: "Each sample has
+// label 0 (1) for satisfactory (unsatisfactory) circuit performance";
+// cross-entropy loss, Adam).
+
+#include <vector>
+
+#include "gnn/graph.hpp"
+#include "gnn/model.hpp"
+#include "numeric/adam.hpp"
+
+namespace aplace::gnn {
+
+struct Sample {
+  std::vector<double> positions;  ///< v = (x.., y..)
+  double label = 0;               ///< 1 = unsatisfactory
+};
+
+struct TrainOptions {
+  int epochs = 120;
+  double lr = 5e-3;
+  double weight_decay = 1e-5;
+  std::uint64_t seed = 7;
+  double validation_fraction = 0.2;
+};
+
+struct TrainReport {
+  double final_loss = 0;
+  double train_accuracy = 0;
+  double validation_accuracy = 0;
+  int epochs_run = 0;
+};
+
+class Trainer {
+ public:
+  Trainer(const CircuitGraph& graph, GnnModel& model, TrainOptions opts = {});
+
+  /// Full-batch training; returns the final report.
+  TrainReport train(const std::vector<Sample>& samples);
+
+ private:
+  const CircuitGraph* graph_;
+  GnnModel* model_;
+  TrainOptions opts_;
+};
+
+}  // namespace aplace::gnn

@@ -1,0 +1,250 @@
+#include "gp/eplace_gp.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "netlist/placement.hpp"
+#include "numeric/rng.hpp"
+
+namespace aplace::gp {
+namespace {
+
+geom::Rect make_region(const netlist::Circuit& c, double utilization) {
+  const double side = std::sqrt(c.total_device_area() / utilization);
+  return {0, 0, side, side};
+}
+
+// Mean absolute value over a vector (gradient magnitude proxy).
+double mean_abs(const numeric::Vec& g) {
+  double s = 0;
+  for (double x : g) s += std::abs(x);
+  return s / static_cast<double>(std::max<std::size_t>(g.size(), 1));
+}
+
+}  // namespace
+
+EPlaceGlobalPlacer::EPlaceGlobalPlacer(const netlist::Circuit& circuit,
+                                       EPlaceGpOptions opts)
+    : circuit_(&circuit),
+      opts_(opts),
+      region_(make_region(circuit, opts.utilization)),
+      wl_owner_(opts.smoothing == WlSmoothing::WeightedAverage
+                    ? std::unique_ptr<wirelength::SmoothWirelength>(
+                          std::make_unique<wirelength::WaWirelength>(circuit))
+                    : std::make_unique<wirelength::LseWirelength>(circuit)),
+      wl_(*wl_owner_),
+      area_(circuit),
+      dens_(circuit, region_, opts.bins, opts.bins, opts.target_density),
+      pen_(circuit) {}
+
+GpResult EPlaceGlobalPlacer::run() {
+  // Multi-start: Nesterov trajectories from clustered inits are sensitive
+  // to the initial jitter, so run a few deterministic seeds and keep the
+  // best hand-off state. Each start is a few hundred cheap iterations; the
+  // total stays far below the SA baseline's budget.
+  GpResult best;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (int k = 0; k < opts_.num_starts; ++k) {
+    GpResult r = run_single(opts_.seed + 8ULL * static_cast<std::uint64_t>(k));
+    const std::size_t n = circuit_->num_devices();
+    netlist::Placement pl(*circuit_);
+    for (std::size_t i = 0; i < n; ++i) {
+      pl.set_position(DeviceId{i}, {r.positions[i], r.positions[n + i]});
+    }
+    // Score the hand-off: wirelength + area + residual-overlap penalty (a
+    // proxy for how much the ILP will have to distort it). When an extra
+    // (GNN) term is installed, prefer hand-offs the model likes too.
+    double score = pl.total_hpwl() + std::sqrt(pl.layout_area()) +
+                   4.0 * pl.total_overlap_area();
+    if (extra_) {
+      numeric::Vec tmp(2 * n, 0.0);
+      const double phi = extra_(r.positions, tmp);
+      score *= 1.0 + phi;
+    }
+    if (score < best_score) {
+      best_score = score;
+      best = std::move(r);
+    }
+  }
+  return best;
+}
+
+GpResult EPlaceGlobalPlacer::run_single(std::uint64_t seed) {
+  const std::size_t n = circuit_->num_devices();
+  numeric::Vec v(2 * n);
+
+  // Initial spread: golden-angle spiral around the region center (compact,
+  // deterministic, no two devices exactly coincident).
+  numeric::Rng rng(seed);
+  const geom::Point c = region_.center();
+  // Tight initial cluster: density overflow starts high (ePlace-like) so
+  // the solver actually spreads + optimizes instead of stopping at once.
+  const double r0 = 0.02 * region_.width();
+  const double golden = std::numbers::pi * (3.0 - std::sqrt(5.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    const double r = r0 * std::sqrt(static_cast<double>(i) + 0.5);
+    const double th = golden * static_cast<double>(i) + rng.uniform(0, 0.05);
+    v[i] = c.x + r * std::cos(th);
+    v[n + i] = c.y + r * std::sin(th);
+  }
+
+  // --- calibrate weights from initial gradient magnitudes -------------------
+  const double bin_w = dens_.grid().bin_w();
+  double gamma = bin_w * 8.0;
+  wl_.set_gamma(gamma);
+  area_.set_gamma(gamma);
+
+  numeric::Vec g_wl(2 * n, 0.0), g_dens(2 * n, 0.0), g_sym(2 * n, 0.0),
+      g_area(2 * n, 0.0);
+  wl_.value_and_grad(v, g_wl);
+  dens_.value_and_grad(v, g_dens, 1.0);
+  pen_.symmetry(v, g_sym, 1.0);
+  area_.value_and_grad(v, g_area, 1.0);
+  const double mw = std::max(mean_abs(g_wl), 1e-12);
+  auto rel_weight = [&](double rel, const numeric::Vec& g) {
+    const double mg = mean_abs(g);
+    return mg > 1e-12 ? rel * mw / mg : rel;
+  };
+
+  double lambda = rel_weight(opts_.lambda_rel, g_dens);
+  double tau = rel_weight(opts_.tau_rel, g_sym);
+  const double eta =
+      opts_.eta_rel > 0 ? rel_weight(opts_.eta_rel, g_area) : 0.0;
+  // Alignment/ordering/boundary share the symmetry scale heuristic: their
+  // gradients are position-scale residuals like Sym's.
+  double align_w = tau * opts_.align_rel / std::max(opts_.tau_rel, 1e-12);
+  double order_w = tau * opts_.order_rel / std::max(opts_.tau_rel, 1e-12);
+  // Boundary hinge: strong enough to dominate the wirelength pull within a
+  // fraction of a bin of escaping the region.
+  const double bound_w = opts_.boundary_rel * mw / bin_w;
+  if (opts_.hard_symmetry) {
+    tau *= 50.0;
+    align_w *= 4.0;
+    order_w *= 4.0;
+    pen_.project_symmetry(v);
+  }
+
+  // Calibrate the extra (GNN) term against the wirelength gradient so its
+  // forces are comparable regardless of model scale.
+  double extra_scale = 1.0;
+  if (extra_) {
+    numeric::Vec g_extra(2 * n, 0.0);
+    extra_(v, g_extra);
+    extra_scale = rel_weight(opts_.extra_rel, g_extra);
+  }
+
+  // --- assemble the gradient oracle -----------------------------------------
+  numeric::Vec g_tmp(2 * n);
+  auto gradient = [&](std::span<const double> vv, std::span<double> grad) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    wl_.value_and_grad(vv, grad);
+    dens_.value_and_grad(vv, grad, lambda);
+    pen_.symmetry(vv, grad, tau);
+    pen_.common_centroid(vv, grad, tau);
+    if (eta > 0) area_.value_and_grad(vv, grad, eta);
+    pen_.alignment(vv, grad, align_w);
+    pen_.ordering(vv, grad, order_w);
+    pen_.boundary(vv, grad, bound_w, region_);
+    if (extra_) {
+      std::fill(g_tmp.begin(), g_tmp.end(), 0.0);
+      extra_(vv, g_tmp);
+      numeric::axpy(extra_scale, g_tmp, grad);
+    }
+  };
+
+  GpResult result;
+  numeric::NesterovOptions nopts;
+  nopts.max_iters = opts_.max_iters;
+  nopts.initial_step = 0.1 * bin_w;
+  numeric::NesterovSolver solver(nopts);
+
+  double last_hpwl = wl_.exact_hpwl(v);
+  // Track the best iterate seen: Nesterov is not a descent method, and the
+  // density force keeps spreading devices after the wirelength-optimal
+  // configuration has been passed. Any iterate with acceptable overflow is
+  // a valid hand-off to the ILP detailed placer, so keep the best-scoring
+  // one (HPWL + area, the same mix the DP optimizes).
+  numeric::Vec best_v = v;
+  double best_score = std::numeric_limits<double>::infinity();
+  const double overflow_gate = std::max(0.35, opts_.stop_overflow);
+  result.iterations = solver.minimize(
+      v, gradient,
+      [&](const numeric::NesterovState& st, std::span<const double> vv) {
+        const double overflow = dens_.overflow();
+        if (overflow <= overflow_gate) {
+          const double area_now = area_.exact_area(vv);
+          const double score =
+              wl_.exact_hpwl(vv) + 0.5 * mw * std::sqrt(area_now);
+          if (score < best_score) {
+            best_score = score;
+            best_v.assign(vv.begin(), vv.end());
+          }
+        }
+        // Anneal smoothing with overflow; ramp penalty weights.
+        gamma = bin_w * (0.5 + 8.0 * std::clamp(overflow, 0.0, 1.0));
+        wl_.set_gamma(gamma);
+        area_.set_gamma(gamma);
+        // ePlace-style self-adaptive density weight: lambda grows while the
+        // wirelength is stable and *shrinks* when it deteriorates, keeping
+        // the two forces balanced throughout the run.
+        const double hpwl = wl_.exact_hpwl(vv);
+        const double rel = (hpwl - last_hpwl) / std::max(last_hpwl, 1e-9);
+        last_hpwl = hpwl;
+        const double exponent = std::clamp(1.0 - rel / 0.01, -3.0, 1.0);
+        lambda *= std::pow(opts_.lambda_growth, exponent);
+        if (!opts_.hard_symmetry) {
+          tau *= opts_.tau_growth;
+          align_w *= opts_.tau_growth;
+          order_w *= opts_.tau_growth;
+        }
+        // A minimum iteration count lets wirelength/area optimization act
+        // even when the initial state is accidentally overlap-free.
+        return st.iter < opts_.min_iters || overflow >= opts_.stop_overflow;
+      });
+
+  if (best_score < std::numeric_limits<double>::infinity()) v = best_v;
+
+  // --- phase 2: spreading ----------------------------------------------------
+  // Restart from the best wirelength-quality iterate and drive the overlap
+  // down with a monotone density ramp (classic ePlace schedule). The best
+  // low-overflow iterate becomes the hand-off to the detailed placer, whose
+  // pair directions are only reliable when residual overlap is small.
+  {
+    numeric::Vec g0(2 * n, 0.0);
+    dens_.value_and_grad(v, g0, 1.0);  // refresh overflow at the restart
+    double best2_score = std::numeric_limits<double>::infinity();
+    numeric::Vec best2_v = v;
+    const double gate2 = 0.16;
+    numeric::NesterovOptions n2 = nopts;
+    n2.max_iters = opts_.max_iters / 2;
+    const numeric::NesterovSolver spread(n2);
+    result.iterations += spread.minimize(
+        v, gradient,
+        [&](const numeric::NesterovState& st, std::span<const double> vv) {
+          const double overflow = dens_.overflow();
+          if (overflow <= gate2) {
+            const double score = wl_.exact_hpwl(vv) +
+                                 0.5 * mw * std::sqrt(area_.exact_area(vv));
+            if (score < best2_score) {
+              best2_score = score;
+              best2_v.assign(vv.begin(), vv.end());
+            }
+          }
+          gamma = bin_w * (0.5 + 8.0 * std::clamp(overflow, 0.0, 1.0));
+          wl_.set_gamma(gamma);
+          area_.set_gamma(gamma);
+          lambda *= opts_.lambda_growth;  // monotone ramp: legality first
+          return st.iter < 10 || overflow >= opts_.stop_overflow;
+        });
+    if (best2_score < std::numeric_limits<double>::infinity()) v = best2_v;
+  }
+
+  if (opts_.hard_symmetry) pen_.project_symmetry(v);
+  result.overflow = dens_.overflow();
+  result.hpwl = wl_.exact_hpwl(v);
+  result.positions = std::move(v);
+  return result;
+}
+
+}  // namespace aplace::gp

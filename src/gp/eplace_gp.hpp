@@ -1,0 +1,93 @@
+#pragma once
+// ePlace-A global placement (paper Sec. IV-A).
+//
+// Minimizes  W(v) + lambda*N(v) + tau*Sym(v) + eta*Area(v)  (+ alignment,
+// ordering and boundary penalties) with Nesterov's method, where W is the
+// WA-smoothed wirelength, N the electrostatic potential energy and Area the
+// smoothed bounding-box area WA_x * WA_y. Penalty weights are calibrated
+// from the initial gradient magnitudes and annealed: lambda and tau grow
+// multiplicatively, the smoothing gamma shrinks as density overflow falls.
+//
+// The performance-driven variant (ePlace-AP) plugs an extra gradient term —
+// alpha * dPhi/dv from the GNN — via set_extra_term().
+
+#include <functional>
+#include <memory>
+
+#include "density/electro.hpp"
+#include "gp/penalties.hpp"
+#include "netlist/circuit.hpp"
+#include "numeric/nesterov.hpp"
+#include "wirelength/area_term.hpp"
+#include "wirelength/smooth_wl.hpp"
+
+namespace aplace::gp {
+
+enum class WlSmoothing : std::uint8_t { WeightedAverage, LogSumExp };
+
+struct EPlaceGpOptions {
+  std::size_t bins = 32;          ///< density bins per side
+  double utilization = 0.55;      ///< region side = sqrt(total area / util)
+  double target_density = 0.85;   ///< bin capacity fraction
+  double stop_overflow = 0.18;    ///< stop when density overflow drops below
+                                  ///< (the ILP DP removes the residual)
+  int max_iters = 600;
+  int min_iters = 60;             ///< run at least this many iterations
+
+  double lambda_rel = 0.06;   ///< initial density weight (vs. WL gradient)
+  double lambda_growth = 1.05;
+  double tau_rel = 0.04;      ///< initial symmetry weight
+  double tau_growth = 1.04;
+  double eta_rel = 0.55;      ///< area-term weight; 0 disables (Fig. 2)
+  double align_rel = 0.08;
+  double order_rel = 0.08;
+  double boundary_rel = 2.0;
+  double extra_rel = 2.0;  ///< extra-term (GNN) weight vs. WL gradient
+
+  /// Table I variant: emulate hard symmetry by a rigid (50x, non-ramped)
+  /// symmetry weight plus per-callback projection onto the symmetric set.
+  bool hard_symmetry = false;
+
+  std::uint64_t seed = 3;  ///< initial-spread jitter
+  int num_starts = 3;      ///< multi-start trajectories (best kept)
+  /// Wirelength smoothing function. ePlace-A uses WA (paper Eq. 2); the
+  /// LSE option exists for the smoothing ablation bench.
+  WlSmoothing smoothing = WlSmoothing::WeightedAverage;
+};
+
+struct GpResult {
+  numeric::Vec positions;  ///< (x.., y..) device centers
+  int iterations = 0;
+  double overflow = 1.0;
+  double hpwl = 0.0;  ///< exact HPWL at the final iterate
+};
+
+class EPlaceGlobalPlacer {
+ public:
+  using ExtraTerm = std::function<double(std::span<const double> v,
+                                         std::span<double> grad)>;
+
+  EPlaceGlobalPlacer(const netlist::Circuit& circuit, EPlaceGpOptions opts);
+
+  /// Extra objective term (returns its value, accumulates its gradient).
+  void set_extra_term(ExtraTerm term) { extra_ = std::move(term); }
+
+  [[nodiscard]] const geom::Rect& region() const { return region_; }
+
+  [[nodiscard]] GpResult run();
+
+ private:
+  [[nodiscard]] GpResult run_single(std::uint64_t seed);
+
+  const netlist::Circuit* circuit_;
+  EPlaceGpOptions opts_;
+  geom::Rect region_;
+  std::unique_ptr<wirelength::SmoothWirelength> wl_owner_;
+  wirelength::SmoothWirelength& wl_;
+  wirelength::WaAreaTerm area_;
+  density::ElectroDensity dens_;
+  ConstraintPenalties pen_;
+  ExtraTerm extra_;
+};
+
+}  // namespace aplace::gp

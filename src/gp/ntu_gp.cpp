@@ -1,0 +1,119 @@
+#include "gp/ntu_gp.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "numeric/rng.hpp"
+
+namespace aplace::gp {
+namespace {
+
+double mean_abs(const numeric::Vec& g) {
+  double s = 0;
+  for (double x : g) s += std::abs(x);
+  return s / static_cast<double>(std::max<std::size_t>(g.size(), 1));
+}
+
+}  // namespace
+
+PriorAnalyticalGlobalPlacer::PriorAnalyticalGlobalPlacer(
+    const netlist::Circuit& circuit, NtuGpOptions opts)
+    : circuit_(&circuit),
+      opts_(opts),
+      region_([&] {
+        const double side =
+            std::sqrt(circuit.total_device_area() / opts.utilization);
+        return geom::Rect{0, 0, side, side};
+      }()),
+      wl_(circuit),
+      dens_(circuit, region_, opts.bins, opts.bins, opts.target_density),
+      pen_(circuit) {}
+
+GpResult PriorAnalyticalGlobalPlacer::run() {
+  const std::size_t n = circuit_->num_devices();
+  numeric::Vec v(2 * n);
+
+  numeric::Rng rng(opts_.seed);
+  const geom::Point c = region_.center();
+  const double r0 = 0.02 * region_.width();
+  const double golden = std::numbers::pi * (3.0 - std::sqrt(5.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    const double r = r0 * std::sqrt(static_cast<double>(i) + 0.5);
+    const double th = golden * static_cast<double>(i) + rng.uniform(0, 0.05);
+    v[i] = c.x + r * std::cos(th);
+    v[n + i] = c.y + r * std::sin(th);
+  }
+
+  const double bin_w = dens_.grid().bin_w();
+  double gamma = bin_w * 8.0;
+  wl_.set_gamma(gamma);
+
+  numeric::Vec g_wl(2 * n, 0.0), g_dens(2 * n, 0.0), g_sym(2 * n, 0.0);
+  wl_.value_and_grad(v, g_wl);
+  dens_.value_and_grad(v, g_dens, 1.0);
+  pen_.symmetry(v, g_sym, 1.0);
+  const double mw = std::max(mean_abs(g_wl), 1e-12);
+  auto rel_weight = [&](double rel, const numeric::Vec& g) {
+    const double mg = mean_abs(g);
+    return mg > 1e-12 ? rel * mw / mg : rel;
+  };
+  double beta = rel_weight(opts_.beta_rel, g_dens);
+  double tau = rel_weight(opts_.tau_rel, g_sym);
+  double align_w = tau * opts_.align_rel / std::max(opts_.tau_rel, 1e-12);
+  double order_w = tau * opts_.order_rel / std::max(opts_.tau_rel, 1e-12);
+  const double bound_w = 2.0 * mw / bin_w;
+
+  GpResult result;
+  numeric::CgOptions copts;
+  copts.max_iters = opts_.inner_iters;
+  copts.initial_step = 0.2 * bin_w;
+  const numeric::CgSolver cg(copts);
+
+  double extra_scale = 1.0;
+  if (extra_) {
+    numeric::Vec g_extra(2 * n, 0.0);
+    extra_(v, g_extra);
+    extra_scale = rel_weight(opts_.extra_rel, g_extra);
+  }
+
+  numeric::Vec g_tmp(2 * n);
+  auto objective = [&](std::span<const double> vv, std::span<double> grad) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    double f = wl_.value_and_grad(vv, grad);
+    f += beta * dens_.value_and_grad(vv, grad, beta);
+    f += tau * pen_.symmetry(vv, grad, tau);
+    f += tau * pen_.common_centroid(vv, grad, tau);
+    f += align_w * pen_.alignment(vv, grad, align_w);
+    f += order_w * pen_.ordering(vv, grad, order_w);
+    f += bound_w * pen_.boundary(vv, grad, bound_w, region_);
+    if (extra_) {
+      std::fill(g_tmp.begin(), g_tmp.end(), 0.0);
+      f += extra_scale * extra_(vv, g_tmp);
+      numeric::axpy(extra_scale, g_tmp, grad);
+    }
+    return f;
+  };
+
+  for (int outer = 0; outer < opts_.outer_iters; ++outer) {
+    result.iterations +=
+        cg.minimize(v, objective,
+                    [](const numeric::CgState&, std::span<const double>) {
+                      return true;
+                    });
+    const double overflow = dens_.overflow();
+    if (outer >= 1 && overflow < opts_.stop_overflow) break;
+    beta *= 2.0;  // NTUplace3-style outer ramp
+    tau *= 1.5;
+    align_w *= 1.5;
+    order_w *= 1.5;
+    gamma = bin_w * (0.5 + 8.0 * std::clamp(overflow, 0.0, 1.0));
+    wl_.set_gamma(gamma);
+  }
+
+  result.overflow = dens_.overflow();
+  result.hpwl = wl_.exact_hpwl(v);
+  result.positions = std::move(v);
+  return result;
+}
+
+}  // namespace aplace::gp

@@ -1,0 +1,65 @@
+#pragma once
+// Prior-work analytical global placement (Xu et al. ISPD'19 [11], built on
+// the NTUplace3 framework [10]).
+//
+// Differences from ePlace-A, deliberately preserved because they are the
+// paper's explanation for the quality gap (Sec. IV-C):
+//   (1) no explicit area term in the objective;
+//   (2) LSE wirelength smoothing instead of WA;
+//   (3) conjugate-gradient solver with a bell-shaped density penalty and an
+//       outer loop that doubles the density weight (NTUplace3 style) instead
+//       of the Nesterov + electrostatics machinery.
+
+#include <functional>
+
+#include "density/bell.hpp"
+#include "gp/eplace_gp.hpp"  // GpResult
+#include "gp/penalties.hpp"
+#include "netlist/circuit.hpp"
+#include "numeric/cg.hpp"
+#include "wirelength/smooth_wl.hpp"
+
+namespace aplace::gp {
+
+struct NtuGpOptions {
+  std::size_t bins = 32;
+  double utilization = 0.55;
+  double target_density = 0.85;
+  double stop_overflow = 0.07;
+  int outer_iters = 10;   ///< density-weight doublings
+  int inner_iters = 60;   ///< CG iterations per outer round
+  double beta_rel = 0.03; ///< initial density weight vs. WL gradient
+  double tau_rel = 0.04;  ///< symmetry weight
+  double align_rel = 0.08;
+  double order_rel = 0.08;
+  double extra_rel = 2.0;  ///< extra-term (GNN) weight vs. WL gradient
+  std::uint64_t seed = 3;
+};
+
+class PriorAnalyticalGlobalPlacer {
+ public:
+  using ExtraTerm = std::function<double(std::span<const double> v,
+                                         std::span<double> grad)>;
+
+  PriorAnalyticalGlobalPlacer(const netlist::Circuit& circuit,
+                              NtuGpOptions opts);
+
+  /// Used by the Perf* extension (paper Table V): adds alpha * Phi to the
+  /// objective via its value and gradient.
+  void set_extra_term(ExtraTerm term) { extra_ = std::move(term); }
+
+  [[nodiscard]] const geom::Rect& region() const { return region_; }
+
+  [[nodiscard]] GpResult run();
+
+ private:
+  const netlist::Circuit* circuit_;
+  NtuGpOptions opts_;
+  geom::Rect region_;
+  wirelength::LseWirelength wl_;
+  density::BellDensity dens_;
+  ConstraintPenalties pen_;
+  ExtraTerm extra_;
+};
+
+}  // namespace aplace::gp

@@ -1,0 +1,205 @@
+#include "gp/penalties.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aplace::gp {
+namespace {
+
+using netlist::Axis;
+
+// Index of the mirrored coordinate of device d in v: x block for a vertical
+// axis, y block for a horizontal one.
+std::size_t mir_idx(std::size_t d, Axis a, std::size_t n) {
+  return a == Axis::Vertical ? d : n + d;
+}
+std::size_t ort_idx(std::size_t d, Axis a, std::size_t n) {
+  return a == Axis::Vertical ? n + d : d;
+}
+
+// Least-squares-optimal axis position for a group at the current v:
+// minimizes sum_p (v_a + v_b - 2m)^2 + sum_s (v_d - m)^2. At this m the
+// derivative w.r.t. m vanishes, so the penalty gradient may treat the axis
+// as a constant (envelope theorem). Note pairs carry weight 4 (the 2m) and
+// selfs weight 1 — a plain mean of midpoints would NOT be the minimizer.
+double optimal_axis(std::span<const double> v,
+                    const netlist::SymmetryGroup& g, std::size_t n) {
+  double num = 0, den = 0;
+  for (auto [a, b] : g.pairs) {
+    num += 2.0 * (v[mir_idx(a.index(), g.axis, n)] +
+                  v[mir_idx(b.index(), g.axis, n)]);
+    den += 4.0;
+  }
+  for (DeviceId d : g.self_symmetric) {
+    num += v[mir_idx(d.index(), g.axis, n)];
+    den += 1.0;
+  }
+  return num / den;
+}
+
+}  // namespace
+
+ConstraintPenalties::ConstraintPenalties(const netlist::Circuit& circuit)
+    : circuit_(&circuit), n_(circuit.num_devices()) {
+  APLACE_CHECK(circuit.finalized());
+}
+
+double ConstraintPenalties::symmetry(std::span<const double> v,
+                                     std::span<double> grad,
+                                     double scale) const {
+  double total = 0;
+  for (const netlist::SymmetryGroup& g :
+       circuit_->constraints().symmetry_groups) {
+    const double m = optimal_axis(v, g, n_);
+    for (auto [a, b] : g.pairs) {
+      const std::size_t ma = mir_idx(a.index(), g.axis, n_);
+      const std::size_t mb = mir_idx(b.index(), g.axis, n_);
+      const std::size_t oa = ort_idx(a.index(), g.axis, n_);
+      const std::size_t ob = ort_idx(b.index(), g.axis, n_);
+      const double e_orth = v[oa] - v[ob];
+      const double e_mir = v[ma] + v[mb] - 2.0 * m;
+      total += e_orth * e_orth + e_mir * e_mir;
+      grad[oa] += scale * 2.0 * e_orth;
+      grad[ob] -= scale * 2.0 * e_orth;
+      grad[ma] += scale * 2.0 * e_mir;
+      grad[mb] += scale * 2.0 * e_mir;
+    }
+    for (DeviceId d : g.self_symmetric) {
+      const std::size_t md = mir_idx(d.index(), g.axis, n_);
+      const double e = v[md] - m;
+      total += e * e;
+      grad[md] += scale * 2.0 * e;
+    }
+  }
+  return total;
+}
+
+double ConstraintPenalties::alignment(std::span<const double> v,
+                                      std::span<double> grad,
+                                      double scale) const {
+  double total = 0;
+  for (const netlist::AlignmentPair& p : circuit_->constraints().alignments) {
+    const netlist::Device& da = circuit_->device(p.a);
+    const netlist::Device& db = circuit_->device(p.b);
+    double e = 0;
+    std::size_t ia = 0, ib = 0;
+    switch (p.kind) {
+      case netlist::AlignmentKind::Bottom:
+        ia = n_ + p.a.index();
+        ib = n_ + p.b.index();
+        e = (v[ia] - da.height / 2) - (v[ib] - db.height / 2);
+        break;
+      case netlist::AlignmentKind::VerticalCenter:
+        ia = p.a.index();
+        ib = p.b.index();
+        e = v[ia] - v[ib];
+        break;
+      case netlist::AlignmentKind::HorizontalCenter:
+        ia = n_ + p.a.index();
+        ib = n_ + p.b.index();
+        e = v[ia] - v[ib];
+        break;
+    }
+    total += e * e;
+    grad[ia] += scale * 2.0 * e;
+    grad[ib] -= scale * 2.0 * e;
+  }
+  return total;
+}
+
+double ConstraintPenalties::ordering(std::span<const double> v,
+                                     std::span<double> grad,
+                                     double scale) const {
+  double total = 0;
+  for (const netlist::OrderingConstraint& c :
+       circuit_->constraints().orderings) {
+    const bool horiz = c.direction == netlist::OrderDirection::LeftToRight;
+    for (std::size_t k = 0; k + 1 < c.devices.size(); ++k) {
+      const DeviceId a = c.devices[k];
+      const DeviceId b = c.devices[k + 1];
+      const double ext_a = horiz ? circuit_->device(a).width
+                                 : circuit_->device(a).height;
+      const double ext_b = horiz ? circuit_->device(b).width
+                                 : circuit_->device(b).height;
+      const std::size_t ia = horiz ? a.index() : n_ + a.index();
+      const std::size_t ib = horiz ? b.index() : n_ + b.index();
+      // Require v[ib] - v[ia] >= (ext_a + ext_b) / 2; hinge^2 otherwise.
+      const double gap = v[ib] - v[ia] - (ext_a + ext_b) / 2;
+      if (gap < 0) {
+        total += gap * gap;
+        grad[ib] += scale * 2.0 * gap;
+        grad[ia] -= scale * 2.0 * gap;
+      }
+    }
+  }
+  return total;
+}
+
+double ConstraintPenalties::common_centroid(std::span<const double> v,
+                                             std::span<double> grad,
+                                             double scale) const {
+  double total = 0;
+  for (const netlist::CommonCentroidQuad& q :
+       circuit_->constraints().common_centroids) {
+    for (std::size_t dim = 0; dim < 2; ++dim) {
+      const std::size_t off = dim * n_;
+      const double e = v[off + q.a1.index()] + v[off + q.a2.index()] -
+                       v[off + q.b1.index()] - v[off + q.b2.index()];
+      total += e * e;
+      grad[off + q.a1.index()] += scale * 2.0 * e;
+      grad[off + q.a2.index()] += scale * 2.0 * e;
+      grad[off + q.b1.index()] -= scale * 2.0 * e;
+      grad[off + q.b2.index()] -= scale * 2.0 * e;
+    }
+  }
+  return total;
+}
+
+double ConstraintPenalties::boundary(std::span<const double> v,
+                                     std::span<double> grad, double scale,
+                                     const geom::Rect& region) const {
+  double total = 0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    const netlist::Device& d = circuit_->device(DeviceId{i});
+    const double xlo = region.xlo() + d.width / 2;
+    const double xhi = region.xhi() - d.width / 2;
+    const double ylo = region.ylo() + d.height / 2;
+    const double yhi = region.yhi() - d.height / 2;
+    auto hinge = [&](std::size_t idx, double lo, double hi) {
+      double e = 0;
+      if (v[idx] < lo) e = v[idx] - lo;
+      else if (v[idx] > hi) e = v[idx] - hi;
+      if (e != 0) {
+        total += e * e;
+        grad[idx] += scale * 2.0 * e;
+      }
+    };
+    hinge(i, xlo, std::max(xlo, xhi));
+    hinge(n_ + i, ylo, std::max(ylo, yhi));
+  }
+  return total;
+}
+
+void ConstraintPenalties::project_symmetry(std::span<double> v) const {
+  for (const netlist::SymmetryGroup& g :
+       circuit_->constraints().symmetry_groups) {
+    const double m = optimal_axis(v, g, n_);
+    for (auto [a, b] : g.pairs) {
+      const std::size_t ma = mir_idx(a.index(), g.axis, n_);
+      const std::size_t mb = mir_idx(b.index(), g.axis, n_);
+      const std::size_t oa = ort_idx(a.index(), g.axis, n_);
+      const std::size_t ob = ort_idx(b.index(), g.axis, n_);
+      const double half = (v[ma] - v[mb]) / 2.0;
+      v[ma] = m + half;
+      v[mb] = m - half;
+      const double orth = (v[oa] + v[ob]) / 2.0;
+      v[oa] = orth;
+      v[ob] = orth;
+    }
+    for (DeviceId d : g.self_symmetric) {
+      v[mir_idx(d.index(), g.axis, n_)] = m;
+    }
+  }
+}
+
+}  // namespace aplace::gp

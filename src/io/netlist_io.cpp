@@ -1,0 +1,346 @@
+#include "io/netlist_io.hpp"
+
+#include <array>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace aplace::io {
+namespace {
+
+using netlist::AlignmentKind;
+using netlist::Axis;
+using netlist::DeviceType;
+using netlist::OrderDirection;
+
+const char* type_token(DeviceType t) { return netlist::to_string(t); }
+
+DeviceType type_from_token(const std::string& s) {
+  for (const DeviceType t :
+       {DeviceType::Nmos, DeviceType::Pmos, DeviceType::Capacitor,
+        DeviceType::Resistor, DeviceType::Inductor, DeviceType::Diode,
+        DeviceType::Module}) {
+    if (s == netlist::to_string(t)) return t;
+  }
+  APLACE_CHECK_MSG(false, "unknown device type '" << s << "'");
+  return DeviceType::Nmos;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  APLACE_CHECK_MSG(in.good(), "cannot open '" << path << "'");
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  APLACE_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
+  out << text;
+  APLACE_CHECK_MSG(out.good(), "write to '" << path << "' failed");
+}
+
+}  // namespace
+
+std::string circuit_to_text(const netlist::Circuit& c) {
+  std::ostringstream os;
+  os << "circuit " << c.name() << "\n";
+  for (const netlist::Device& d : c.devices()) {
+    os << "device " << d.name << ' ' << type_token(d.type) << ' ' << d.width
+       << ' ' << d.height << "\n";
+  }
+  for (const netlist::Pin& p : c.pins()) {
+    os << "pin " << c.device(p.device).name << ' ' << p.name << ' '
+       << p.offset.x << ' ' << p.offset.y << "\n";
+  }
+  for (const netlist::Net& net : c.nets()) {
+    os << "net " << net.name << ' ' << net.weight << ' '
+       << (net.critical ? 1 : 0);
+    for (PinId pid : net.pins) {
+      const netlist::Pin& p = c.pin(pid);
+      os << ' ' << c.device(p.device).name << '.' << p.name;
+    }
+    os << "\n";
+  }
+  for (const netlist::SymmetryGroup& g : c.constraints().symmetry_groups) {
+    os << "sym " << (g.axis == Axis::Vertical ? 'V' : 'H');
+    for (auto [a, b] : g.pairs) {
+      os << " pair " << c.device(a).name << ' ' << c.device(b).name;
+    }
+    for (DeviceId d : g.self_symmetric) os << " self " << c.device(d).name;
+    os << "\n";
+  }
+  for (const netlist::AlignmentPair& a : c.constraints().alignments) {
+    const char* kind = a.kind == AlignmentKind::Bottom ? "bottom"
+                       : a.kind == AlignmentKind::VerticalCenter ? "vcenter"
+                                                                 : "hcenter";
+    os << "align " << kind << ' ' << c.device(a.a).name << ' '
+       << c.device(a.b).name << "\n";
+  }
+  for (const netlist::OrderingConstraint& o : c.constraints().orderings) {
+    os << "order "
+       << (o.direction == OrderDirection::LeftToRight ? "lr" : "bt");
+    for (DeviceId d : o.devices) os << ' ' << c.device(d).name;
+    os << "\n";
+  }
+  for (const netlist::CommonCentroidQuad& q :
+       c.constraints().common_centroids) {
+    os << "centroid " << c.device(q.a1).name << ' ' << c.device(q.a2).name
+       << ' ' << c.device(q.b1).name << ' ' << c.device(q.b2).name << "\n";
+  }
+  return os.str();
+}
+
+netlist::Circuit circuit_from_text(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  netlist::Circuit c;
+  bool named = false;
+  // pin lookup: "device.pin" -> PinId
+  std::map<std::string, PinId> pin_by_name;
+  // nets must be added after all pins exist, so stage them.
+  struct PendingNet {
+    std::string name;
+    double weight;
+    bool critical;
+    std::vector<std::string> pins;
+  };
+  std::vector<PendingNet> nets;
+  struct PendingSym {
+    Axis axis;
+    std::vector<std::pair<std::string, std::string>> pairs;
+    std::vector<std::string> selfs;
+  };
+  std::vector<PendingSym> syms;
+  struct PendingAlign {
+    AlignmentKind kind;
+    std::string a, b;
+  };
+  std::vector<PendingAlign> aligns;
+  struct PendingOrder {
+    OrderDirection dir;
+    std::vector<std::string> devices;
+  };
+  std::vector<PendingOrder> orders;
+  std::vector<std::array<std::string, 4>> centroids;
+
+  long line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string tok;
+    if (!(ls >> tok)) continue;
+
+    if (tok == "circuit") {
+      std::string name;
+      APLACE_CHECK_MSG(ls >> name, "line " << line_no << ": circuit name");
+      c = netlist::Circuit(name);
+      named = true;
+    } else if (tok == "device") {
+      std::string name, type;
+      double w = 0, h = 0;
+      APLACE_CHECK_MSG(ls >> name >> type >> w >> h,
+                       "line " << line_no << ": device syntax");
+      c.add_device(name, type_from_token(type), w, h);
+    } else if (tok == "pin") {
+      std::string dev, pin;
+      double dx = 0, dy = 0;
+      APLACE_CHECK_MSG(ls >> dev >> pin >> dx >> dy,
+                       "line " << line_no << ": pin syntax");
+      const DeviceId id = c.find_device(dev);
+      APLACE_CHECK_MSG(id.valid(),
+                       "line " << line_no << ": unknown device '" << dev
+                               << "'");
+      pin_by_name[dev + "." + pin] = c.add_pin(id, pin, {dx, dy});
+    } else if (tok == "net") {
+      PendingNet pn;
+      APLACE_CHECK_MSG(ls >> pn.name >> pn.weight >> pn.critical,
+                       "line " << line_no << ": net syntax");
+      std::string ref;
+      while (ls >> ref) pn.pins.push_back(ref);
+      APLACE_CHECK_MSG(pn.pins.size() >= 2,
+                       "line " << line_no << ": net needs >= 2 pins");
+      nets.push_back(std::move(pn));
+    } else if (tok == "sym") {
+      PendingSym ps;
+      std::string axis;
+      APLACE_CHECK_MSG(ls >> axis, "line " << line_no << ": sym axis");
+      ps.axis = axis == "V" ? Axis::Vertical : Axis::Horizontal;
+      std::string kw;
+      while (ls >> kw) {
+        if (kw == "pair") {
+          std::string a, b;
+          APLACE_CHECK_MSG(ls >> a >> b, "line " << line_no << ": sym pair");
+          ps.pairs.emplace_back(a, b);
+        } else if (kw == "self") {
+          std::string d;
+          APLACE_CHECK_MSG(ls >> d, "line " << line_no << ": sym self");
+          ps.selfs.push_back(d);
+        } else {
+          APLACE_CHECK_MSG(false,
+                           "line " << line_no << ": unexpected '" << kw
+                                   << "'");
+        }
+      }
+      syms.push_back(std::move(ps));
+    } else if (tok == "align") {
+      PendingAlign pa;
+      std::string kind;
+      APLACE_CHECK_MSG(ls >> kind >> pa.a >> pa.b,
+                       "line " << line_no << ": align syntax");
+      pa.kind = kind == "bottom" ? AlignmentKind::Bottom
+                : kind == "vcenter" ? AlignmentKind::VerticalCenter
+                                    : AlignmentKind::HorizontalCenter;
+      aligns.push_back(std::move(pa));
+    } else if (tok == "centroid") {
+      std::array<std::string, 4> quad;
+      APLACE_CHECK_MSG(ls >> quad[0] >> quad[1] >> quad[2] >> quad[3],
+                       "line " << line_no << ": centroid syntax");
+      centroids.push_back(std::move(quad));
+    } else if (tok == "order") {
+      PendingOrder po;
+      std::string dir;
+      APLACE_CHECK_MSG(ls >> dir, "line " << line_no << ": order syntax");
+      po.dir = dir == "lr" ? OrderDirection::LeftToRight
+                           : OrderDirection::BottomToTop;
+      std::string d;
+      while (ls >> d) po.devices.push_back(d);
+      orders.push_back(std::move(po));
+    } else {
+      APLACE_CHECK_MSG(false, "line " << line_no << ": unknown directive '"
+                                      << tok << "'");
+    }
+  }
+  APLACE_CHECK_MSG(named, "missing 'circuit <name>' line");
+
+  auto dev = [&](const std::string& name) {
+    const DeviceId id = c.find_device(name);
+    APLACE_CHECK_MSG(id.valid(), "unknown device '" << name << "'");
+    return id;
+  };
+  for (const auto& pn : nets) {
+    std::vector<PinId> pins;
+    for (const std::string& ref : pn.pins) {
+      auto it = pin_by_name.find(ref);
+      APLACE_CHECK_MSG(it != pin_by_name.end(),
+                       "net '" << pn.name << "': unknown pin '" << ref
+                               << "'");
+      pins.push_back(it->second);
+    }
+    c.add_net(pn.name, std::move(pins), pn.weight, pn.critical);
+  }
+  for (const auto& ps : syms) {
+    netlist::SymmetryGroup g;
+    g.axis = ps.axis;
+    for (const auto& [a, b] : ps.pairs) g.pairs.emplace_back(dev(a), dev(b));
+    for (const std::string& d : ps.selfs) g.self_symmetric.push_back(dev(d));
+    c.add_symmetry_group(std::move(g));
+  }
+  for (const auto& pa : aligns) {
+    c.add_alignment({pa.kind, dev(pa.a), dev(pa.b)});
+  }
+  for (const auto& po : orders) {
+    netlist::OrderingConstraint oc;
+    oc.direction = po.dir;
+    for (const std::string& d : po.devices) oc.devices.push_back(dev(d));
+    c.add_ordering(std::move(oc));
+  }
+  for (const auto& quad : centroids) {
+    c.add_common_centroid(
+        {dev(quad[0]), dev(quad[1]), dev(quad[2]), dev(quad[3])});
+  }
+  c.finalize();
+  return c;
+}
+
+std::string placement_to_text(const netlist::Placement& pl) {
+  const netlist::Circuit& c = pl.circuit();
+  std::ostringstream os;
+  os << "placement " << c.name() << "\n";
+  for (std::size_t i = 0; i < c.num_devices(); ++i) {
+    const DeviceId id{i};
+    const geom::Point p = pl.position(id);
+    const geom::Orientation o = pl.orientation(id);
+    os << "place " << c.device(id).name << ' ' << p.x << ' ' << p.y;
+    if (o.flip_x) os << " FX";
+    if (o.flip_y) os << " FY";
+    os << "\n";
+  }
+  return os.str();
+}
+
+netlist::Placement placement_from_text(const netlist::Circuit& circuit,
+                                       const std::string& text) {
+  netlist::Placement pl(circuit);
+  std::istringstream in(text);
+  std::string line;
+  long line_no = 0;
+  std::size_t placed = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string tok;
+    if (!(ls >> tok)) continue;
+    if (tok == "placement") {
+      std::string name;
+      APLACE_CHECK_MSG(ls >> name, "line " << line_no << ": placement name");
+      APLACE_CHECK_MSG(name == circuit.name(),
+                       "placement is for circuit '"
+                           << name << "', expected '" << circuit.name()
+                           << "'");
+    } else if (tok == "place") {
+      std::string name;
+      double x = 0, y = 0;
+      APLACE_CHECK_MSG(ls >> name >> x >> y,
+                       "line " << line_no << ": place syntax");
+      const DeviceId id = circuit.find_device(name);
+      APLACE_CHECK_MSG(id.valid(),
+                       "line " << line_no << ": unknown device '" << name
+                               << "'");
+      geom::Orientation o;
+      std::string flag;
+      while (ls >> flag) {
+        if (flag == "FX") o.flip_x = true;
+        else if (flag == "FY") o.flip_y = true;
+        else APLACE_CHECK_MSG(false, "line " << line_no << ": bad flag '"
+                                             << flag << "'");
+      }
+      pl.set_position(id, {x, y});
+      pl.set_orientation(id, o);
+      ++placed;
+    } else {
+      APLACE_CHECK_MSG(false, "line " << line_no << ": unknown directive '"
+                                      << tok << "'");
+    }
+  }
+  APLACE_CHECK_MSG(placed == circuit.num_devices(),
+                   "placement covers " << placed << " of "
+                                       << circuit.num_devices()
+                                       << " devices");
+  return pl;
+}
+
+void write_circuit(const netlist::Circuit& circuit, const std::string& path) {
+  write_file(path, circuit_to_text(circuit));
+}
+
+netlist::Circuit read_circuit(const std::string& path) {
+  return circuit_from_text(read_file(path));
+}
+
+void write_placement(const netlist::Placement& placement,
+                     const std::string& path) {
+  write_file(path, placement_to_text(placement));
+}
+
+netlist::Placement read_placement(const netlist::Circuit& circuit,
+                                  const std::string& path) {
+  return placement_from_text(circuit, read_file(path));
+}
+
+}  // namespace aplace::io

@@ -1,0 +1,52 @@
+#pragma once
+// Plain-text interchange formats:
+//
+//  * circuit files (.acirc) — devices, pins, nets and constraint groups, a
+//    minimal analog-netlist format so circuits can live outside C++;
+//  * placement files (.aplc) — device centers + orientations keyed by name,
+//    round-trippable against a circuit.
+//
+// Grammar (one directive per line, '#' comments):
+//
+//   circuit <name>
+//   device <name> <type> <w> <h>
+//   pin <device> <pin-name> <dx> <dy>
+//   net <name> <weight> <critical 0|1> <device.pin> <device.pin> ...
+//   sym <V|H> pair <a> <b> [pair <a> <b> ...] [self <d> ...]
+//   align <bottom|vcenter|hcenter> <a> <b>
+//   order <lr|bt> <d1> <d2> ...
+//
+//   placement <circuit-name>
+//   place <device> <x> <y> [FX][FY]
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/circuit.hpp"
+#include "netlist/placement.hpp"
+
+namespace aplace::io {
+
+/// Serialize a finalized circuit to the .acirc text format.
+[[nodiscard]] std::string circuit_to_text(const netlist::Circuit& circuit);
+
+/// Parse a circuit from .acirc text. Throws CheckError on malformed input.
+[[nodiscard]] netlist::Circuit circuit_from_text(const std::string& text);
+
+/// Serialize a placement to the .aplc text format.
+[[nodiscard]] std::string placement_to_text(
+    const netlist::Placement& placement);
+
+/// Parse a placement (against its circuit) from .aplc text.
+[[nodiscard]] netlist::Placement placement_from_text(
+    const netlist::Circuit& circuit, const std::string& text);
+
+// File conveniences (throw CheckError on IO errors).
+void write_circuit(const netlist::Circuit& circuit, const std::string& path);
+[[nodiscard]] netlist::Circuit read_circuit(const std::string& path);
+void write_placement(const netlist::Placement& placement,
+                     const std::string& path);
+[[nodiscard]] netlist::Placement read_placement(
+    const netlist::Circuit& circuit, const std::string& path);
+
+}  // namespace aplace::io

@@ -1,0 +1,536 @@
+#include "legal/ilp_detailed.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "legal/relative_order.hpp"
+
+namespace aplace::legal {
+namespace {
+
+using netlist::Axis;
+
+// Project positions onto the exactly-symmetric set (per-group optimal axis)
+// so pair-order derivation within symmetry groups is self-consistent.
+void project_symmetry(const netlist::Circuit& circuit,
+                      std::vector<double>& v) {
+  const std::size_t n = circuit.num_devices();
+  for (const netlist::SymmetryGroup& g :
+       circuit.constraints().symmetry_groups) {
+    auto mir = [&](std::size_t d) -> double& {
+      return g.axis == Axis::Vertical ? v[d] : v[n + d];
+    };
+    auto ort = [&](std::size_t d) -> double& {
+      return g.axis == Axis::Vertical ? v[n + d] : v[d];
+    };
+    double m = 0;
+    std::size_t cnt = 0;
+    for (auto [a, b] : g.pairs) {
+      m += (mir(a.index()) + mir(b.index())) / 2;
+      ++cnt;
+    }
+    for (DeviceId d : g.self_symmetric) {
+      m += mir(d.index());
+      ++cnt;
+    }
+    m /= static_cast<double>(cnt);
+    for (auto [a, b] : g.pairs) {
+      const double half = (mir(a.index()) - mir(b.index())) / 2;
+      mir(a.index()) = m + half;
+      mir(b.index()) = m - half;
+      const double o = (ort(a.index()) + ort(b.index())) / 2;
+      ort(a.index()) = o;
+      ort(b.index()) = o;
+    }
+    for (DeviceId d : g.self_symmetric) mir(d.index()) = m;
+  }
+}
+
+
+// Repair coordinates so ordering constraints hold in their dimension:
+// forced order edges would otherwise conflict with coordinate-derived edges
+// through in-between devices and make the LP infeasible. Keeps the multiset
+// of coordinates, assigns them sorted to the required sequence.
+void project_ordering(const netlist::Circuit& circuit,
+                      std::vector<double>& v) {
+  const std::size_t n = circuit.num_devices();
+  for (const netlist::OrderingConstraint& oc :
+       circuit.constraints().orderings) {
+    const bool horiz = oc.direction == netlist::OrderDirection::LeftToRight;
+    std::vector<double> coords;
+    coords.reserve(oc.devices.size());
+    for (DeviceId d : oc.devices) {
+      coords.push_back(horiz ? v[d.index()] : v[n + d.index()]);
+    }
+    std::sort(coords.begin(), coords.end());
+    for (std::size_t k = 0; k < oc.devices.size(); ++k) {
+      (horiz ? v[oc.devices[k].index()]
+             : v[n + oc.devices[k].index()]) = coords[k];
+    }
+  }
+}
+
+
+// Snap each common-centroid quad to an ideal cross-coupled arrangement at
+// its joint centroid before deriving pair orders: order chains derived from
+// a degenerate start (e.g. both a-devices left of both b-devices) would
+// contradict the diagonal-sum equalities and make the LP infeasible.
+void project_centroid(const netlist::Circuit& circuit,
+                      std::vector<double>& v) {
+  const std::size_t n = circuit.num_devices();
+  for (const netlist::CommonCentroidQuad& q :
+       circuit.constraints().common_centroids) {
+    const double cx = (v[q.a1.index()] + v[q.a2.index()] + v[q.b1.index()] +
+                       v[q.b2.index()]) /
+                      4.0;
+    const double cy = (v[n + q.a1.index()] + v[n + q.a2.index()] +
+                       v[n + q.b1.index()] + v[n + q.b2.index()]) /
+                      4.0;
+    const netlist::Device& da = circuit.device(q.a1);
+    const double hw = da.width / 2, hh = da.height / 2;
+    v[q.a1.index()] = cx - hw;
+    v[n + q.a1.index()] = cy - hh;
+    v[q.a2.index()] = cx + hw;
+    v[n + q.a2.index()] = cy + hh;
+    v[q.b1.index()] = cx + hw;
+    v[n + q.b1.index()] = cy - hh;
+    v[q.b2.index()] = cx - hw;
+    v[n + q.b2.index()] = cy + hh;
+  }
+}
+
+}  // namespace
+
+IlpDetailedPlacer::IlpDetailedPlacer(const netlist::Circuit& circuit,
+                                     IlpOptions opts)
+    : circuit_(&circuit), opts_(opts) {
+  APLACE_CHECK(circuit.finalized());
+  APLACE_CHECK(opts.grid_pitch > 0);
+  APLACE_CHECK(opts.utilization > 0 && opts.utilization <= 1.0);
+}
+
+IlpResult IlpDetailedPlacer::place(std::span<const double> gp_positions) const {
+  const netlist::Circuit& c = *circuit_;
+  const std::size_t n = c.num_devices();
+  APLACE_CHECK(gp_positions.size() == 2 * n);
+  const double gu = opts_.grid_pitch;  // um per grid unit
+
+  std::vector<double> start(gp_positions.begin(), gp_positions.end());
+  project_symmetry(c, start);
+  project_ordering(c, start);
+  project_centroid(c, start);
+  // Initial separation directions from the (projected) GP solution, for
+  // every pair (paper Fig. 4a).
+  std::vector<PairOrder> orders = reduce_transitive(
+      derive_pair_orders(c, start, std::numeric_limits<double>::infinity()),
+      n);
+
+  IlpResult result{netlist::Placement(c)};
+  std::vector<int> vx(n), vy(n), vfx(n, -1), vfy(n, -1);
+
+  // Direction refinement: solve, re-derive every pair's direction from the
+  // solved (legal) placement, re-solve. A legal placement always satisfies
+  // its own re-derived constraints, so the objective is non-increasing;
+  // stop at the first round without improvement.
+  double best_obj = std::numeric_limits<double>::infinity();
+  std::vector<geom::Orientation> fixed_flips;
+  for (int round = 0; round < opts_.refine_rounds; ++round) {
+    // Round 0 decides the flipping binaries by branch-and-bound; later
+    // refinement rounds keep them fixed so each round is a single LP.
+    solver::MilpSolution sol =
+        solve_round(orders, round == 0 ? nullptr : &fixed_flips, vx, vy, vfx,
+                    vfy, result);
+    if (!sol.ok()) return result;
+    if (round == 0 && opts_.enable_flipping) {
+      fixed_flips.resize(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        fixed_flips[i] = {vfx[i] >= 0 && sol.x[vfx[i]] > 0.5,
+                          vfy[i] >= 0 && sol.x[vfy[i]] > 0.5};
+      }
+    }
+    if (sol.objective >= best_obj - 1e-9) break;
+    best_obj = sol.objective;
+    finish_placement(sol, vx, vy, vfx, vfy, result);
+
+    std::vector<double> pos(2 * n);
+    for (std::size_t i = 0; i < n; ++i) {
+      pos[i] = sol.x[vx[i]] * gu;
+      pos[n + i] = sol.x[vy[i]] * gu;
+    }
+    orders = reduce_transitive(
+        derive_pair_orders(c, pos, std::numeric_limits<double>::infinity()),
+        n);
+  }
+
+  // --- critical-chain reshaping ------------------------------------------------
+  // The layout extents are set by chains of binding separation constraints,
+  // so the objective is insensitive to mu once directions are fixed. Try
+  // flipping one edge of the binding chain of the larger extent from
+  // horizontal to vertical (or vice versa) and keep the move when the
+  // objective improves. Each attempt is a single LP (flips stay fixed).
+  for (int attempt = 0; attempt < opts_.reshape_attempts; ++attempt) {
+    std::vector<double> pos(2 * n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const geom::Point p = result.placement.position(DeviceId{i});
+      pos[i] = p.x;
+      pos[n + i] = p.y;
+    }
+    const geom::Rect bb = result.placement.bounding_box();
+    const bool shrink_w = bb.width() >= bb.height();
+
+    // Walk the binding chain of the critical dimension from its far edge.
+    const auto extent = [&](std::size_t i) {
+      const netlist::Device& d = c.device(DeviceId{i});
+      return shrink_w ? d.width : d.height;
+    };
+    const auto coord = [&](std::size_t i) {
+      return shrink_w ? pos[i] : pos[n + i];
+    };
+    std::size_t cur = 0;
+    double far_edge = -1e300;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double e = coord(i) + extent(i) / 2;
+      if (e > far_edge) {
+        far_edge = e;
+        cur = i;
+      }
+    }
+    std::vector<std::pair<std::size_t, std::size_t>> chain;  // (pred, succ)
+    result.reshape_chain_len = 0;
+    for (std::size_t guard = 0; guard < n; ++guard) {
+      std::size_t pred = n;
+      for (const PairOrder& po : orders) {
+        if (po.horizontal != shrink_w) continue;
+        if (po.right_or_top.index() != cur) continue;
+        const std::size_t a = po.left_or_bottom.index();
+        if (coord(a) + (extent(a) + extent(cur)) / 2 >= coord(cur) - 1e-6) {
+          pred = a;
+          break;
+        }
+      }
+      if (pred == n) break;
+      chain.emplace_back(pred, cur);
+      ++result.reshape_chain_len;
+      cur = pred;
+    }
+
+    bool improved = false;
+    for (auto [a, b] : chain) {
+      if (forced_direction(c, DeviceId{a}, DeviceId{b}).has_value()) continue;
+      // Candidate: same edge, perpendicular direction, order by position.
+      std::vector<PairOrder> trial = orders;
+      for (PairOrder& po : trial) {
+        const std::size_t x = po.left_or_bottom.index();
+        const std::size_t y = po.right_or_top.index();
+        if ((x == a && y == b) || (x == b && y == a)) {
+          po.horizontal = !shrink_w;
+          const std::size_t lo =
+              (shrink_w ? pos[n + a] <= pos[n + b] : pos[a] <= pos[b]) ? a : b;
+          po.left_or_bottom = DeviceId{lo};
+          po.right_or_top = DeviceId{lo == a ? b : a};
+          break;
+        }
+      }
+      solver::MilpSolution sol =
+          solve_round(trial, opts_.enable_flipping ? &fixed_flips : nullptr,
+                      vx, vy, vfx, vfy, result);
+      if (sol.ok() && sol.objective < best_obj - 1e-9) {
+        // The flipped edge may have carried transitive implications, so
+        // verify the trial is actually overlap-free before accepting.
+        IlpResult trial_result{netlist::Placement(c)};
+        trial_result.status = sol.status;
+        finish_placement(sol, vx, vy, vfx, vfy, trial_result);
+        if (!netlist::Evaluator(c).evaluate(trial_result.placement).legal(
+                1e-6)) {
+          continue;
+        }
+        best_obj = sol.objective;
+        finish_placement(sol, vx, vy, vfx, vfy, result);
+        std::vector<double> npos(2 * n);
+        for (std::size_t i = 0; i < n; ++i) {
+          npos[i] = sol.x[vx[i]] * gu;
+          npos[n + i] = sol.x[vy[i]] * gu;
+        }
+        orders = reduce_transitive(
+            derive_pair_orders(c, npos,
+                               std::numeric_limits<double>::infinity()),
+            n);
+        improved = true;
+        ++result.reshape_accepted;
+        break;
+      }
+    }
+    if (!improved) break;
+  }
+  // --- final flip re-optimization ------------------------------------------------
+  // The binaries were decided against the round-0 arrangement; refinement
+  // and reshaping may have changed the topology enough that different flips
+  // now win. One more branch-and-bound pass with the final direction set.
+  if (opts_.enable_flipping && opts_.refine_rounds > 1) {
+    // Small node budget: the relaxation is usually near-integral by now.
+    solver::MilpSolution sol =
+        solve_round(orders, nullptr, vx, vy, vfx, vfy, result, 8);
+    if (sol.ok() && sol.objective < best_obj - 1e-9) {
+      best_obj = sol.objective;
+      finish_placement(sol, vx, vy, vfx, vfy, result);
+    }
+  }
+
+  // Restore the best solution's status (reshape trials may have left a
+  // rejected trial's status behind).
+  result.status = solver::LpStatus::Optimal;
+  result.objective = best_obj;
+  return result;
+}
+
+solver::MilpSolution IlpDetailedPlacer::solve_round(
+    const std::vector<PairOrder>& orders,
+    const std::vector<geom::Orientation>* fixed_flips, std::vector<int>& vx,
+    std::vector<int>& vy, std::vector<int>& vfx, std::vector<int>& vfy,
+    IlpResult& result, long max_nodes) const {
+  const netlist::Circuit& c = *circuit_;
+  const std::size_t n = c.num_devices();
+  const double gu = opts_.grid_pitch;
+
+  // ---- variables -------------------------------------------------------------
+  solver::LpProblem lp;
+  const double inf = solver::kInf;
+  auto gw = [&](DeviceId d) { return c.device(d).width / gu; };
+  auto gh = [&](DeviceId d) { return c.device(d).height / gu; };
+
+  // W~ = H~ = sqrt(sum s_i / zeta) in grid units (paper constants).
+  double total_area_gu = 0;
+  for (const netlist::Device& d : c.devices()) {
+    total_area_gu += (d.width / gu) * (d.height / gu);
+  }
+  const double wh_tilde = std::sqrt(total_area_gu / opts_.utilization);
+
+  vx.assign(n, -1);
+  vy.assign(n, -1);
+  vfx.assign(n, -1);
+  vfy.assign(n, -1);
+  double max_w = 0, max_h = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const DeviceId d{i};
+    vx[i] = lp.add_variable(gw(d) / 2, inf, 0.0, c.device(d).name + ".x");
+    vy[i] = lp.add_variable(gh(d) / 2, inf, 0.0, c.device(d).name + ".y");
+    max_w = std::max(max_w, gw(d));
+    max_h = std::max(max_h, gh(d));
+  }
+  const int vW =
+      lp.add_variable(max_w, inf, opts_.mu * wh_tilde / 2.0, "W");
+  const int vH =
+      lp.add_variable(max_h, inf, opts_.mu * wh_tilde / 2.0, "H");
+  if (opts_.enable_flipping) {
+    // A flip variable only matters when some pin is offset from the device
+    // center line in that dimension; otherwise skip it (fewer binaries).
+    std::vector<char> fx_useful(n, 0), fy_useful(n, 0);
+    for (const netlist::Pin& pin : c.pins()) {
+      const netlist::Device& dev = c.device(pin.device);
+      if (std::abs(dev.width - 2 * pin.offset.x) > 1e-12) {
+        fx_useful[pin.device.index()] = 1;
+      }
+      if (std::abs(dev.height - 2 * pin.offset.y) > 1e-12) {
+        fy_useful[pin.device.index()] = 1;
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::string& name = c.device(DeviceId{i}).name;
+      if (fx_useful[i]) {
+        vfx[i] = lp.add_variable(0, 1, 0.0, name + ".fx");
+        if (fixed_flips == nullptr) {
+          lp.set_integer(vfx[i]);
+        } else {
+          const double f = (*fixed_flips)[i].flip_x ? 1.0 : 0.0;
+          lp.set_bounds(vfx[i], f, f);
+        }
+      }
+      if (fy_useful[i]) {
+        vfy[i] = lp.add_variable(0, 1, 0.0, name + ".fy");
+        if (fixed_flips == nullptr) {
+          lp.set_integer(vfy[i]);
+        } else {
+          const double f = (*fixed_flips)[i].flip_y ? 1.0 : 0.0;
+          lp.set_bounds(vfy[i], f, f);
+        }
+      }
+    }
+  }
+  // Net bounding boxes (xmin, xmax, ymin, ymax).
+  const std::size_t ne = c.num_nets();
+  std::vector<std::array<int, 4>> vnet(ne);
+  for (std::size_t e = 0; e < ne; ++e) {
+    const double w = c.net(NetId{e}).weight;
+    vnet[e][0] = lp.add_variable(0, inf, -w, c.net(NetId{e}).name + ".xmin");
+    vnet[e][1] = lp.add_variable(0, inf, +w, c.net(NetId{e}).name + ".xmax");
+    vnet[e][2] = lp.add_variable(0, inf, -w, c.net(NetId{e}).name + ".ymin");
+    vnet[e][3] = lp.add_variable(0, inf, +w, c.net(NetId{e}).name + ".ymax");
+  }
+
+  using solver::LpTerm;
+  using solver::Relation;
+
+  // ---- (4b)+(4d): net bounds over pin positions with flipping ----------------
+  for (std::size_t e = 0; e < ne; ++e) {
+    for (PinId pid : c.net(NetId{e}).pins) {
+      const netlist::Pin& pin = c.pin(pid);
+      const std::size_t i = pin.device.index();
+      const netlist::Device& dev = c.device(pin.device);
+      // Offsets from the device *center* in grid units; flipping adds
+      // f * (w - 2*xpin).
+      const double cx = (pin.offset.x - dev.width / 2) / gu;
+      const double cy = (pin.offset.y - dev.height / 2) / gu;
+      const double dx = (dev.width - 2 * pin.offset.x) / gu;
+      const double dy = (dev.height - 2 * pin.offset.y) / gu;
+
+      auto bound = [&](int vmin, int vmax, int vpos, int vflip, double c0,
+                       double dflip) {
+        std::vector<LpTerm> lo{{vmin, 1.0}, {vpos, -1.0}};
+        std::vector<LpTerm> hi{{vpos, 1.0}, {vmax, -1.0}};
+        if (vflip >= 0 && dflip != 0.0) {
+          lo.push_back({vflip, -dflip});
+          hi.push_back({vflip, +dflip});
+        }
+        lp.add_constraint(std::move(lo), Relation::LessEq, c0);
+        lp.add_constraint(std::move(hi), Relation::LessEq, -c0);
+      };
+      bound(vnet[e][0], vnet[e][1], vx[i], vfx[i], cx, dx);
+      bound(vnet[e][2], vnet[e][3], vy[i], vfy[i], cy, dy);
+    }
+  }
+
+  // ---- (4c): die extents -------------------------------------------------------
+  for (std::size_t i = 0; i < n; ++i) {
+    const DeviceId d{i};
+    lp.add_constraint({{vx[i], 1.0}, {vW, -1.0}}, Relation::LessEq,
+                      -gw(d) / 2);
+    lp.add_constraint({{vy[i], 1.0}, {vH, -1.0}}, Relation::LessEq,
+                      -gh(d) / 2);
+  }
+
+  // ---- (4e)+(4i): pairwise separation ------------------------------------------
+  for (const PairOrder& po : orders) {
+    const std::size_t a = po.left_or_bottom.index();
+    const std::size_t b = po.right_or_top.index();
+    if (po.horizontal) {
+      lp.add_constraint({{vx[a], 1.0}, {vx[b], -1.0}}, Relation::LessEq,
+                        -(gw(po.left_or_bottom) + gw(po.right_or_top)) / 2);
+    } else {
+      lp.add_constraint({{vy[a], 1.0}, {vy[b], -1.0}}, Relation::LessEq,
+                        -(gh(po.left_or_bottom) + gh(po.right_or_top)) / 2);
+    }
+  }
+
+  // ---- (4f): hard symmetry -------------------------------------------------------
+  for (const netlist::SymmetryGroup& g : c.constraints().symmetry_groups) {
+    const bool vert = g.axis == Axis::Vertical;
+    const int vm = lp.add_variable(0, inf, 0.0, "axis");
+    auto mir_var = [&](std::size_t d) { return vert ? vx[d] : vy[d]; };
+    auto ort_var = [&](std::size_t d) { return vert ? vy[d] : vx[d]; };
+    for (auto [a, b] : g.pairs) {
+      lp.add_constraint(
+          {{mir_var(a.index()), 1.0}, {mir_var(b.index()), 1.0}, {vm, -2.0}},
+          Relation::Equal, 0.0);
+      lp.add_constraint(
+          {{ort_var(a.index()), 1.0}, {ort_var(b.index()), -1.0}},
+          Relation::Equal, 0.0);
+    }
+    for (DeviceId d : g.self_symmetric) {
+      lp.add_constraint({{mir_var(d.index()), 1.0}, {vm, -1.0}},
+                        Relation::Equal, 0.0);
+    }
+  }
+
+  // ---- (4g)+(4h): alignment -------------------------------------------------------
+  for (const netlist::AlignmentPair& p : c.constraints().alignments) {
+    switch (p.kind) {
+      case netlist::AlignmentKind::Bottom:
+        lp.add_constraint(
+            {{vy[p.a.index()], 1.0}, {vy[p.b.index()], -1.0}},
+            Relation::Equal, (gh(p.a) - gh(p.b)) / 2);
+        break;
+      case netlist::AlignmentKind::VerticalCenter:
+        lp.add_constraint(
+            {{vx[p.a.index()], 1.0}, {vx[p.b.index()], -1.0}},
+            Relation::Equal, 0.0);
+        break;
+      case netlist::AlignmentKind::HorizontalCenter:
+        lp.add_constraint(
+            {{vy[p.a.index()], 1.0}, {vy[p.b.index()], -1.0}},
+            Relation::Equal, 0.0);
+        break;
+    }
+  }
+
+  // ---- common centroid: diagonal-sum equalities --------------------------------
+  for (const netlist::CommonCentroidQuad& q :
+       c.constraints().common_centroids) {
+    lp.add_constraint({{vx[q.a1.index()], 1.0},
+                       {vx[q.a2.index()], 1.0},
+                       {vx[q.b1.index()], -1.0},
+                       {vx[q.b2.index()], -1.0}},
+                      Relation::Equal, 0.0);
+    lp.add_constraint({{vy[q.a1.index()], 1.0},
+                       {vy[q.a2.index()], 1.0},
+                       {vy[q.b1.index()], -1.0},
+                       {vy[q.b2.index()], -1.0}},
+                      Relation::Equal, 0.0);
+  }
+
+  // ---- solve -------------------------------------------------------------------
+  solver::MilpOptions mopts;
+  mopts.max_nodes = max_nodes > 0 ? max_nodes : opts_.max_nodes;
+  solver::MilpSolution sol = solver::solve_milp(lp, mopts);
+  result.status = sol.status;
+  result.objective = sol.objective;
+  result.bb_nodes += sol.nodes_explored;
+  return sol;
+}
+
+void IlpDetailedPlacer::finish_placement(const solver::MilpSolution& sol,
+                                         const std::vector<int>& vx,
+                                         const std::vector<int>& vy,
+                                         const std::vector<int>& vfx,
+                                         const std::vector<int>& vfy,
+                                         IlpResult& result) const {
+  const netlist::Circuit& c = *circuit_;
+  const std::size_t n = c.num_devices();
+  const double gu = opts_.grid_pitch;
+
+  auto build_placement = [&](bool snap) {
+    netlist::Placement pl(c);
+    for (std::size_t i = 0; i < n; ++i) {
+      double x = sol.x[vx[i]];
+      double y = sol.x[vy[i]];
+      if (snap) {
+        x = std::round(x);
+        y = std::round(y);
+      }
+      pl.set_position(DeviceId{i}, {x * gu, y * gu});
+      if (opts_.enable_flipping) {
+        pl.set_orientation(DeviceId{i},
+                           {vfx[i] >= 0 && sol.x[vfx[i]] > 0.5,
+                            vfy[i] >= 0 && sol.x[vfy[i]] > 0.5});
+      }
+    }
+    pl.normalize_to_origin();
+    return pl;
+  };
+
+  // Snap to the grid; keep the raw (feasible) solution if snapping breaks
+  // legality (possible when the LP optimum is fractional).
+  const netlist::Evaluator eval(c);
+  netlist::Placement snapped = build_placement(true);
+  if (eval.evaluate(snapped).legal(1e-6)) {
+    result.placement = std::move(snapped);
+    result.snapped = true;
+  } else {
+    result.placement = build_placement(false);
+    result.snapped = false;
+  }
+}
+
+}  // namespace aplace::legal

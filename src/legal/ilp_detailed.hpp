@@ -1,0 +1,77 @@
+#pragma once
+// Integrated ILP legalization + detailed placement of ePlace-A (paper
+// Sec. IV-B, formulation 4a-4j).
+//
+// Single-stage minimization of  sum_e HPWL_e + mu * (H~*W + W~*H)/2  over an
+// integer grid, subject to: net bounding boxes (4b), die coupling (4c),
+// pin positions with device flipping binaries (4d), pairwise separation
+// directions derived from the GP solution (4e / Fig. 4a), hard symmetry
+// with free axis variables (4f), bottom / center alignment (4g, 4h),
+// monotone ordering (4i) and integrality (4j). Flipping binaries are solved
+// by branch-and-bound; coordinates are snapped to the grid afterwards and
+// the unsnapped (still feasible) solution is kept if snapping would break
+// legality.
+
+#include <span>
+#include <vector>
+
+#include "legal/relative_order.hpp"
+#include "netlist/evaluator.hpp"
+#include "netlist/placement.hpp"
+#include "solver/milp.hpp"
+
+namespace aplace::legal {
+
+struct IlpOptions {
+  double grid_pitch = 0.5;   ///< um per grid unit
+  double mu = 1.0;           ///< area weight in objective (4a)
+  double utilization = 0.55; ///< zeta, defines the W~/H~ constants
+  bool enable_flipping = true;
+  long max_nodes = 24;       ///< branch-and-bound budget (round 0 only)
+  /// Direction-refinement rounds: re-derive every pair's separation
+  /// direction from the solved placement and re-solve while the objective
+  /// improves (monotone). Rounds after the first are single LPs.
+  int refine_rounds = 10;
+  /// Critical-chain reshaping attempts: flip one binding separation edge of
+  /// the larger layout extent per attempt (single LP each).
+  int reshape_attempts = 10;
+};
+
+struct IlpResult {
+  netlist::Placement placement;
+  solver::LpStatus status = solver::LpStatus::IterLimit;
+  double objective = 0.0;
+  bool snapped = false;   ///< coordinates are on the integer grid
+  long bb_nodes = 0;
+  int reshape_accepted = 0;  ///< accepted critical-chain flips
+  int reshape_chain_len = 0; ///< last binding-chain length (diagnostics)
+
+  [[nodiscard]] bool ok() const { return status == solver::LpStatus::Optimal; }
+};
+
+class IlpDetailedPlacer {
+ public:
+  IlpDetailedPlacer(const netlist::Circuit& circuit, IlpOptions opts = {});
+
+  /// Legalize + detail-place starting from GP device centers (x.., y..).
+  [[nodiscard]] IlpResult place(std::span<const double> gp_positions) const;
+
+ private:
+  /// Build and solve one round. When `fixed_flips` is non-null the flipping
+  /// variables are pinned (pure LP); otherwise they are binaries solved by
+  /// branch-and-bound.
+  [[nodiscard]] solver::MilpSolution solve_round(
+      const std::vector<PairOrder>& orders,
+      const std::vector<geom::Orientation>* fixed_flips, std::vector<int>& vx,
+      std::vector<int>& vy, std::vector<int>& vfx, std::vector<int>& vfy,
+      IlpResult& result, long max_nodes = 0) const;
+  void finish_placement(const solver::MilpSolution& sol,
+                        const std::vector<int>& vx, const std::vector<int>& vy,
+                        const std::vector<int>& vfx,
+                        const std::vector<int>& vfy, IlpResult& result) const;
+
+  const netlist::Circuit* circuit_;
+  IlpOptions opts_;
+};
+
+}  // namespace aplace::legal

@@ -1,0 +1,339 @@
+#include "legal/two_stage_lp.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "legal/relative_order.hpp"
+#include "netlist/evaluator.hpp"
+
+namespace aplace::legal {
+namespace {
+
+using netlist::Axis;
+using solver::LpTerm;
+using solver::Relation;
+
+// Shared constraint skeleton between the two stages.
+struct Skeleton {
+  solver::LpProblem lp;
+  std::vector<int> vx, vy;
+  int vW = -1, vH = -1;
+};
+
+Skeleton build_skeleton(const netlist::Circuit& c,
+                        const std::vector<PairOrder>& orders, double gu,
+                        double extent_cost) {
+  const std::size_t n = c.num_devices();
+  Skeleton s;
+  s.vx.resize(n);
+  s.vy.resize(n);
+  const double inf = solver::kInf;
+  auto gw = [&](DeviceId d) { return c.device(d).width / gu; };
+  auto gh = [&](DeviceId d) { return c.device(d).height / gu; };
+
+  double max_w = 0, max_h = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const DeviceId d{i};
+    s.vx[i] = s.lp.add_variable(gw(d) / 2, inf, 0.0, c.device(d).name + ".x");
+    s.vy[i] = s.lp.add_variable(gh(d) / 2, inf, 0.0, c.device(d).name + ".y");
+    max_w = std::max(max_w, gw(d));
+    max_h = std::max(max_h, gh(d));
+  }
+  s.vW = s.lp.add_variable(max_w, inf, extent_cost, "W");
+  s.vH = s.lp.add_variable(max_h, inf, extent_cost, "H");
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const DeviceId d{i};
+    s.lp.add_constraint({{s.vx[i], 1.0}, {s.vW, -1.0}}, Relation::LessEq,
+                        -gw(d) / 2);
+    s.lp.add_constraint({{s.vy[i], 1.0}, {s.vH, -1.0}}, Relation::LessEq,
+                        -gh(d) / 2);
+  }
+  for (const PairOrder& po : orders) {
+    const std::size_t a = po.left_or_bottom.index();
+    const std::size_t b = po.right_or_top.index();
+    if (po.horizontal) {
+      s.lp.add_constraint({{s.vx[a], 1.0}, {s.vx[b], -1.0}}, Relation::LessEq,
+                          -(gw(po.left_or_bottom) + gw(po.right_or_top)) / 2);
+    } else {
+      s.lp.add_constraint({{s.vy[a], 1.0}, {s.vy[b], -1.0}}, Relation::LessEq,
+                          -(gh(po.left_or_bottom) + gh(po.right_or_top)) / 2);
+    }
+  }
+  for (const netlist::SymmetryGroup& g : c.constraints().symmetry_groups) {
+    const bool vert = g.axis == Axis::Vertical;
+    const int vm = s.lp.add_variable(0, inf, 0.0, "axis");
+    auto mir_var = [&](std::size_t d) { return vert ? s.vx[d] : s.vy[d]; };
+    auto ort_var = [&](std::size_t d) { return vert ? s.vy[d] : s.vx[d]; };
+    for (auto [a, b] : g.pairs) {
+      s.lp.add_constraint(
+          {{mir_var(a.index()), 1.0}, {mir_var(b.index()), 1.0}, {vm, -2.0}},
+          Relation::Equal, 0.0);
+      s.lp.add_constraint(
+          {{ort_var(a.index()), 1.0}, {ort_var(b.index()), -1.0}},
+          Relation::Equal, 0.0);
+    }
+    for (DeviceId d : g.self_symmetric) {
+      s.lp.add_constraint({{mir_var(d.index()), 1.0}, {vm, -1.0}},
+                          Relation::Equal, 0.0);
+    }
+  }
+  for (const netlist::CommonCentroidQuad& q :
+       c.constraints().common_centroids) {
+    s.lp.add_constraint({{s.vx[q.a1.index()], 1.0},
+                         {s.vx[q.a2.index()], 1.0},
+                         {s.vx[q.b1.index()], -1.0},
+                         {s.vx[q.b2.index()], -1.0}},
+                        Relation::Equal, 0.0);
+    s.lp.add_constraint({{s.vy[q.a1.index()], 1.0},
+                         {s.vy[q.a2.index()], 1.0},
+                         {s.vy[q.b1.index()], -1.0},
+                         {s.vy[q.b2.index()], -1.0}},
+                        Relation::Equal, 0.0);
+  }
+  for (const netlist::AlignmentPair& p : c.constraints().alignments) {
+    switch (p.kind) {
+      case netlist::AlignmentKind::Bottom:
+        s.lp.add_constraint({{s.vy[p.a.index()], 1.0},
+                             {s.vy[p.b.index()], -1.0}},
+                            Relation::Equal, (gh(p.a) - gh(p.b)) / 2);
+        break;
+      case netlist::AlignmentKind::VerticalCenter:
+        s.lp.add_constraint({{s.vx[p.a.index()], 1.0},
+                             {s.vx[p.b.index()], -1.0}},
+                            Relation::Equal, 0.0);
+        break;
+      case netlist::AlignmentKind::HorizontalCenter:
+        s.lp.add_constraint({{s.vy[p.a.index()], 1.0},
+                             {s.vy[p.b.index()], -1.0}},
+                            Relation::Equal, 0.0);
+        break;
+    }
+  }
+  return s;
+}
+
+// Project positions onto the symmetric set (same as the ILP placer) so
+// within-group pair orders are consistent.
+void project_symmetry(const netlist::Circuit& circuit,
+                      std::vector<double>& v) {
+  const std::size_t n = circuit.num_devices();
+  for (const netlist::SymmetryGroup& g :
+       circuit.constraints().symmetry_groups) {
+    auto mir = [&](std::size_t d) -> double& {
+      return g.axis == Axis::Vertical ? v[d] : v[n + d];
+    };
+    auto ort = [&](std::size_t d) -> double& {
+      return g.axis == Axis::Vertical ? v[n + d] : v[d];
+    };
+    double m = 0;
+    std::size_t cnt = 0;
+    for (auto [a, b] : g.pairs) {
+      m += (mir(a.index()) + mir(b.index())) / 2;
+      ++cnt;
+    }
+    for (DeviceId d : g.self_symmetric) {
+      m += mir(d.index());
+      ++cnt;
+    }
+    m /= static_cast<double>(cnt);
+    for (auto [a, b] : g.pairs) {
+      const double half = (mir(a.index()) - mir(b.index())) / 2;
+      mir(a.index()) = m + half;
+      mir(b.index()) = m - half;
+      const double o = (ort(a.index()) + ort(b.index())) / 2;
+      ort(a.index()) = o;
+      ort(b.index()) = o;
+    }
+    for (DeviceId d : g.self_symmetric) mir(d.index()) = m;
+  }
+}
+
+
+// Repair coordinates so ordering constraints hold in their dimension:
+// forced order edges would otherwise conflict with coordinate-derived edges
+// through in-between devices and make the LP infeasible. Keeps the multiset
+// of coordinates, assigns them sorted to the required sequence.
+void project_ordering(const netlist::Circuit& circuit,
+                      std::vector<double>& v) {
+  const std::size_t n = circuit.num_devices();
+  for (const netlist::OrderingConstraint& oc :
+       circuit.constraints().orderings) {
+    const bool horiz = oc.direction == netlist::OrderDirection::LeftToRight;
+    std::vector<double> coords;
+    coords.reserve(oc.devices.size());
+    for (DeviceId d : oc.devices) {
+      coords.push_back(horiz ? v[d.index()] : v[n + d.index()]);
+    }
+    std::sort(coords.begin(), coords.end());
+    for (std::size_t k = 0; k < oc.devices.size(); ++k) {
+      (horiz ? v[oc.devices[k].index()]
+             : v[n + oc.devices[k].index()]) = coords[k];
+    }
+  }
+}
+
+
+// Snap each common-centroid quad to an ideal cross-coupled arrangement at
+// its joint centroid before deriving pair orders: order chains derived from
+// a degenerate start (e.g. both a-devices left of both b-devices) would
+// contradict the diagonal-sum equalities and make the LP infeasible.
+void project_centroid(const netlist::Circuit& circuit,
+                      std::vector<double>& v) {
+  const std::size_t n = circuit.num_devices();
+  for (const netlist::CommonCentroidQuad& q :
+       circuit.constraints().common_centroids) {
+    const double cx = (v[q.a1.index()] + v[q.a2.index()] + v[q.b1.index()] +
+                       v[q.b2.index()]) /
+                      4.0;
+    const double cy = (v[n + q.a1.index()] + v[n + q.a2.index()] +
+                       v[n + q.b1.index()] + v[n + q.b2.index()]) /
+                      4.0;
+    const netlist::Device& da = circuit.device(q.a1);
+    const double hw = da.width / 2, hh = da.height / 2;
+    v[q.a1.index()] = cx - hw;
+    v[n + q.a1.index()] = cy - hh;
+    v[q.a2.index()] = cx + hw;
+    v[n + q.a2.index()] = cy + hh;
+    v[q.b1.index()] = cx + hw;
+    v[n + q.b1.index()] = cy - hh;
+    v[q.b2.index()] = cx - hw;
+    v[n + q.b2.index()] = cy + hh;
+  }
+}
+
+}  // namespace
+
+TwoStageLpLegalizer::TwoStageLpLegalizer(const netlist::Circuit& circuit,
+                                         TwoStageOptions opts)
+    : circuit_(&circuit), opts_(opts) {
+  APLACE_CHECK(circuit.finalized());
+  APLACE_CHECK(opts.grid_pitch > 0);
+  APLACE_CHECK(opts.area_slack >= 1.0);
+}
+
+TwoStageResult TwoStageLpLegalizer::place(
+    std::span<const double> gp_positions) const {
+  const netlist::Circuit& c = *circuit_;
+  const std::size_t n = c.num_devices();
+  APLACE_CHECK(gp_positions.size() == 2 * n);
+
+  std::vector<double> start(gp_positions.begin(), gp_positions.end());
+  project_symmetry(c, start);
+  project_ordering(c, start);
+  project_centroid(c, start);
+  std::vector<PairOrder> orders = reduce_transitive(
+      derive_pair_orders(c, start, std::numeric_limits<double>::infinity()),
+      n);
+
+  TwoStageResult result{netlist::Placement(c)};
+  // Direction refinement, area-first (matching [11]'s two-stage priority):
+  // re-derive every pair's direction from the solved placement and re-run
+  // while the lexicographic (extents, wirelength) score improves.
+  double best_score = std::numeric_limits<double>::infinity();
+  TwoStageResult best = result;
+  for (int round = 0; round < opts_.refine_rounds; ++round) {
+    if (!run_stages(orders, result)) {
+      if (round == 0) return result;  // propagate first-round failure
+      break;
+    }
+    const double hpwl = result.placement.total_hpwl();
+    const double score =
+        1e4 * (result.stage1_width + result.stage1_height) + hpwl;
+    if (score >= best_score - 1e-9) break;
+    best_score = score;
+    best = result;
+
+    std::vector<double> pos(2 * n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const geom::Point p = result.placement.position(DeviceId{i});
+      pos[i] = p.x;
+      pos[n + i] = p.y;
+    }
+    orders = reduce_transitive(
+        derive_pair_orders(c, pos, std::numeric_limits<double>::infinity()),
+        n);
+  }
+  return best;
+}
+
+bool TwoStageLpLegalizer::run_stages(const std::vector<PairOrder>& orders,
+                                     TwoStageResult& result) const {
+  const netlist::Circuit& c = *circuit_;
+  const std::size_t n = c.num_devices();
+  const double gu = opts_.grid_pitch;
+
+  // ---- stage 1: area compaction (min W + H) ---------------------------------
+  Skeleton s1 = build_skeleton(c, orders, gu, /*extent_cost=*/1.0);
+  const solver::LpSolution sol1 = solve_lp(s1.lp);
+  result.status = sol1.status;
+  if (!sol1.ok()) return false;
+  const double W1 = sol1.x[s1.vW];
+  const double H1 = sol1.x[s1.vH];
+  result.stage1_width = W1;
+  result.stage1_height = H1;
+
+  // ---- stage 2: wirelength under the compacted extents -----------------------
+  Skeleton s2 = build_skeleton(c, orders, gu, /*extent_cost=*/0.0);
+  solver::LpProblem& lp = s2.lp;
+  lp.add_constraint({{s2.vW, 1.0}}, Relation::LessEq,
+                    W1 * opts_.area_slack + 1e-9);
+  lp.add_constraint({{s2.vH, 1.0}}, Relation::LessEq,
+                    H1 * opts_.area_slack + 1e-9);
+
+  const std::size_t ne = c.num_nets();
+  for (std::size_t e = 0; e < ne; ++e) {
+    const netlist::Net& net = c.net(NetId{e});
+    const int vxmin = lp.add_variable(0, solver::kInf, -net.weight, "");
+    const int vxmax = lp.add_variable(0, solver::kInf, +net.weight, "");
+    const int vymin = lp.add_variable(0, solver::kInf, -net.weight, "");
+    const int vymax = lp.add_variable(0, solver::kInf, +net.weight, "");
+    for (PinId pid : net.pins) {
+      const netlist::Pin& pin = c.pin(pid);
+      const std::size_t i = pin.device.index();
+      const netlist::Device& dev = c.device(pin.device);
+      const double cx = (pin.offset.x - dev.width / 2) / gu;
+      const double cy = (pin.offset.y - dev.height / 2) / gu;
+      lp.add_constraint({{vxmin, 1.0}, {s2.vx[i], -1.0}}, Relation::LessEq,
+                        cx);
+      lp.add_constraint({{s2.vx[i], 1.0}, {vxmax, -1.0}}, Relation::LessEq,
+                        -cx);
+      lp.add_constraint({{vymin, 1.0}, {s2.vy[i], -1.0}}, Relation::LessEq,
+                        cy);
+      lp.add_constraint({{s2.vy[i], 1.0}, {vymax, -1.0}}, Relation::LessEq,
+                        -cy);
+    }
+  }
+
+  const solver::LpSolution sol2 = solve_lp(lp);
+  result.status = sol2.status;
+  if (!sol2.ok()) return false;
+
+  const netlist::Evaluator eval(c);
+  auto build = [&](bool snap) {
+    netlist::Placement pl(c);
+    for (std::size_t i = 0; i < n; ++i) {
+      double x = sol2.x[s2.vx[i]];
+      double y = sol2.x[s2.vy[i]];
+      if (snap) {
+        x = std::round(x);
+        y = std::round(y);
+      }
+      pl.set_position(DeviceId{i}, {x * gu, y * gu});
+    }
+    pl.normalize_to_origin();
+    return pl;
+  };
+  netlist::Placement snapped = build(true);
+  if (eval.evaluate(snapped).legal(1e-6)) {
+    result.placement = std::move(snapped);
+  } else {
+    result.placement = build(false);
+  }
+  return true;
+}
+
+}  // namespace aplace::legal

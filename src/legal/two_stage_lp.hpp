@@ -1,0 +1,57 @@
+#pragma once
+// Two-stage LP legalization + detailed placement of the prior analytical
+// work (Xu et al. ISPD'19 [11]).
+//
+// Stage 1 (area compaction): minimize W + H subject to the pairwise
+// separation, symmetry, alignment and ordering constraints. Stage 2
+// (wirelength): minimize total net bounding-box size with the layout
+// extents capped at the stage-1 result. Differences from ePlace-A's ILP
+// (paper Sec. IV-B): two sequential objectives instead of one integrated
+// one, and no device flipping.
+
+#include <span>
+#include <vector>
+
+#include "legal/relative_order.hpp"
+#include "netlist/placement.hpp"
+#include "solver/lp.hpp"
+
+namespace aplace::legal {
+
+struct TwoStageOptions {
+  double grid_pitch = 0.5;
+  double area_slack = 1.0;  ///< stage-2 W/H cap = slack * stage-1 extents
+  /// Direction-refinement rounds. Default 1 = the faithful single-pass
+  /// behaviour of [11] (area LP, then wirelength LP); the iterative
+  /// refinement is an ePlace-A-side enhancement.
+  int refine_rounds = 1;
+};
+
+struct TwoStageResult {
+  netlist::Placement placement;
+  solver::LpStatus status = solver::LpStatus::IterLimit;
+  double stage1_width = 0.0;   ///< grid units
+  double stage1_height = 0.0;
+
+  [[nodiscard]] bool ok() const { return status == solver::LpStatus::Optimal; }
+};
+
+class TwoStageLpLegalizer {
+ public:
+  TwoStageLpLegalizer(const netlist::Circuit& circuit,
+                      TwoStageOptions opts = {});
+
+  [[nodiscard]] TwoStageResult place(
+      std::span<const double> gp_positions) const;
+
+ private:
+  /// One stage-1 + stage-2 pass under the given separation constraints.
+  /// Returns false (with status set) when either LP fails.
+  bool run_stages(const std::vector<PairOrder>& orders,
+                  TwoStageResult& result) const;
+
+  const netlist::Circuit* circuit_;
+  TwoStageOptions opts_;
+};
+
+}  // namespace aplace::legal

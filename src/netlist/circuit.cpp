@@ -1,0 +1,194 @@
+#include "netlist/circuit.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace aplace::netlist {
+
+const char* to_string(DeviceType t) {
+  switch (t) {
+    case DeviceType::Nmos: return "nmos";
+    case DeviceType::Pmos: return "pmos";
+    case DeviceType::Capacitor: return "cap";
+    case DeviceType::Resistor: return "res";
+    case DeviceType::Inductor: return "ind";
+    case DeviceType::Diode: return "diode";
+    case DeviceType::Module: return "module";
+  }
+  return "?";
+}
+
+DeviceId Circuit::add_device(std::string name, DeviceType type, double width,
+                             double height) {
+  require_mutable();
+  APLACE_CHECK_MSG(width > 0 && height > 0,
+                   "device '" << name << "' needs positive footprint");
+  APLACE_CHECK_MSG(!device_by_name_.contains(name),
+                   "duplicate device name '" << name << "'");
+  DeviceId id(devices_.size());
+  devices_.push_back(Device{std::move(name), type, width, height, {}});
+  device_by_name_.emplace(devices_.back().name, id);
+  return id;
+}
+
+PinId Circuit::add_pin(DeviceId device, std::string name, geom::Point offset) {
+  require_mutable();
+  APLACE_CHECK(device.index() < devices_.size());
+  Device& dev = devices_[device.index()];
+  APLACE_CHECK_MSG(offset.x >= 0 && offset.x <= dev.width && offset.y >= 0 &&
+                       offset.y <= dev.height,
+                   "pin '" << name << "' offset " << offset
+                           << " outside device '" << dev.name << "' footprint");
+  PinId id(pins_.size());
+  pins_.push_back(Pin{std::move(name), device, offset, NetId{}});
+  dev.pins.push_back(id);
+  return id;
+}
+
+PinId Circuit::add_center_pin(DeviceId device, std::string name) {
+  APLACE_CHECK(device.index() < devices_.size());
+  const Device& dev = devices_[device.index()];
+  return add_pin(device, std::move(name), {dev.width / 2, dev.height / 2});
+}
+
+NetId Circuit::add_net(std::string name, std::vector<PinId> pins,
+                       double weight, bool critical) {
+  require_mutable();
+  APLACE_CHECK_MSG(pins.size() >= 2,
+                   "net '" << name << "' needs at least two pins");
+  APLACE_CHECK_MSG(!net_by_name_.contains(name),
+                   "duplicate net name '" << name << "'");
+  APLACE_CHECK_MSG(weight > 0, "net '" << name << "' weight must be positive");
+  NetId id(nets_.size());
+  for (PinId p : pins) {
+    APLACE_CHECK(p.index() < pins_.size());
+    APLACE_CHECK_MSG(!pins_[p.index()].net.valid(),
+                     "pin already connected to a net");
+    pins_[p.index()].net = id;
+  }
+  nets_.push_back(Net{std::move(name), std::move(pins), weight, critical});
+  net_by_name_.emplace(nets_.back().name, id);
+  return id;
+}
+
+void Circuit::add_symmetry_group(SymmetryGroup g) {
+  require_mutable();
+  APLACE_CHECK_MSG(!g.pairs.empty() || !g.self_symmetric.empty(),
+                   "empty symmetry group");
+  constraints_.symmetry_groups.push_back(std::move(g));
+}
+
+void Circuit::add_alignment(AlignmentPair p) {
+  require_mutable();
+  APLACE_CHECK(p.a != p.b);
+  constraints_.alignments.push_back(p);
+}
+
+void Circuit::add_ordering(OrderingConstraint c) {
+  require_mutable();
+  APLACE_CHECK_MSG(c.devices.size() >= 2, "ordering needs >= 2 devices");
+  constraints_.orderings.push_back(std::move(c));
+}
+
+void Circuit::add_common_centroid(CommonCentroidQuad q) {
+  require_mutable();
+  APLACE_CHECK_MSG(q.a1 != q.a2 && q.b1 != q.b2 && q.a1 != q.b1 &&
+                       q.a1 != q.b2 && q.a2 != q.b1 && q.a2 != q.b2,
+                   "common-centroid quad needs four distinct devices");
+  constraints_.common_centroids.push_back(q);
+}
+
+void Circuit::finalize() {
+  require_mutable();
+  APLACE_CHECK_MSG(!devices_.empty(), "circuit has no devices");
+
+  auto valid_device = [&](DeviceId id) {
+    return id.valid() && id.index() < devices_.size();
+  };
+
+  // Every symmetry group member must be a real device and appear in at most
+  // one group (overlapping groups would make the ILP infeasible).
+  std::unordered_set<DeviceId> in_group;
+  for (const SymmetryGroup& g : constraints_.symmetry_groups) {
+    auto claim = [&](DeviceId id) {
+      APLACE_CHECK_MSG(valid_device(id), "symmetry group: bad device id");
+      APLACE_CHECK_MSG(in_group.insert(id).second,
+                       "device '" << devices_[id.index()].name
+                                  << "' in two symmetry groups");
+    };
+    for (auto [a, b] : g.pairs) {
+      APLACE_CHECK_MSG(a != b, "symmetry pair of a device with itself");
+      claim(a);
+      claim(b);
+    }
+    for (DeviceId d : g.self_symmetric) claim(d);
+    // Mirrored pairs must share footprints or the mirror is geometrically
+    // impossible on a common axis.
+    for (auto [a, b] : g.pairs) {
+      const Device& da = devices_[a.index()];
+      const Device& db = devices_[b.index()];
+      APLACE_CHECK_MSG(da.width == db.width && da.height == db.height,
+                       "symmetry pair '" << da.name << "'/'" << db.name
+                                         << "' footprint mismatch");
+    }
+  }
+  for (const AlignmentPair& p : constraints_.alignments) {
+    APLACE_CHECK(valid_device(p.a) && valid_device(p.b));
+  }
+  for (const OrderingConstraint& c : constraints_.orderings) {
+    std::unordered_set<DeviceId> seen;
+    for (DeviceId d : c.devices) {
+      APLACE_CHECK(valid_device(d));
+      APLACE_CHECK_MSG(seen.insert(d).second, "duplicate device in ordering");
+    }
+  }
+  for (const CommonCentroidQuad& q : constraints_.common_centroids) {
+    for (DeviceId d : {q.a1, q.a2, q.b1, q.b2}) {
+      APLACE_CHECK_MSG(valid_device(d), "common centroid: bad device id");
+    }
+    // Matched devices should share footprints within each diagonal.
+    const Device& a1 = devices_[q.a1.index()];
+    const Device& a2 = devices_[q.a2.index()];
+    const Device& b1 = devices_[q.b1.index()];
+    const Device& b2 = devices_[q.b2.index()];
+    APLACE_CHECK_MSG(a1.width == a2.width && a1.height == a2.height &&
+                         b1.width == b2.width && b1.height == b2.height,
+                     "common centroid: diagonal footprint mismatch");
+  }
+  for (const Pin& p : pins_) {
+    APLACE_CHECK_MSG(p.net.valid(),
+                     "pin '" << p.name << "' left unconnected; every pin "
+                             "must be on a net before finalize()");
+  }
+  finalized_ = true;
+}
+
+DeviceId Circuit::find_device(const std::string& name) const {
+  auto it = device_by_name_.find(name);
+  return it == device_by_name_.end() ? DeviceId{} : it->second;
+}
+
+NetId Circuit::find_net(const std::string& name) const {
+  auto it = net_by_name_.find(name);
+  return it == net_by_name_.end() ? NetId{} : it->second;
+}
+
+double Circuit::total_device_area() const {
+  double a = 0;
+  for (const Device& d : devices_) a += d.area();
+  return a;
+}
+
+std::vector<DeviceId> Circuit::symmetric_devices() const {
+  std::vector<DeviceId> out;
+  for (const SymmetryGroup& g : constraints_.symmetry_groups) {
+    for (auto [a, b] : g.pairs) {
+      out.push_back(a);
+      out.push_back(b);
+    }
+    for (DeviceId d : g.self_symmetric) out.push_back(d);
+  }
+  return out;
+}
+
+}  // namespace aplace::netlist

@@ -1,0 +1,46 @@
+#pragma once
+// Devices and pins of an analog circuit.
+//
+// A Device is a rectangular layout object (transistor, capacitor, resistor,
+// pre-merged module …) with a fixed footprint. Pins carry a geometric offset
+// from the device's lower-left corner (in the unflipped orientation) and
+// belong to exactly one net once connected.
+
+#include <string>
+#include <vector>
+
+#include "base/ids.hpp"
+#include "geom/point.hpp"
+
+namespace aplace::netlist {
+
+enum class DeviceType : std::uint8_t {
+  Nmos,
+  Pmos,
+  Capacitor,
+  Resistor,
+  Inductor,
+  Diode,
+  Module,  ///< pre-composed sub-layout treated as one placeable block
+};
+
+[[nodiscard]] const char* to_string(DeviceType t);
+
+struct Device {
+  std::string name;
+  DeviceType type = DeviceType::Nmos;
+  double width = 0.0;   ///< footprint width in microns
+  double height = 0.0;  ///< footprint height in microns
+  std::vector<PinId> pins;
+
+  [[nodiscard]] double area() const { return width * height; }
+};
+
+struct Pin {
+  std::string name;
+  DeviceId device;
+  geom::Point offset;  ///< from device lower-left corner, unflipped
+  NetId net;           ///< invalid until connected
+};
+
+}  // namespace aplace::netlist

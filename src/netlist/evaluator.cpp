@@ -1,0 +1,175 @@
+#include "netlist/evaluator.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace aplace::netlist {
+namespace {
+
+// Coordinate in the mirrored dimension (x for a vertical axis, y for a
+// horizontal one) and the orthogonal dimension.
+double mir(const geom::Point& p, Axis a) {
+  return a == Axis::Vertical ? p.x : p.y;
+}
+double ort(const geom::Point& p, Axis a) {
+  return a == Axis::Vertical ? p.y : p.x;
+}
+
+}  // namespace
+
+double Evaluator::best_axis(const Placement& pl, const SymmetryGroup& g) const {
+  // Minimizing sum of squared residuals over the axis position m:
+  //   pairs contribute ((c_a + c_b)/2 - m)^2, selfs (c_r - m)^2,
+  // so the optimum is the mean of pair midpoints and self centers.
+  double sum = 0;
+  std::size_t count = 0;
+  for (auto [a, b] : g.pairs) {
+    sum += (mir(pl.position(a), g.axis) + mir(pl.position(b), g.axis)) / 2.0;
+    ++count;
+  }
+  for (DeviceId d : g.self_symmetric) {
+    sum += mir(pl.position(d), g.axis);
+    ++count;
+  }
+  APLACE_DCHECK(count > 0);
+  return sum / static_cast<double>(count);
+}
+
+double Evaluator::symmetry_residual(const Placement& pl,
+                                    const SymmetryGroup& g) const {
+  const double m = best_axis(pl, g);
+  double res = 0;
+  for (auto [a, b] : g.pairs) {
+    const geom::Point pa = pl.position(a);
+    const geom::Point pb = pl.position(b);
+    // Mirror condition: midpoint in the mirrored dim on the axis, equal
+    // orthogonal coordinates.
+    res += std::abs((mir(pa, g.axis) + mir(pb, g.axis)) / 2.0 - m);
+    res += std::abs(ort(pa, g.axis) - ort(pb, g.axis));
+  }
+  for (DeviceId d : g.self_symmetric) {
+    res += std::abs(mir(pl.position(d), g.axis) - m);
+  }
+  return res;
+}
+
+double Evaluator::alignment_residual(const Placement& pl,
+                                     const AlignmentPair& p) const {
+  const Device& da = circuit_->device(p.a);
+  const Device& db = circuit_->device(p.b);
+  const geom::Point pa = pl.position(p.a);
+  const geom::Point pb = pl.position(p.b);
+  switch (p.kind) {
+    case AlignmentKind::Bottom:
+      return std::abs((pa.y - da.height / 2) - (pb.y - db.height / 2));
+    case AlignmentKind::VerticalCenter:
+      return std::abs(pa.x - pb.x);
+    case AlignmentKind::HorizontalCenter:
+      return std::abs(pa.y - pb.y);
+  }
+  return 0;
+}
+
+double Evaluator::ordering_residual(const Placement& pl,
+                                    const OrderingConstraint& c) const {
+  double res = 0;
+  for (std::size_t i = 0; i + 1 < c.devices.size(); ++i) {
+    const DeviceId a = c.devices[i];
+    const DeviceId b = c.devices[i + 1];
+    const Device& da = circuit_->device(a);
+    const Device& db = circuit_->device(b);
+    if (c.direction == OrderDirection::LeftToRight) {
+      const double gap = (pl.position(b).x - db.width / 2) -
+                         (pl.position(a).x + da.width / 2);
+      if (gap < 0) res += -gap;
+    } else {
+      const double gap = (pl.position(b).y - db.height / 2) -
+                         (pl.position(a).y + da.height / 2);
+      if (gap < 0) res += -gap;
+    }
+  }
+  return res;
+}
+
+double Evaluator::centroid_residual(const Placement& pl,
+                                    const CommonCentroidQuad& q) const {
+  const geom::Point a1 = pl.position(q.a1), a2 = pl.position(q.a2);
+  const geom::Point b1 = pl.position(q.b1), b2 = pl.position(q.b2);
+  return std::abs((a1.x + a2.x) - (b1.x + b2.x)) +
+         std::abs((a1.y + a2.y) - (b1.y + b2.y));
+}
+
+QualityReport Evaluator::evaluate(const Placement& pl) const {
+  QualityReport r;
+  r.hpwl = pl.total_hpwl();
+  r.area = pl.layout_area();
+  r.overlap_area = pl.total_overlap_area();
+  const ConstraintSet& cs = circuit_->constraints();
+  for (const SymmetryGroup& g : cs.symmetry_groups) {
+    r.symmetry_violation += symmetry_residual(pl, g);
+  }
+  for (const AlignmentPair& p : cs.alignments) {
+    r.alignment_violation += alignment_residual(pl, p);
+  }
+  for (const OrderingConstraint& c : cs.orderings) {
+    r.ordering_violation += ordering_residual(pl, c);
+  }
+  for (const CommonCentroidQuad& q : cs.common_centroids) {
+    r.centroid_violation += centroid_residual(pl, q);
+  }
+  return r;
+}
+
+std::vector<std::string> Evaluator::violations(const Placement& pl,
+                                               double tol) const {
+  std::vector<std::string> out;
+  const std::size_t n = circuit_->num_devices();
+  for (std::size_t i = 0; i < n; ++i) {
+    const geom::Rect ri = pl.device_rect(DeviceId{i});
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double ov = ri.overlap_area(pl.device_rect(DeviceId{j}));
+      if (ov > tol) {
+        std::ostringstream os;
+        os << "overlap " << circuit_->device(DeviceId{i}).name << " / "
+           << circuit_->device(DeviceId{j}).name << " area=" << ov;
+        out.push_back(os.str());
+      }
+    }
+  }
+  const ConstraintSet& cs = circuit_->constraints();
+  for (std::size_t k = 0; k < cs.symmetry_groups.size(); ++k) {
+    const double res = symmetry_residual(pl, cs.symmetry_groups[k]);
+    if (res > tol) {
+      std::ostringstream os;
+      os << "symmetry group " << k << " residual=" << res;
+      out.push_back(os.str());
+    }
+  }
+  for (std::size_t k = 0; k < cs.alignments.size(); ++k) {
+    const double res = alignment_residual(pl, cs.alignments[k]);
+    if (res > tol) {
+      std::ostringstream os;
+      os << "alignment " << k << " residual=" << res;
+      out.push_back(os.str());
+    }
+  }
+  for (std::size_t k = 0; k < cs.orderings.size(); ++k) {
+    const double res = ordering_residual(pl, cs.orderings[k]);
+    if (res > tol) {
+      std::ostringstream os;
+      os << "ordering " << k << " residual=" << res;
+      out.push_back(os.str());
+    }
+  }
+  for (std::size_t k = 0; k < cs.common_centroids.size(); ++k) {
+    const double res = centroid_residual(pl, cs.common_centroids[k]);
+    if (res > tol) {
+      std::ostringstream os;
+      os << "common centroid " << k << " residual=" << res;
+      out.push_back(os.str());
+    }
+  }
+  return out;
+}
+
+}  // namespace aplace::netlist

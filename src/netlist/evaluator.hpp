@@ -1,0 +1,63 @@
+#pragma once
+// Placement quality and legality evaluation.
+//
+// Used by every flow to score results and by the test suite to assert that
+// legalized placements actually satisfy the analog constraints: no overlap,
+// symmetry groups mirrored about a common axis, alignments met, orderings
+// monotone, everything inside the die (when a die is given).
+
+#include <string>
+#include <vector>
+
+#include "netlist/placement.hpp"
+
+namespace aplace::netlist {
+
+struct QualityReport {
+  double hpwl = 0.0;          ///< total weighted HPWL (um)
+  double area = 0.0;          ///< layout bounding-box area (um^2)
+  double overlap_area = 0.0;  ///< residual pairwise overlap (um^2)
+  double symmetry_violation = 0.0;   ///< sum of axis-mirror residuals (um)
+  double alignment_violation = 0.0;  ///< sum of alignment residuals (um)
+  double ordering_violation = 0.0;   ///< sum of order inversions (um)
+  double centroid_violation = 0.0;   ///< common-centroid residuals (um)
+
+  [[nodiscard]] bool legal(double tol = 1e-6) const {
+    return overlap_area <= tol && symmetry_violation <= tol &&
+           alignment_violation <= tol && ordering_violation <= tol &&
+           centroid_violation <= tol;
+  }
+};
+
+class Evaluator {
+ public:
+  explicit Evaluator(const Circuit& circuit) : circuit_(&circuit) {}
+
+  [[nodiscard]] QualityReport evaluate(const Placement& pl) const;
+
+  /// Residual of one symmetry group: best-axis mirror error (L1, um).
+  /// The axis is free, so we compute the optimal axis first.
+  [[nodiscard]] double symmetry_residual(const Placement& pl,
+                                         const SymmetryGroup& g) const;
+  [[nodiscard]] double alignment_residual(const Placement& pl,
+                                          const AlignmentPair& p) const;
+  [[nodiscard]] double ordering_residual(const Placement& pl,
+                                         const OrderingConstraint& c) const;
+  /// L1 residual of a common-centroid quad's diagonal-sum equalities.
+  [[nodiscard]] double centroid_residual(const Placement& pl,
+                                         const CommonCentroidQuad& q) const;
+
+  /// The wirelength-optimal symmetry-axis coordinate for a group (mean of
+  /// pair centers / self centers), in the mirrored dimension.
+  [[nodiscard]] double best_axis(const Placement& pl,
+                                 const SymmetryGroup& g) const;
+
+  /// Human-readable list of violations (empty when legal).
+  [[nodiscard]] std::vector<std::string> violations(const Placement& pl,
+                                                    double tol = 1e-6) const;
+
+ private:
+  const Circuit* circuit_;
+};
+
+}  // namespace aplace::netlist

@@ -1,0 +1,22 @@
+#pragma once
+// Nets connect pins. Net weight scales its wirelength contribution; the
+// `critical` flag marks performance-critical signals (used by the surrogate
+// performance models and the monotone-ordering constraints).
+
+#include <string>
+#include <vector>
+
+#include "base/ids.hpp"
+
+namespace aplace::netlist {
+
+struct Net {
+  std::string name;
+  std::vector<PinId> pins;
+  double weight = 1.0;
+  bool critical = false;
+
+  [[nodiscard]] std::size_t degree() const { return pins.size(); }
+};
+
+}  // namespace aplace::netlist

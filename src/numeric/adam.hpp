@@ -1,0 +1,46 @@
+#pragma once
+// Adam optimizer (Kingma & Ba) used to train the GNN performance model.
+
+#include <cmath>
+#include <vector>
+
+#include "base/check.hpp"
+
+namespace aplace::numeric {
+
+struct AdamOptions {
+  double lr = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double eps = 1e-8;
+};
+
+class Adam {
+ public:
+  explicit Adam(std::size_t n, AdamOptions opts = {})
+      : opts_(opts), m_(n, 0.0), v_(n, 0.0) {}
+
+  /// Apply one update: params -= lr * m_hat / (sqrt(v_hat) + eps).
+  void step(std::vector<double>& params, const std::vector<double>& grad) {
+    APLACE_CHECK(params.size() == m_.size() && grad.size() == m_.size());
+    ++t_;
+    const double bc1 = 1.0 - std::pow(opts_.beta1, t_);
+    const double bc2 = 1.0 - std::pow(opts_.beta2, t_);
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      m_[i] = opts_.beta1 * m_[i] + (1.0 - opts_.beta1) * grad[i];
+      v_[i] = opts_.beta2 * v_[i] + (1.0 - opts_.beta2) * grad[i] * grad[i];
+      const double mh = m_[i] / bc1;
+      const double vh = v_[i] / bc2;
+      params[i] -= opts_.lr * mh / (std::sqrt(vh) + opts_.eps);
+    }
+  }
+
+  [[nodiscard]] int steps_taken() const { return t_; }
+
+ private:
+  AdamOptions opts_;
+  int t_ = 0;
+  std::vector<double> m_, v_;
+};
+
+}  // namespace aplace::numeric

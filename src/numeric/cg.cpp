@@ -1,0 +1,79 @@
+#include "numeric/cg.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aplace::numeric {
+
+int CgSolver::minimize(Vec& v, const ValueGradFn& fg, const Callback& cb) const {
+  const std::size_t n = v.size();
+  if (n == 0) return 0;
+
+  Vec g(n), g_prev(n), dir(n), trial(n), g_trial(n);
+  double f = fg(v, g);
+  for (std::size_t i = 0; i < n; ++i) dir[i] = -g[i];
+
+  double step = opts_.initial_step;
+  int iter = 0;
+  for (; iter < opts_.max_iters; ++iter) {
+    const double gnorm = norm2(g);
+    if (gnorm <= opts_.grad_tol) break;
+
+    // Ensure descent; restart on uphill directions.
+    double dg = dot(dir, g);
+    if (dg >= 0) {
+      for (std::size_t i = 0; i < n; ++i) dir[i] = -g[i];
+      dg = -gnorm * gnorm;
+    }
+
+    // Backtracking Armijo line search.
+    double t = step;
+    double f_new = f;
+    bool accepted = false;
+    for (int ls = 0; ls < opts_.max_line_search; ++ls) {
+      for (std::size_t i = 0; i < n; ++i) trial[i] = v[i] + t * dir[i];
+      f_new = fg(trial, g_trial);
+      if (f_new <= f + opts_.armijo_c * t * dg) {
+        accepted = true;
+        break;
+      }
+      t *= opts_.backtrack_factor;
+    }
+    if (!accepted) {
+      // Could not make progress along this direction; steepest-descent
+      // restart with a tiny step, then give the callback a chance to stop.
+      for (std::size_t i = 0; i < n; ++i) dir[i] = -g[i];
+      step = std::max(step * opts_.backtrack_factor, 1e-12);
+      CgState st{iter, f, gnorm};
+      if (cb && !cb(st, v)) {
+        ++iter;
+        break;
+      }
+      if (step <= 1e-12) break;
+      continue;
+    }
+
+    g_prev = g;
+    v = trial;
+    f = f_new;
+    g = g_trial;
+    // Grow the step cautiously after success so the search adapts upward.
+    step = std::min(t * 2.0, opts_.initial_step * 100.0);
+
+    // Polak-Ribiere+ beta.
+    double num = 0;
+    for (std::size_t i = 0; i < n; ++i) num += g[i] * (g[i] - g_prev[i]);
+    const double den = dot(g_prev, g_prev);
+    const double beta = den > 1e-30 ? std::max(0.0, num / den) : 0.0;
+    for (std::size_t i = 0; i < n; ++i) dir[i] = -g[i] + beta * dir[i];
+
+    CgState st{iter, f, norm2(g)};
+    if (cb && !cb(st, v)) {
+      ++iter;
+      break;
+    }
+  }
+  return iter;
+}
+
+}  // namespace aplace::numeric

@@ -1,0 +1,46 @@
+#pragma once
+// Nonlinear conjugate gradient (Polak-Ribiere+ with restart and a
+// backtracking Armijo line search). This is the solver used by the
+// NTUplace3-style prior-work global placer [11]/[10], which predates the
+// Nesterov scheme of ePlace.
+
+#include <functional>
+#include <span>
+
+#include "numeric/vec.hpp"
+
+namespace aplace::numeric {
+
+struct CgOptions {
+  int max_iters = 500;
+  double initial_step = 0.05;
+  double armijo_c = 1e-4;
+  double backtrack_factor = 0.5;
+  int max_line_search = 20;
+  double grad_tol = 1e-7;
+};
+
+struct CgState {
+  int iter = 0;
+  double value = 0.0;
+  double gradient_norm = 0.0;
+};
+
+class CgSolver {
+ public:
+  /// Value-and-gradient oracle: returns f(v) and fills grad.
+  using ValueGradFn = std::function<double(std::span<const double> v,
+                                           std::span<double> grad)>;
+  using Callback =
+      std::function<bool(const CgState&, std::span<const double> v)>;
+
+  explicit CgSolver(CgOptions opts = {}) : opts_(opts) {}
+
+  /// Minimize starting from v (updated in place). Returns iterations used.
+  int minimize(Vec& v, const ValueGradFn& fg, const Callback& cb) const;
+
+ private:
+  CgOptions opts_;
+};
+
+}  // namespace aplace::numeric

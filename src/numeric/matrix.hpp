@@ -1,0 +1,64 @@
+#pragma once
+// Dense row-major matrix. Sized for this project's needs: bin grids of a few
+// thousand entries and GNN weight matrices of a few hundred — no BLAS
+// required.
+
+#include <vector>
+
+#include "base/check.hpp"
+
+namespace aplace::numeric {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) {
+    APLACE_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const {
+    APLACE_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] std::vector<double>& data() { return data_; }
+  [[nodiscard]] const std::vector<double>& data() const { return data_; }
+
+  void fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// this = A * B
+  static Matrix multiply(const Matrix& a, const Matrix& b) {
+    APLACE_CHECK(a.cols() == b.rows());
+    Matrix out(a.rows(), b.cols());
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      for (std::size_t k = 0; k < a.cols(); ++k) {
+        const double aik = a(i, k);
+        if (aik == 0.0) continue;
+        for (std::size_t j = 0; j < b.cols(); ++j) {
+          out(i, j) += aik * b(k, j);
+        }
+      }
+    }
+    return out;
+  }
+
+  [[nodiscard]] Matrix transposed() const {
+    Matrix out(cols_, rows_);
+    for (std::size_t i = 0; i < rows_; ++i)
+      for (std::size_t j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
+    return out;
+  }
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace aplace::numeric

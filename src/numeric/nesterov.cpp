@@ -1,0 +1,82 @@
+#include "numeric/nesterov.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aplace::numeric {
+namespace {
+
+double lipschitz_step(const Vec& u_new, const Vec& u_old, const Vec& g_new,
+                      const Vec& g_old, const NesterovOptions& opts) {
+  const double du = norm2(sub(u_new, u_old));
+  const double dg = norm2(sub(g_new, g_old));
+  if (dg <= 1e-30 || du <= 1e-30) return opts.max_step;
+  return std::clamp(du / dg, opts.min_step, opts.max_step);
+}
+
+}  // namespace
+
+int NesterovSolver::minimize(Vec& v, const GradientFn& grad,
+                             const Callback& cb) const {
+  const std::size_t n = v.size();
+  if (n == 0) return 0;
+
+  // Notation per ePlace: v = major iterate, u = reference (lookahead) point.
+  Vec v_cur = v;
+  Vec u_cur = v;
+  Vec g_cur(n), g_prev(n);
+  Vec u_prev = u_cur;
+
+  grad(u_cur, g_cur);
+  double a_cur = 1.0;
+  double alpha = opts_.initial_step;
+  const double g0 = norm2(g_cur);
+  if (g0 > 1e-30) alpha = std::clamp(alpha, opts_.min_step, opts_.max_step);
+
+  int iter = 0;
+  Vec v_next(n), u_next(n), g_next(n);
+  for (; iter < opts_.max_iters; ++iter) {
+    // Backtracking on the trial step: accept once the Lipschitz step
+    // re-estimated at the trial point does not collapse below the trial.
+    double trial = alpha;
+    const double a_next = (1.0 + std::sqrt(4.0 * a_cur * a_cur + 1.0)) / 2.0;
+    const double lookahead = (a_cur - 1.0) / a_next;
+    for (int bt = 0;; ++bt) {
+      for (std::size_t i = 0; i < n; ++i) {
+        v_next[i] = u_cur[i] - trial * g_cur[i];
+        u_next[i] = v_next[i] + lookahead * (v_next[i] - v_cur[i]);
+      }
+      grad(u_next, g_next);
+      const double predicted =
+          lipschitz_step(u_next, u_cur, g_next, g_cur, opts_);
+      if (predicted >= 0.95 * trial || bt >= opts_.backtrack_limit ||
+          trial <= opts_.min_step) {
+        trial = std::min(trial, predicted);
+        break;
+      }
+      trial = std::max(predicted, trial * 0.5);
+    }
+
+    u_prev = u_cur;
+    g_prev = g_cur;
+    v_cur = v_next;
+    u_cur = u_next;
+    g_cur = g_next;
+    a_cur = a_next;
+    alpha = std::clamp(lipschitz_step(u_cur, u_prev, g_cur, g_prev, opts_),
+                       opts_.min_step, opts_.max_step);
+
+    NesterovState st;
+    st.iter = iter;
+    st.step = trial;
+    st.gradient_norm = norm2(g_cur);
+    if (cb && !cb(st, v_cur)) {
+      ++iter;
+      break;
+    }
+  }
+  v = v_cur;
+  return iter;
+}
+
+}  // namespace aplace::numeric

@@ -1,0 +1,35 @@
+#pragma once
+// Deterministic RNG wrapper. All stochastic components (SA, GNN init,
+// dataset generation) take an explicit Rng so experiments are reproducible.
+
+#include <cstdint>
+#include <random>
+
+namespace aplace::numeric {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0xA11A0C5EED) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] int uniform_int(int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+  [[nodiscard]] double normal(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+  [[nodiscard]] bool bernoulli(double p = 0.5) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  [[nodiscard]] std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace aplace::numeric

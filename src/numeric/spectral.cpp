@@ -1,0 +1,119 @@
+#include "numeric/spectral.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "base/check.hpp"
+
+namespace aplace::numeric::spectral {
+
+Basis::Basis(std::size_t n) : n_(n), cos_(n * n), sin_(n * n) {
+  APLACE_CHECK_MSG(n >= 2, "spectral basis needs >= 2 bins");
+  const double pi = std::numbers::pi;
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double arg =
+          pi * static_cast<double>(k) * (2.0 * static_cast<double>(j) + 1.0) /
+          (2.0 * static_cast<double>(n));
+      cos_[k * n + j] = std::cos(arg);
+      sin_[k * n + j] = std::sin(arg);
+    }
+  }
+}
+
+std::vector<double> Basis::dct(const std::vector<double>& v) const {
+  APLACE_DCHECK(v.size() == n_);
+  std::vector<double> a(n_, 0.0);
+  for (std::size_t k = 0; k < n_; ++k) {
+    double s = 0;
+    for (std::size_t j = 0; j < n_; ++j) s += v[j] * cosine(k, j);
+    const double w = (k == 0) ? 0.5 : 1.0;
+    a[k] = (2.0 / static_cast<double>(n_)) * w * s;
+  }
+  return a;
+}
+
+std::vector<double> Basis::idct(const std::vector<double>& a) const {
+  APLACE_DCHECK(a.size() == n_);
+  std::vector<double> v(n_, 0.0);
+  for (std::size_t j = 0; j < n_; ++j) {
+    double s = 0;
+    for (std::size_t k = 0; k < n_; ++k) s += a[k] * cosine(k, j);
+    v[j] = s;
+  }
+  return v;
+}
+
+std::vector<double> Basis::sine_synthesis(const std::vector<double>& a) const {
+  APLACE_DCHECK(a.size() == n_);
+  std::vector<double> v(n_, 0.0);
+  for (std::size_t j = 0; j < n_; ++j) {
+    double s = 0;
+    for (std::size_t k = 1; k < n_; ++k) s += a[k] * sine(k, j);
+    v[j] = s;
+  }
+  return v;
+}
+
+namespace {
+
+enum class Kind { Analysis, CosSynth, SinSynth };
+
+// Apply a 1D transform along every row of `m` (length = bx.size()).
+Matrix transform_rows(const Matrix& m, const Basis& bx, Kind kind) {
+  APLACE_CHECK(m.cols() == bx.size());
+  Matrix out(m.rows(), m.cols());
+  std::vector<double> row(m.cols());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) row[c] = m(r, c);
+    std::vector<double> t;
+    switch (kind) {
+      case Kind::Analysis: t = bx.dct(row); break;
+      case Kind::CosSynth: t = bx.idct(row); break;
+      case Kind::SinSynth: t = bx.sine_synthesis(row); break;
+    }
+    for (std::size_t c = 0; c < m.cols(); ++c) out(r, c) = t[c];
+  }
+  return out;
+}
+
+Matrix transform_cols(const Matrix& m, const Basis& by, Kind kind) {
+  APLACE_CHECK(m.rows() == by.size());
+  Matrix out(m.rows(), m.cols());
+  std::vector<double> col(m.rows());
+  for (std::size_t c = 0; c < m.cols(); ++c) {
+    for (std::size_t r = 0; r < m.rows(); ++r) col[r] = m(r, c);
+    std::vector<double> t;
+    switch (kind) {
+      case Kind::Analysis: t = by.dct(col); break;
+      case Kind::CosSynth: t = by.idct(col); break;
+      case Kind::SinSynth: t = by.sine_synthesis(col); break;
+    }
+    for (std::size_t r = 0; r < m.rows(); ++r) out(r, c) = t[r];
+  }
+  return out;
+}
+
+}  // namespace
+
+Matrix dct2d(const Matrix& m, const Basis& bx, const Basis& by) {
+  return transform_cols(transform_rows(m, bx, Kind::Analysis), by,
+                        Kind::Analysis);
+}
+
+Matrix idct2d(const Matrix& a, const Basis& bx, const Basis& by) {
+  return transform_cols(transform_rows(a, bx, Kind::CosSynth), by,
+                        Kind::CosSynth);
+}
+
+Matrix isxcy2d(const Matrix& a, const Basis& bx, const Basis& by) {
+  return transform_cols(transform_rows(a, bx, Kind::SinSynth), by,
+                        Kind::CosSynth);
+}
+
+Matrix icxsy2d(const Matrix& a, const Basis& bx, const Basis& by) {
+  return transform_cols(transform_rows(a, bx, Kind::CosSynth), by,
+                        Kind::SinSynth);
+}
+
+}  // namespace aplace::numeric::spectral

@@ -1,0 +1,68 @@
+#pragma once
+// Separable cosine/sine spectral transforms for the electrostatic density
+// system (ePlace-style Poisson solve with Neumann boundary conditions).
+//
+// Conventions (per dimension, N bins):
+//   forward DCT (analysis, reconstruction-ready coefficients):
+//     a_k = (2/N) * w(k) * sum_j v_j cos(pi k (2j+1) / (2N)),  w(0)=1/2, w(k)=1
+//   inverse DCT (synthesis):
+//     v_j = sum_k a_k cos(pi k (2j+1) / (2N))       -- exact inverse
+//   sine synthesis (for field components):
+//     s_j = sum_k a_k sin(pi k (2j+1) / (2N))
+//
+// The 2D transforms apply the 1D transform along rows then columns. All
+// transforms are O(N^2) per dimension with precomputed tables; bin grids in
+// this project are <= 128 per side, so a full 2D solve is well under a
+// millisecond.
+
+#include <vector>
+
+#include "numeric/matrix.hpp"
+
+namespace aplace::numeric::spectral {
+
+/// Precomputed cos/sin tables for one dimension of size n.
+class Basis {
+ public:
+  explicit Basis(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+  /// cos(pi k (2j+1) / (2n))
+  [[nodiscard]] double cosine(std::size_t k, std::size_t j) const {
+    return cos_[k * n_ + j];
+  }
+  /// sin(pi k (2j+1) / (2n))
+  [[nodiscard]] double sine(std::size_t k, std::size_t j) const {
+    return sin_[k * n_ + j];
+  }
+
+  /// Forward DCT producing reconstruction-ready coefficients (see header).
+  [[nodiscard]] std::vector<double> dct(const std::vector<double>& v) const;
+  /// Exact inverse of dct().
+  [[nodiscard]] std::vector<double> idct(const std::vector<double>& a) const;
+  /// Sine synthesis of DCT coefficients (a_0 ignored since sin(0)=0).
+  [[nodiscard]] std::vector<double> sine_synthesis(
+      const std::vector<double>& a) const;
+
+ private:
+  std::size_t n_;
+  std::vector<double> cos_;  // [k * n + j]
+  std::vector<double> sin_;
+};
+
+/// 2D forward DCT: rows transformed with `bx`, columns with `by`.
+/// Input m(r, c): r indexes y bins, c indexes x bins. Output coefficient
+/// matrix a(v, u) with v the y-frequency and u the x-frequency.
+[[nodiscard]] Matrix dct2d(const Matrix& m, const Basis& bx, const Basis& by);
+
+/// 2D cosine synthesis (exact inverse of dct2d).
+[[nodiscard]] Matrix idct2d(const Matrix& a, const Basis& bx, const Basis& by);
+
+/// Mixed synthesis: sine along x, cosine along y (x-field component).
+[[nodiscard]] Matrix isxcy2d(const Matrix& a, const Basis& bx,
+                             const Basis& by);
+/// Mixed synthesis: cosine along x, sine along y (y-field component).
+[[nodiscard]] Matrix icxsy2d(const Matrix& a, const Basis& bx,
+                             const Basis& by);
+
+}  // namespace aplace::numeric::spectral

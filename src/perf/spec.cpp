@@ -1,0 +1,23 @@
+#include "perf/spec.hpp"
+
+#include <algorithm>
+
+namespace aplace::perf {
+
+void PerformanceSpec::normalize_weights() {
+  double total = 0;
+  for (const MetricSpec& m : metrics) total += m.weight;
+  APLACE_CHECK_MSG(total > 0, "performance spec needs positive weights");
+  for (MetricSpec& m : metrics) m.weight /= total;
+}
+
+double normalize_metric(double z, const MetricSpec& m) {
+  APLACE_CHECK_MSG(m.spec > 0, "metric spec must be positive");
+  if (m.direction == Direction::Above) {
+    return std::min(std::max(z, 0.0) / m.spec, 1.0);
+  }
+  if (z <= 0) return 1.0;  // a non-positive "below" metric trivially passes
+  return std::min(m.spec / z, 1.0);
+}
+
+}  // namespace aplace::perf

@@ -1,0 +1,68 @@
+#pragma once
+// Performance specifications and the paper's FOM (Sec. V-B).
+//
+// Each circuit carries a set of metrics z_i with spec psi_i, a direction
+// (greater-is-better for gain/bandwidth, less-is-better for delay/offset)
+// and a weight beta_i (sum = 1). Normalization follows paper Eq. 6:
+//   z~ = min(z/psi, 1)  for "above" metrics,  min(psi/z, 1) for "below",
+// and FOM = sum beta_i z~_i in [0, 1].
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "base/check.hpp"
+
+namespace aplace::perf {
+
+enum class Direction : std::uint8_t {
+  Above,  ///< in Pi+, prefer z >= psi (gain, bandwidth, ...)
+  Below,  ///< in Pi-, prefer z <= psi (delay, offset, power, ...)
+};
+
+/// Functional form mapping placement parasitics to a metric value.
+enum class MetricForm : std::uint8_t {
+  InverseLoad,   ///< base / (1 + s.x): capacitive-load-limited (UGF, BW)
+  LinearGrowth,  ///< base * (1 + s.x): grows with parasitics (delay, offset)
+  Subtractive,   ///< base - s.x: additive degradation (phase margin)
+};
+
+/// Placement-derived parasitic features the surrogate models consume.
+/// All normalized to O(1) at typical layout scales.
+struct Features {
+  double critical_len = 0;  ///< routed length of critical nets / 50 um
+  double total_len = 0;     ///< routed length of all nets / 200 um
+  double sqrt_area = 0;     ///< sqrt(layout area) / 20 um
+  double pair_sep = 0;      ///< mean symmetric-pair separation / 10 um
+
+  [[nodiscard]] std::array<double, 4> as_array() const {
+    return {critical_len, total_len, sqrt_area, pair_sep};
+  }
+};
+
+struct MetricSpec {
+  std::string name;
+  double spec = 1.0;  ///< psi_i
+  Direction direction = Direction::Above;
+  double weight = 1.0;  ///< beta_i (normalized across the circuit's metrics)
+  double base = 1.0;    ///< nominal metric value at zero parasitics
+  MetricForm form = MetricForm::InverseLoad;
+  std::array<double, 4> sens{};  ///< sensitivities to Features::as_array()
+};
+
+struct PerformanceSpec {
+  std::vector<MetricSpec> metrics;
+  double fom_threshold = 0.85;  ///< label boundary for the GNN dataset
+  /// Global multiplier on every metric's sensitivities — the per-circuit
+  /// calibration knob that anchors typical conventional-placement FOMs to
+  /// the paper's reported range.
+  double sens_scale = 1.0;
+
+  /// Normalize weights to sum 1 (paper requires sum beta_i = 1).
+  void normalize_weights();
+};
+
+/// Paper Eq. 6.
+[[nodiscard]] double normalize_metric(double z, const MetricSpec& m);
+
+}  // namespace aplace::perf

@@ -1,0 +1,194 @@
+#include "route/router.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace aplace::route {
+namespace {
+
+struct RoutingGrid {
+  geom::Rect region;
+  double pitch;
+  std::size_t nx, ny;
+  // Usage of horizontal edges (node -> node+1 in x) and vertical edges.
+  std::vector<double> h_use, v_use;
+
+  RoutingGrid(const geom::Rect& r, double p)
+      : region(r),
+        pitch(p),
+        nx(static_cast<std::size_t>(std::ceil(r.width() / p)) + 1),
+        ny(static_cast<std::size_t>(std::ceil(r.height() / p)) + 1),
+        h_use(nx * ny, 0.0),
+        v_use(nx * ny, 0.0) {}
+
+  [[nodiscard]] std::size_t idx(std::size_t cx, std::size_t cy) const {
+    return cy * nx + cx;
+  }
+  [[nodiscard]] geom::Point node(std::size_t cx, std::size_t cy) const {
+    return {region.xlo() + static_cast<double>(cx) * pitch,
+            region.ylo() + static_cast<double>(cy) * pitch};
+  }
+  [[nodiscard]] std::pair<std::size_t, std::size_t> nearest(
+      const geom::Point& p) const {
+    const long cx = std::lround((p.x - region.xlo()) / pitch);
+    const long cy = std::lround((p.y - region.ylo()) / pitch);
+    return {static_cast<std::size_t>(
+                std::clamp<long>(cx, 0, static_cast<long>(nx) - 1)),
+            static_cast<std::size_t>(
+                std::clamp<long>(cy, 0, static_cast<long>(ny) - 1))};
+  }
+};
+
+struct AstarNode {
+  double f;
+  double g;
+  std::size_t id;
+  friend bool operator>(const AstarNode& a, const AstarNode& b) {
+    return a.f > b.f;
+  }
+};
+
+// A* from source node to target node; returns path of node ids (reversed).
+std::vector<std::size_t> astar(const RoutingGrid& g, std::size_t src,
+                               std::size_t dst, double congestion_penalty) {
+  const std::size_t n = g.nx * g.ny;
+  std::vector<double> best(n, std::numeric_limits<double>::infinity());
+  std::vector<std::size_t> parent(n, n);
+  std::priority_queue<AstarNode, std::vector<AstarNode>, std::greater<>> open;
+
+  const auto hx = [&](std::size_t id) {
+    const long ax = static_cast<long>(id % g.nx), ay = static_cast<long>(id / g.nx);
+    const long bx = static_cast<long>(dst % g.nx), by = static_cast<long>(dst / g.nx);
+    return g.pitch * static_cast<double>(std::labs(ax - bx) + std::labs(ay - by));
+  };
+
+  best[src] = 0;
+  open.push({hx(src), 0, src});
+  while (!open.empty()) {
+    const AstarNode cur = open.top();
+    open.pop();
+    if (cur.g > best[cur.id] + 1e-12) continue;
+    if (cur.id == dst) break;
+    const std::size_t cx = cur.id % g.nx, cy = cur.id / g.nx;
+
+    const auto relax = [&](std::size_t nid, double edge_use) {
+      const double cost =
+          cur.g + g.pitch * (1.0 + congestion_penalty * edge_use);
+      if (cost < best[nid] - 1e-12) {
+        best[nid] = cost;
+        parent[nid] = cur.id;
+        open.push({cost + hx(nid), cost, nid});
+      }
+    };
+    if (cx + 1 < g.nx) relax(g.idx(cx + 1, cy), g.h_use[g.idx(cx, cy)]);
+    if (cx > 0) relax(g.idx(cx - 1, cy), g.h_use[g.idx(cx - 1, cy)]);
+    if (cy + 1 < g.ny) relax(g.idx(cx, cy + 1), g.v_use[g.idx(cx, cy)]);
+    if (cy > 0) relax(g.idx(cx, cy - 1), g.v_use[g.idx(cx, cy - 1)]);
+  }
+
+  std::vector<std::size_t> path;
+  if (parent[dst] == n && src != dst) return path;  // unreachable (never
+                                                    // happens on a full grid)
+  for (std::size_t at = dst;; at = parent[at]) {
+    path.push_back(at);
+    if (at == src) break;
+  }
+  return path;
+}
+
+void commit_path(RoutingGrid& g, const std::vector<std::size_t>& path) {
+  for (std::size_t k = 0; k + 1 < path.size(); ++k) {
+    const std::size_t a = std::min(path[k], path[k + 1]);
+    const std::size_t b = std::max(path[k], path[k + 1]);
+    if (b == a + 1) g.h_use[a] += 1.0;  // horizontal edge from a
+    else g.v_use[a] += 1.0;             // vertical edge from a
+  }
+}
+
+}  // namespace
+
+RoutingResult GridRouter::route(const netlist::Placement& placement) const {
+  const netlist::Circuit& circuit = placement.circuit();
+  RoutingResult result;
+  result.nets.resize(circuit.num_nets());
+
+  const geom::Rect bbox = placement.bounding_box().inflated(opts_.margin);
+  double pitch = opts_.pitch;
+  if (pitch <= 0) {
+    pitch = std::max(bbox.width(), bbox.height()) / 64.0;
+    pitch = std::max(pitch, 0.1);
+  }
+  RoutingGrid grid(bbox, pitch);
+
+  // Route nets in ascending bbox half-perimeter order (small first), the
+  // usual global-routing heuristic.
+  std::vector<std::size_t> order(circuit.num_nets());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::vector<double> key(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    key[i] = placement.net_hpwl(NetId{i});
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return key[a] < key[b]; });
+
+  for (std::size_t ni : order) {
+    const netlist::Net& net = circuit.net(NetId{ni});
+    NetRoute& out = result.nets[ni];
+
+    // Pin grid nodes.
+    std::vector<std::size_t> pins;
+    pins.reserve(net.pins.size());
+    for (PinId pid : net.pins) {
+      const auto [cx, cy] = grid.nearest(placement.pin_position(pid));
+      pins.push_back(grid.idx(cx, cy));
+    }
+    std::sort(pins.begin(), pins.end());
+    pins.erase(std::unique(pins.begin(), pins.end()), pins.end());
+    if (pins.size() < 2) continue;
+
+    // Prim-style: connect the nearest unconnected pin to the tree.
+    std::vector<std::size_t> tree{pins[0]};
+    std::vector<char> connected(pins.size(), 0);
+    connected[0] = 1;
+    auto manhattan = [&](std::size_t a, std::size_t b) {
+      const long ax = static_cast<long>(a % grid.nx), ay = static_cast<long>(a / grid.nx);
+      const long bx = static_cast<long>(b % grid.nx), by = static_cast<long>(b / grid.nx);
+      return std::labs(ax - bx) + std::labs(ay - by);
+    };
+    for (std::size_t step = 1; step < pins.size(); ++step) {
+      std::size_t best_pin = 0, best_src = tree[0];
+      long best_d = std::numeric_limits<long>::max();
+      for (std::size_t p = 0; p < pins.size(); ++p) {
+        if (connected[p]) continue;
+        for (std::size_t t : tree) {
+          const long d = manhattan(pins[p], t);
+          if (d < best_d) {
+            best_d = d;
+            best_pin = p;
+            best_src = t;
+          }
+        }
+      }
+      const std::vector<std::size_t> path =
+          astar(grid, best_src, pins[best_pin], opts_.congestion_penalty);
+      commit_path(grid, path);
+      out.length += grid.pitch * static_cast<double>(
+                        path.size() > 0 ? path.size() - 1 : 0);
+      for (std::size_t id : path) {
+        tree.push_back(id);
+        out.waypoints.push_back(
+            grid.node(id % grid.nx, id / grid.nx));
+      }
+      connected[best_pin] = 1;
+    }
+    result.total_length += out.length;
+  }
+
+  for (double u : grid.h_use) result.max_edge_usage = std::max(result.max_edge_usage, u);
+  for (double u : grid.v_use) result.max_edge_usage = std::max(result.max_edge_usage, u);
+  return result;
+}
+
+}  // namespace aplace::route

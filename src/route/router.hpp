@@ -1,0 +1,48 @@
+#pragma once
+// Coarse grid maze router (stand-in for the ALIGN router the paper used).
+//
+// The performance substrate only needs physically plausible per-net routed
+// lengths and congestion, not DRC-clean geometry: nets are decomposed into
+// two-pin connections (nearest-unconnected-sink order) and each connection
+// is routed with A* over a uniform grid whose edge cost grows with usage, so
+// parallel nets spread out and routed length responds to placement quality.
+
+#include <vector>
+
+#include "netlist/placement.hpp"
+
+namespace aplace::route {
+
+struct RouterOptions {
+  double pitch = 0.0;        ///< grid pitch in um; 0 = auto (~bbox/64)
+  double congestion_penalty = 0.6;  ///< extra cost per prior use of an edge
+  double margin = 2.0;       ///< routing halo around the layout bbox (um)
+};
+
+struct NetRoute {
+  double length = 0.0;                  ///< total routed wirelength (um)
+  std::vector<geom::Point> waypoints;   ///< polyline through grid nodes
+};
+
+struct RoutingResult {
+  std::vector<NetRoute> nets;  ///< indexed by net id
+  double total_length = 0.0;
+  double max_edge_usage = 0.0;
+
+  [[nodiscard]] double net_length(NetId id) const {
+    return nets[id.index()].length;
+  }
+};
+
+class GridRouter {
+ public:
+  explicit GridRouter(RouterOptions options = {}) : opts_(options) {}
+
+  /// Route every net of the placement. Deterministic.
+  [[nodiscard]] RoutingResult route(const netlist::Placement& placement) const;
+
+ private:
+  RouterOptions opts_;
+};
+
+}  // namespace aplace::route

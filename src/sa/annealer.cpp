@@ -1,0 +1,264 @@
+#include "sa/annealer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace aplace::sa {
+namespace {
+constexpr std::size_t kNoBlock = static_cast<std::size_t>(-1);
+}
+
+SaPlacer::SaPlacer(const netlist::Circuit& circuit, SaOptions options)
+    : circuit_(&circuit), opts_(std::move(options)), eval_(circuit) {
+  APLACE_CHECK(circuit.finalized());
+
+  const std::size_t n = circuit.num_devices();
+  single_block_of_.assign(n, kNoBlock);
+  device_orient_.assign(n, {});
+
+  std::vector<char> in_island(n, 0);
+  for (const netlist::SymmetryGroup& g : circuit.constraints().symmetry_groups) {
+    islands_.emplace_back(circuit, g);
+    for (const Island::Member& m : islands_.back().members()) {
+      in_island[m.device.index()] = 1;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!in_island[i]) single_device_.push_back(DeviceId{i});
+  }
+
+  const std::size_t nb = islands_.size() + single_device_.size();
+  block_w_.resize(nb);
+  block_h_.resize(nb);
+  for (std::size_t b = 0; b < islands_.size(); ++b) {
+    block_w_[b] = islands_[b].width();
+    block_h_[b] = islands_[b].height();
+  }
+  for (std::size_t s = 0; s < single_device_.size(); ++s) {
+    const std::size_t b = islands_.size() + s;
+    const netlist::Device& d = circuit.device(single_device_[s]);
+    block_w_[b] = d.width;
+    block_h_[b] = d.height;
+    single_block_of_[single_device_[s].index()] = b;
+  }
+}
+
+void SaPlacer::realize(const SequencePair::Packing& pk,
+                       netlist::Placement& pl) const {
+  for (std::size_t b = 0; b < islands_.size(); ++b) {
+    const geom::Point origin{pk.x[b], pk.y[b]};
+    for (const Island::Member& m : islands_[b].members()) {
+      pl.set_position(m.device, origin + m.center);
+      pl.set_orientation(m.device, m.orientation);
+    }
+  }
+  for (std::size_t s = 0; s < single_device_.size(); ++s) {
+    const std::size_t b = islands_.size() + s;
+    const DeviceId dev = single_device_[s];
+    pl.set_position(dev, {pk.x[b] + block_w_[b] / 2, pk.y[b] + block_h_[b] / 2});
+    pl.set_orientation(dev, device_orient_[dev.index()]);
+  }
+}
+
+double SaPlacer::cost_of(const netlist::Placement& pl) const {
+  const double hpwl = pl.total_hpwl();
+  const double area = pl.layout_area();
+  double penalty = 0;
+  for (const netlist::AlignmentPair& a : circuit_->constraints().alignments) {
+    penalty += eval_.alignment_residual(pl, a);
+  }
+  for (const netlist::OrderingConstraint& o :
+       circuit_->constraints().orderings) {
+    penalty += eval_.ordering_residual(pl, o);
+  }
+  for (const netlist::CommonCentroidQuad& q :
+       circuit_->constraints().common_centroids) {
+    penalty += eval_.centroid_residual(pl, q);
+  }
+  double cost = opts_.area_weight * area / area0_ +
+                (1.0 - opts_.area_weight) * hpwl / hpwl0_ +
+                opts_.constraint_weight * penalty / penalty0_;
+  if (opts_.extra_cost) cost += opts_.extra_cost(pl);
+  return cost;
+}
+
+netlist::Placement SaPlacer::sample_random(numeric::Rng& rng) {
+  const std::size_t nb = num_blocks();
+  SequencePair sp(nb);
+  sp.shuffle(rng);
+  for (DeviceId d : single_device_) {
+    device_orient_[d.index()] = {rng.bernoulli(), rng.bernoulli()};
+  }
+  for (Island& island : islands_) {
+    for (std::size_t r = 0; r < island.num_rows(); ++r) {
+      if (rng.bernoulli(0.3)) island.mirror_row(r);
+    }
+    if (island.num_rows() >= 2 && rng.bernoulli()) {
+      island.swap_rows(
+          static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<int>(island.num_rows()) - 1)),
+          static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<int>(island.num_rows()) - 1)));
+    }
+  }
+  netlist::Placement pl(*circuit_);
+  realize(sp.pack(block_w_, block_h_), pl);
+  pl.normalize_to_origin();
+  return pl;
+}
+
+SaResult SaPlacer::place() {
+  numeric::Rng rng(opts_.seed);
+  const std::size_t nb = num_blocks();
+  SequencePair sp(nb);
+  sp.shuffle(rng);
+
+  netlist::Placement pl(*circuit_);
+  realize(sp.pack(block_w_, block_h_), pl);
+  // Normalizers: initial state metrics (penalty scale = layout half-perimeter
+  // so residuals in microns are comparable).
+  hpwl0_ = std::max(pl.total_hpwl(), 1e-9);
+  area0_ = std::max(pl.layout_area(), 1e-9);
+  penalty0_ = std::max(std::sqrt(area0_), 1e-9);
+
+  double cur_cost = cost_of(pl);
+  SaResult best{pl, cur_cost, 0, 0};
+
+  // Move kinds: 0 swap+, 1 swap both, 2 flip device, 3 island row swap,
+  // 4 island mirror.
+  const bool have_islands = !islands_.empty();
+  const bool have_singles = !single_device_.empty();
+
+  // Calibrate T0 by sampling move deltas from the initial state.
+  std::vector<double> deltas;
+  {
+    SequencePair probe = sp;
+    netlist::Placement tmp(*circuit_);
+    for (int k = 0; k < 40 && nb >= 2; ++k) {
+      const std::size_t i = static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(nb) - 1));
+      const std::size_t j = static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(nb) - 1));
+      if (i == j) continue;
+      probe.swap_in_both(i, j);
+      realize(probe.pack(block_w_, block_h_), tmp);
+      deltas.push_back(std::abs(cost_of(tmp) - cur_cost));
+      probe.swap_in_both(i, j);  // undo
+    }
+  }
+  double t0 = 0.3;
+  if (!deltas.empty()) {
+    double mean = 0;
+    for (double d : deltas) mean += d;
+    mean /= static_cast<double>(deltas.size());
+    t0 = std::max(mean * 1.5, 1e-6);
+  }
+
+  double temp = t0;
+  const double t_stop = t0 * opts_.stop_temperature_ratio;
+  const long moves_per_temp =
+      static_cast<long>(opts_.moves_per_temp_per_block) *
+      static_cast<long>(std::max<std::size_t>(nb, 1));
+  long moves = 0;
+
+  netlist::Placement trial(*circuit_);
+  while (temp > t_stop) {
+    for (long m = 0; m < moves_per_temp; ++m) {
+      if (opts_.max_moves > 0 && moves >= opts_.max_moves) break;
+      ++moves;
+
+      // --- propose ---------------------------------------------------------
+      int kind = rng.uniform_int(0, 99);
+      std::size_t i = 0, j = 0, isl = 0, r1 = 0, r2 = 0;
+      DeviceId flip_dev;
+      bool flip_axis_x = false;
+      bool applied = false;
+      if (kind < 35 && nb >= 2) {
+        i = static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(nb) - 1));
+        j = static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(nb) - 1));
+        if (i != j) {
+          sp.swap_in_plus(i, j);
+          kind = 0;
+          applied = true;
+        }
+      } else if (kind < 70 && nb >= 2) {
+        i = static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(nb) - 1));
+        j = static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(nb) - 1));
+        if (i != j) {
+          sp.swap_in_both(i, j);
+          kind = 1;
+          applied = true;
+        }
+      } else if (kind < 85 && have_singles) {
+        const std::size_t s = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<int>(single_device_.size()) - 1));
+        flip_dev = single_device_[s];
+        flip_axis_x = rng.bernoulli();
+        geom::Orientation& o = device_orient_[flip_dev.index()];
+        if (flip_axis_x) o.flip_x = !o.flip_x;
+        else o.flip_y = !o.flip_y;
+        kind = 2;
+        applied = true;
+      } else if (have_islands) {
+        isl = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<int>(islands_.size()) - 1));
+        Island& island = islands_[isl];
+        if (island.num_rows() >= 2 && rng.bernoulli()) {
+          r1 = static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<int>(island.num_rows()) - 1));
+          r2 = static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<int>(island.num_rows()) - 1));
+          if (r1 != r2) {
+            island.swap_rows(r1, r2);
+            kind = 3;
+            applied = true;
+          }
+        } else {
+          r1 = static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<int>(island.num_rows()) - 1));
+          island.mirror_row(r1);
+          kind = 4;
+          applied = true;
+        }
+      }
+      if (!applied) continue;
+
+      // --- evaluate ---------------------------------------------------------
+      realize(sp.pack(block_w_, block_h_), trial);
+      const double new_cost = cost_of(trial);
+      const double delta = new_cost - cur_cost;
+      const bool accept =
+          delta <= 0 || rng.uniform() < std::exp(-delta / temp);
+      if (accept) {
+        cur_cost = new_cost;
+        ++best.moves_accepted;
+        if (new_cost < best.cost) {
+          best.cost = new_cost;
+          best.placement = trial;
+        }
+      } else {
+        // --- undo ------------------------------------------------------------
+        switch (kind) {
+          case 0: sp.swap_in_plus(i, j); break;
+          case 1: sp.swap_in_both(i, j); break;
+          case 2: {
+            geom::Orientation& o = device_orient_[flip_dev.index()];
+            if (flip_axis_x) o.flip_x = !o.flip_x;
+            else o.flip_y = !o.flip_y;
+            break;
+          }
+          case 3: islands_[isl].swap_rows(r1, r2); break;
+          case 4: islands_[isl].mirror_row(r1); break;
+          default: break;
+        }
+      }
+    }
+    if (opts_.max_moves > 0 && moves >= opts_.max_moves) break;
+    temp *= opts_.cooling;
+  }
+
+  best.moves_evaluated = moves;
+  best.placement.normalize_to_origin();
+  return best;
+}
+
+}  // namespace aplace::sa

@@ -1,0 +1,85 @@
+#pragma once
+// Simulated-annealing analog placer: the classic baseline the paper
+// compares against.
+//
+// Representation: sequence pair over blocks, where each symmetry group is a
+// rigid symmetry island (symmetry holds exactly at all times) and every
+// other device is its own block. Moves: sequence swaps, device flips,
+// island-row permutation and pair mirroring. Cost: normalized layout area +
+// wirelength, plus penalties for alignment/ordering constraints, plus an
+// optional caller-supplied term (the performance-driven variant plugs the
+// GNN's failure probability in here, as in Li et al. ICCAD'20 [19]).
+
+#include <functional>
+#include <optional>
+
+#include "netlist/evaluator.hpp"
+#include "netlist/placement.hpp"
+#include "numeric/rng.hpp"
+#include "sa/island.hpp"
+#include "sa/sequence_pair.hpp"
+
+namespace aplace::sa {
+
+struct SaOptions {
+  double cooling = 0.96;          ///< geometric temperature decay
+  double stop_temperature_ratio = 1e-4;  ///< stop when T < ratio * T0
+  int moves_per_temp_per_block = 60;
+  long max_moves = 0;             ///< 0 = schedule-driven only
+  std::uint64_t seed = 1;
+
+  double area_weight = 0.38;      ///< vs. (1 - area_weight) wirelength
+  double constraint_weight = 8.0; ///< alignment / ordering penalty weight
+
+  /// Optional extra cost term evaluated on candidate placements (already
+  /// weighted by the caller). Used for performance-driven SA.
+  std::function<double(const netlist::Placement&)> extra_cost;
+};
+
+struct SaResult {
+  netlist::Placement placement;
+  double cost = 0.0;
+  long moves_evaluated = 0;
+  long moves_accepted = 0;
+};
+
+class SaPlacer {
+ public:
+  SaPlacer(const netlist::Circuit& circuit, SaOptions options);
+
+  /// Run annealing from a shuffled initial state; returns the best found.
+  [[nodiscard]] SaResult place();
+
+  /// One random legal state (shuffled sequence pair, random flips and island
+  /// permutations) — used to generate GNN training datasets cheaply.
+  [[nodiscard]] netlist::Placement sample_random(numeric::Rng& rng);
+
+  [[nodiscard]] std::size_t num_blocks() const { return block_w_.size(); }
+
+ private:
+  struct DeviceSlot {
+    std::size_t block;     ///< owning block
+    geom::Point offset;    ///< center offset from block lower-left (for
+                           ///< single blocks; islands recompute on the fly)
+  };
+
+  void realize(const SequencePair::Packing& pk,
+               netlist::Placement& pl) const;
+  [[nodiscard]] double cost_of(const netlist::Placement& pl) const;
+
+  const netlist::Circuit* circuit_;
+  SaOptions opts_;
+  netlist::Evaluator eval_;
+
+  // Blocks: first all islands, then single devices.
+  std::vector<Island> islands_;
+  std::vector<DeviceId> single_device_;       ///< block -> device (singles)
+  std::vector<std::size_t> single_block_of_;  ///< device -> block or npos
+  std::vector<double> block_w_, block_h_;
+  std::vector<geom::Orientation> device_orient_;
+
+  // Normalizers captured from the initial state.
+  double hpwl0_ = 1.0, area0_ = 1.0, penalty0_ = 1.0;
+};
+
+}  // namespace aplace::sa

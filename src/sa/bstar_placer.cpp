@@ -1,0 +1,191 @@
+#include "sa/bstar_placer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aplace::sa {
+
+BStarPlacer::BStarPlacer(const netlist::Circuit& circuit, SaOptions options)
+    : circuit_(&circuit), opts_(std::move(options)), eval_(circuit) {
+  APLACE_CHECK(circuit.finalized());
+  const std::size_t n = circuit.num_devices();
+  device_orient_.assign(n, {});
+
+  std::vector<char> in_island(n, 0);
+  for (const netlist::SymmetryGroup& g :
+       circuit.constraints().symmetry_groups) {
+    islands_.emplace_back(circuit, g);
+    for (const Island::Member& m : islands_.back().members()) {
+      in_island[m.device.index()] = 1;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!in_island[i]) single_device_.push_back(DeviceId{i});
+  }
+  const std::size_t nb = islands_.size() + single_device_.size();
+  block_w_.resize(nb);
+  block_h_.resize(nb);
+  for (std::size_t b = 0; b < islands_.size(); ++b) {
+    block_w_[b] = islands_[b].width();
+    block_h_[b] = islands_[b].height();
+  }
+  for (std::size_t s = 0; s < single_device_.size(); ++s) {
+    const netlist::Device& d = circuit.device(single_device_[s]);
+    block_w_[islands_.size() + s] = d.width;
+    block_h_[islands_.size() + s] = d.height;
+  }
+}
+
+void BStarPlacer::realize(const BStarTree::Packing& pk,
+                          netlist::Placement& pl) const {
+  for (std::size_t b = 0; b < islands_.size(); ++b) {
+    const geom::Point origin{pk.x[b], pk.y[b]};
+    for (const Island::Member& m : islands_[b].members()) {
+      pl.set_position(m.device, origin + m.center);
+      pl.set_orientation(m.device, m.orientation);
+    }
+  }
+  for (std::size_t s = 0; s < single_device_.size(); ++s) {
+    const std::size_t b = islands_.size() + s;
+    const DeviceId dev = single_device_[s];
+    pl.set_position(dev,
+                    {pk.x[b] + block_w_[b] / 2, pk.y[b] + block_h_[b] / 2});
+    pl.set_orientation(dev, device_orient_[dev.index()]);
+  }
+}
+
+double BStarPlacer::cost_of(const netlist::Placement& pl) const {
+  double penalty = 0;
+  for (const netlist::AlignmentPair& a : circuit_->constraints().alignments) {
+    penalty += eval_.alignment_residual(pl, a);
+  }
+  for (const netlist::OrderingConstraint& o :
+       circuit_->constraints().orderings) {
+    penalty += eval_.ordering_residual(pl, o);
+  }
+  for (const netlist::CommonCentroidQuad& q :
+       circuit_->constraints().common_centroids) {
+    penalty += eval_.centroid_residual(pl, q);
+  }
+  double cost = opts_.area_weight * pl.layout_area() / area0_ +
+                (1.0 - opts_.area_weight) * pl.total_hpwl() / hpwl0_ +
+                opts_.constraint_weight * penalty / penalty0_;
+  if (opts_.extra_cost) cost += opts_.extra_cost(pl);
+  return cost;
+}
+
+SaResult BStarPlacer::place() {
+  numeric::Rng rng(opts_.seed);
+  const std::size_t nb = num_blocks();
+  BStarTree tree(nb);
+  tree.shuffle(rng);
+
+  netlist::Placement pl(*circuit_);
+  realize(tree.pack(block_w_, block_h_), pl);
+  hpwl0_ = std::max(pl.total_hpwl(), 1e-9);
+  area0_ = std::max(pl.layout_area(), 1e-9);
+  penalty0_ = std::max(std::sqrt(area0_), 1e-9);
+
+  double cur_cost = cost_of(pl);
+  SaResult best{pl, cur_cost, 0, 0};
+
+  // T0 calibration by sampling swap deltas.
+  double t0 = 0.3;
+  if (nb >= 2) {
+    BStarTree probe = tree;
+    netlist::Placement tmp(*circuit_);
+    double mean = 0;
+    int count = 0;
+    for (int k = 0; k < 30; ++k) {
+      const auto i = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(nb) - 1));
+      const auto j = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(nb) - 1));
+      if (i == j) continue;
+      probe.swap_blocks(i, j);
+      realize(probe.pack(block_w_, block_h_), tmp);
+      mean += std::abs(cost_of(tmp) - cur_cost);
+      ++count;
+      probe.swap_blocks(i, j);
+    }
+    if (count > 0) t0 = std::max(mean / count * 1.5, 1e-6);
+  }
+
+  double temp = t0;
+  const double t_stop = t0 * opts_.stop_temperature_ratio;
+  const long moves_per_temp =
+      static_cast<long>(opts_.moves_per_temp_per_block) *
+      static_cast<long>(std::max<std::size_t>(nb, 1));
+  long moves = 0;
+
+  netlist::Placement trial(*circuit_);
+  while (temp > t_stop) {
+    for (long m = 0; m < moves_per_temp; ++m) {
+      if (opts_.max_moves > 0 && moves >= opts_.max_moves) break;
+      ++moves;
+
+      // B*-tree moves are not all cheaply reversible (move_block splices),
+      // so keep a snapshot for rejection. Island mirrors are involutions
+      // and are reverted explicitly.
+      const BStarTree saved = tree;
+      const std::vector<geom::Orientation> saved_orient = device_orient_;
+      int mirrored_island = -1;
+      std::size_t mirrored_row = 0;
+
+      const int kind = rng.uniform_int(0, 99);
+      if (kind < 40 && nb >= 2) {
+        const auto i = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<int>(nb) - 1));
+        const auto j = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<int>(nb) - 1));
+        tree.swap_blocks(i, j);
+      } else if (kind < 80 && nb >= 2) {
+        const auto b = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<int>(nb) - 1));
+        const auto p = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<int>(nb) - 1));
+        tree.move_block(b, p, rng.bernoulli());
+      } else if (!single_device_.empty()) {
+        const auto s = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<int>(single_device_.size()) - 1));
+        geom::Orientation& o = device_orient_[single_device_[s].index()];
+        if (rng.bernoulli()) o.flip_x = !o.flip_x;
+        else o.flip_y = !o.flip_y;
+      } else if (!islands_.empty()) {
+        const auto isl = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<int>(islands_.size()) - 1));
+        mirrored_island = static_cast<int>(isl);
+        mirrored_row = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<int>(islands_[isl].num_rows()) - 1));
+        islands_[isl].mirror_row(mirrored_row);
+      }
+
+      realize(tree.pack(block_w_, block_h_), trial);
+      const double new_cost = cost_of(trial);
+      const double delta = new_cost - cur_cost;
+      if (delta <= 0 || rng.uniform() < std::exp(-delta / temp)) {
+        cur_cost = new_cost;
+        ++best.moves_accepted;
+        if (new_cost < best.cost) {
+          best.cost = new_cost;
+          best.placement = trial;
+        }
+      } else {
+        tree = saved;
+        device_orient_ = saved_orient;
+        if (mirrored_island >= 0) {
+          islands_[static_cast<std::size_t>(mirrored_island)].mirror_row(
+              mirrored_row);
+        }
+      }
+    }
+    if (opts_.max_moves > 0 && moves >= opts_.max_moves) break;
+    temp *= opts_.cooling;
+  }
+
+  best.moves_evaluated = moves;
+  best.placement.normalize_to_origin();
+  return best;
+}
+
+}  // namespace aplace::sa

@@ -1,0 +1,37 @@
+#pragma once
+// Simulated annealing over the B*-tree representation — an alternative SA
+// baseline to the sequence-pair annealer, sharing the symmetry-island
+// construction and cost model. Useful for checking that the paper's
+// SA-vs-analytical conclusions are not an artifact of one floorplan
+// representation.
+
+#include "sa/annealer.hpp"
+#include "sa/bstar_tree.hpp"
+
+namespace aplace::sa {
+
+class BStarPlacer {
+ public:
+  BStarPlacer(const netlist::Circuit& circuit, SaOptions options);
+
+  [[nodiscard]] SaResult place();
+
+  [[nodiscard]] std::size_t num_blocks() const { return block_w_.size(); }
+
+ private:
+  void realize(const BStarTree::Packing& pk, netlist::Placement& pl) const;
+  [[nodiscard]] double cost_of(const netlist::Placement& pl) const;
+
+  const netlist::Circuit* circuit_;
+  SaOptions opts_;
+  netlist::Evaluator eval_;
+
+  std::vector<Island> islands_;
+  std::vector<DeviceId> single_device_;
+  std::vector<double> block_w_, block_h_;
+  std::vector<geom::Orientation> device_orient_;
+
+  double hpwl0_ = 1.0, area0_ = 1.0, penalty0_ = 1.0;
+};
+
+}  // namespace aplace::sa

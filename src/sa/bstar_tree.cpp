@@ -1,0 +1,181 @@
+#include "sa/bstar_tree.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace aplace::sa {
+
+BStarTree::BStarTree(std::size_t n) : nodes_(n) {
+  APLACE_CHECK_MSG(n >= 1, "B*-tree needs at least one block");
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    nodes_[i].left = static_cast<int>(i + 1);
+    nodes_[i + 1].parent = static_cast<int>(i);
+  }
+  root_ = 0;
+}
+
+void BStarTree::swap_blocks(std::size_t a, std::size_t b) {
+  APLACE_DCHECK(a < size() && b < size());
+  if (a == b) return;
+  // Swapping block *ids* at fixed tree positions = swap the nodes' places.
+  // Implemented by exchanging every reference to a and b.
+  auto fix = [&](int& ref) {
+    if (ref == static_cast<int>(a)) ref = static_cast<int>(b);
+    else if (ref == static_cast<int>(b)) ref = static_cast<int>(a);
+  };
+  for (Node& nd : nodes_) {
+    fix(nd.parent);
+    fix(nd.left);
+    fix(nd.right);
+  }
+  std::swap(nodes_[a], nodes_[b]);
+  int r = root_;
+  fix(r);
+  root_ = r;
+}
+
+void BStarTree::detach(std::size_t b) {
+  Node& nb = nodes_[b];
+  // Splice: replace b by one of its children (prefer left), re-hanging the
+  // other child below the promoted one.
+  int promoted = nb.left != -1 ? nb.left : nb.right;
+  if (nb.left != -1 && nb.right != -1) {
+    // Hang b's right subtree at the leftmost-right slot of the promoted
+    // chain (any free right slot works; walk until one is free).
+    int at = promoted;
+    while (nodes_[at].right != -1) at = nodes_[at].right;
+    nodes_[at].right = nb.right;
+    nodes_[nb.right].parent = at;
+  }
+  if (promoted != -1) nodes_[promoted].parent = nb.parent;
+  if (nb.parent == -1) {
+    APLACE_CHECK_MSG(promoted != -1, "cannot detach the only block");
+    root_ = promoted;
+  } else {
+    Node& np = nodes_[nb.parent];
+    if (np.left == static_cast<int>(b)) np.left = promoted;
+    else np.right = promoted;
+  }
+  nb.parent = nb.left = nb.right = -1;
+}
+
+void BStarTree::move_block(std::size_t b, std::size_t parent, bool as_left) {
+  APLACE_DCHECK(b < size() && parent < size());
+  if (b == parent) return;
+  // Refuse to re-hang under b's own subtree (would orphan the tree).
+  for (int at = static_cast<int>(parent); at != -1; at = nodes_[at].parent) {
+    if (at == static_cast<int>(b)) return;
+  }
+  detach(b);
+  Node& np = nodes_[parent];
+  int& slot = as_left ? np.left : np.right;
+  // Push any existing child down below b (same side).
+  if (as_left) nodes_[b].left = slot;
+  else nodes_[b].right = slot;
+  if (slot != -1) nodes_[slot].parent = static_cast<int>(b);
+  slot = static_cast<int>(b);
+  nodes_[b].parent = static_cast<int>(parent);
+}
+
+void BStarTree::shuffle(numeric::Rng& rng) {
+  for (int k = 0; k < static_cast<int>(size()) * 3; ++k) {
+    const std::size_t b =
+        static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(size()) - 1));
+    const std::size_t p =
+        static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(size()) - 1));
+    move_block(b, p, rng.bernoulli());
+  }
+}
+
+BStarTree::Packing BStarTree::pack(const std::vector<double>& widths,
+                                   const std::vector<double>& heights) const {
+  const std::size_t n = size();
+  APLACE_CHECK(widths.size() == n && heights.size() == n);
+  Packing out;
+  out.x.assign(n, 0.0);
+  out.y.assign(n, 0.0);
+
+  // Contour: piecewise-constant skyline height keyed by x (value holds
+  // until the next key).
+  std::map<double, double> contour;
+  contour[0.0] = 0.0;
+
+  auto place = [&](std::size_t b) {
+    const double x0 = out.x[b];
+    const double x1 = x0 + widths[b];
+    // Height = max contour over [x0, x1).
+    double y = 0.0;
+    auto it = contour.upper_bound(x0);
+    APLACE_DCHECK(it != contour.begin());
+    --it;  // segment containing x0
+    const double resume = [&] {
+      for (auto j = it; j != contour.end() && j->first < x1; ++j) {
+        y = std::max(y, j->second);
+      }
+      // Value of the contour just past x1 (to restore after overwriting).
+      auto k = contour.upper_bound(x1);
+      --k;
+      return k->second;
+    }();
+    out.y[b] = y;
+    // Overwrite [x0, x1) with the new top.
+    auto lo = contour.lower_bound(x0);
+    auto hi = contour.lower_bound(x1);
+    contour.erase(lo, hi);
+    contour[x0] = y + heights[b];
+    if (!contour.contains(x1)) contour[x1] = resume;
+    out.width = std::max(out.width, x1);
+    out.height = std::max(out.height, y + heights[b]);
+  };
+
+  // Preorder DFS from the root.
+  std::vector<int> stack{root_};
+  std::vector<char> seen(n, 0);
+  while (!stack.empty()) {
+    const int b = stack.back();
+    stack.pop_back();
+    APLACE_CHECK_MSG(!seen[b], "B*-tree contains a cycle");
+    seen[b] = 1;
+    const Node& nd = nodes_[b];
+    if (nd.parent != -1) {
+      const Node& pp = nodes_[nd.parent];
+      if (pp.left == b) {
+        out.x[b] = out.x[nd.parent] + widths[nd.parent];
+      } else {
+        out.x[b] = out.x[nd.parent];
+      }
+    }
+    place(static_cast<std::size_t>(b));
+    // Push right first so left (x-adjacent) is processed first.
+    if (nd.right != -1) stack.push_back(nd.right);
+    if (nd.left != -1) stack.push_back(nd.left);
+  }
+  for (std::size_t b = 0; b < n; ++b) {
+    APLACE_CHECK_MSG(seen[b], "B*-tree is disconnected");
+  }
+  return out;
+}
+
+bool BStarTree::consistent() const {
+  std::size_t visited = 0;
+  std::vector<char> seen(size(), 0);
+  std::vector<int> stack{root_};
+  if (nodes_[root_].parent != -1) return false;
+  while (!stack.empty()) {
+    const int b = stack.back();
+    stack.pop_back();
+    if (b < 0 || b >= static_cast<int>(size()) || seen[b]) return false;
+    seen[b] = 1;
+    ++visited;
+    const Node& nd = nodes_[b];
+    for (int child : {nd.left, nd.right}) {
+      if (child != -1) {
+        if (nodes_[child].parent != b) return false;
+        stack.push_back(child);
+      }
+    }
+  }
+  return visited == size();
+}
+
+}  // namespace aplace::sa

@@ -1,0 +1,59 @@
+#pragma once
+// B*-tree floorplan representation (Chang et al., DAC 2000) — the other
+// classic SA substrate for analog placement besides sequence pairs.
+//
+// An ordered binary tree over blocks: a node's left child abuts it on the
+// right (x = parent.x + parent.w), a node's right child sits above it at
+// the same x. Packing resolves y coordinates with a contour structure in
+// amortized near-linear time. Admissible placements are exactly the
+// left/bottom-compacted ones.
+
+#include <vector>
+
+#include "base/check.hpp"
+#include "numeric/rng.hpp"
+
+namespace aplace::sa {
+
+class BStarTree {
+ public:
+  /// Chain tree over n blocks (0 is the root, each next block its left
+  /// child): packs into one row until perturbed.
+  explicit BStarTree(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+
+  // ---- moves ---------------------------------------------------------------
+  /// Swap the block ids stored at two tree positions (shape preserved).
+  void swap_blocks(std::size_t a, std::size_t b);
+  /// Remove block b from the tree and re-insert it as a child of `parent`
+  /// on the given side; existing child chains are spliced upward.
+  void move_block(std::size_t b, std::size_t parent, bool as_left);
+  /// Randomize the tree shape.
+  void shuffle(numeric::Rng& rng);
+
+  // ---- packing -------------------------------------------------------------
+  struct Packing {
+    std::vector<double> x, y;  ///< block lower-left corners
+    double width = 0, height = 0;
+  };
+  [[nodiscard]] Packing pack(const std::vector<double>& widths,
+                             const std::vector<double>& heights) const;
+
+  /// Tree-structure invariant check (used by tests).
+  [[nodiscard]] bool consistent() const;
+
+ private:
+  struct Node {
+    int parent = -1;
+    int left = -1;   ///< right-abutting child
+    int right = -1;  ///< above-at-same-x child
+  };
+  // nodes_[b] is the tree node of block b; root_ names the root block.
+  std::vector<Node> nodes_;
+  int root_ = 0;
+
+  void detach(std::size_t b);
+};
+
+}  // namespace aplace::sa

@@ -1,0 +1,103 @@
+#include "sa/island.hpp"
+
+#include <algorithm>
+
+namespace aplace::sa {
+
+Island::Island(const netlist::Circuit& circuit,
+               const netlist::SymmetryGroup& group)
+    : circuit_(&circuit), group_(&group) {
+  rows_.reserve(group.pairs.size() + group.self_symmetric.size());
+  const bool vertical = group.axis == netlist::Axis::Vertical;
+  for (auto [a, b] : group.pairs) {
+    const netlist::Device& da = circuit.device(a);
+    Row row;
+    row.left = a;
+    row.right = b;
+    if (vertical) {
+      row.w = 2 * da.width;   // pair abutted about the axis
+      row.h = da.height;
+    } else {
+      row.w = da.width;
+      row.h = 2 * da.height;
+    }
+    rows_.push_back(row);
+  }
+  for (DeviceId d : group.self_symmetric) {
+    const netlist::Device& dd = circuit.device(d);
+    Row row;
+    row.left = d;
+    row.right = DeviceId{};
+    row.w = dd.width;
+    row.h = dd.height;
+    rows_.push_back(row);
+  }
+  recompute_extent();
+}
+
+void Island::recompute_extent() {
+  width_ = 0;
+  height_ = 0;
+  const bool vertical = group_->axis == netlist::Axis::Vertical;
+  for (const Row& r : rows_) {
+    if (vertical) {
+      // Rows stack vertically; the island must be wide enough for the
+      // widest row (centered about the shared axis).
+      width_ = std::max(width_, r.w);
+      height_ += r.h;
+    } else {
+      width_ += r.w;
+      height_ = std::max(height_, r.h);
+    }
+  }
+}
+
+void Island::swap_rows(std::size_t a, std::size_t b) {
+  APLACE_CHECK(a < rows_.size() && b < rows_.size());
+  std::swap(rows_[a], rows_[b]);
+}
+
+void Island::mirror_row(std::size_t r) {
+  APLACE_CHECK(r < rows_.size());
+  if (rows_[r].right.valid()) rows_[r].mirrored = !rows_[r].mirrored;
+}
+
+std::vector<Island::Member> Island::members() const {
+  std::vector<Member> out;
+  out.reserve(2 * rows_.size());
+  const bool vertical = group_->axis == netlist::Axis::Vertical;
+  // Axis runs through the island center in the mirrored dimension.
+  const double axis = vertical ? width_ / 2 : height_ / 2;
+  double along = 0;  // stacking cursor (y for vertical axis, x otherwise)
+  for (const Row& row : rows_) {
+    if (vertical) {
+      const double yc = along + row.h / 2;
+      if (row.right.valid()) {
+        const netlist::Device& da = circuit_->device(row.left);
+        DeviceId lhs = row.left, rhs = row.right;
+        if (row.mirrored) std::swap(lhs, rhs);
+        // Left device abuts the axis from the left, right mirrored.
+        out.push_back({lhs, {axis - da.width / 2, yc}, {false, false}});
+        out.push_back({rhs, {axis + da.width / 2, yc}, {true, false}});
+      } else {
+        out.push_back({row.left, {axis, yc}, {false, false}});
+      }
+      along += row.h;
+    } else {
+      const double xc = along + row.w / 2;
+      if (row.right.valid()) {
+        const netlist::Device& da = circuit_->device(row.left);
+        DeviceId bot = row.left, top = row.right;
+        if (row.mirrored) std::swap(bot, top);
+        out.push_back({bot, {xc, axis - da.height / 2}, {false, false}});
+        out.push_back({top, {xc, axis + da.height / 2}, {false, true}});
+      } else {
+        out.push_back({row.left, {xc, axis}, {false, false}});
+      }
+      along += row.w;
+    }
+  }
+  return out;
+}
+
+}  // namespace aplace::sa

@@ -1,0 +1,64 @@
+#pragma once
+// Symmetry-island construction for the SA placer (Lin et al., "symmetry
+// island formulation", TCAD'09 style).
+//
+// Each symmetry group becomes one rigid island block: mirrored pairs sit
+// side-by-side about the island axis, self-symmetric devices are centered on
+// it, and rows are stacked along the axis. The SA move set permutes row
+// order and swaps pair sides; the island is then packed as a single block by
+// the sequence-pair engine, which keeps symmetry *exact* by construction.
+
+#include <vector>
+
+#include "geom/orientation.hpp"
+#include "geom/point.hpp"
+#include "netlist/circuit.hpp"
+
+namespace aplace::sa {
+
+class Island {
+ public:
+  Island(const netlist::Circuit& circuit, const netlist::SymmetryGroup& group);
+
+  [[nodiscard]] const netlist::SymmetryGroup& group() const { return *group_; }
+
+  /// Number of stacked rows (pairs + self-symmetric devices).
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+
+  // ---- SA moves ------------------------------------------------------------
+  void swap_rows(std::size_t a, std::size_t b);
+  /// Swap which side of the axis the pair in row r occupies (no-op for a
+  /// self-symmetric row).
+  void mirror_row(std::size_t r);
+
+  // ---- geometry ------------------------------------------------------------
+  [[nodiscard]] double width() const { return width_; }
+  [[nodiscard]] double height() const { return height_; }
+
+  /// Device placements relative to the island's lower-left corner:
+  /// fills (device, center offset, orientation) triples.
+  struct Member {
+    DeviceId device;
+    geom::Point center;  ///< relative to island lower-left
+    geom::Orientation orientation;
+  };
+  [[nodiscard]] std::vector<Member> members() const;
+
+ private:
+  struct Row {
+    // Pair row: left/right devices; self row: single centered device.
+    DeviceId left;    // or the self-symmetric device
+    DeviceId right;   // invalid for a self row
+    double w, h;      // row extent (total width, height)
+    bool mirrored = false;
+  };
+
+  void recompute_extent();
+
+  const netlist::Circuit* circuit_;
+  const netlist::SymmetryGroup* group_;
+  std::vector<Row> rows_;
+  double width_ = 0, height_ = 0;
+};
+
+}  // namespace aplace::sa

@@ -1,0 +1,79 @@
+#include "sa/sequence_pair.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace aplace::sa {
+
+SequencePair::SequencePair(std::size_t n)
+    : seq_plus_(n), seq_minus_(n), pos_plus_(n), pos_minus_(n) {
+  std::iota(seq_plus_.begin(), seq_plus_.end(), 0);
+  std::iota(seq_minus_.begin(), seq_minus_.end(), 0);
+  std::iota(pos_plus_.begin(), pos_plus_.end(), 0);
+  std::iota(pos_minus_.begin(), pos_minus_.end(), 0);
+}
+
+void SequencePair::swap_in_plus(std::size_t i, std::size_t j) {
+  APLACE_DCHECK(i < size() && j < size());
+  std::swap(pos_plus_[seq_plus_[i]], pos_plus_[seq_plus_[j]]);
+  std::swap(seq_plus_[i], seq_plus_[j]);
+}
+
+void SequencePair::swap_in_both(std::size_t i, std::size_t j) {
+  swap_in_plus(i, j);
+  APLACE_DCHECK(i < size() && j < size());
+  std::swap(pos_minus_[seq_minus_[i]], pos_minus_[seq_minus_[j]]);
+  std::swap(seq_minus_[i], seq_minus_[j]);
+}
+
+void SequencePair::shuffle(numeric::Rng& rng) {
+  std::shuffle(seq_plus_.begin(), seq_plus_.end(), rng.engine());
+  std::shuffle(seq_minus_.begin(), seq_minus_.end(), rng.engine());
+  for (std::size_t p = 0; p < size(); ++p) {
+    pos_plus_[seq_plus_[p]] = p;
+    pos_minus_[seq_minus_[p]] = p;
+  }
+}
+
+SequencePair::Packing SequencePair::pack(
+    const std::vector<double>& widths,
+    const std::vector<double>& heights) const {
+  const std::size_t n = size();
+  APLACE_CHECK(widths.size() == n && heights.size() == n);
+  Packing out;
+  out.x.assign(n, 0.0);
+  out.y.assign(n, 0.0);
+
+  // x: process blocks in gamma_minus order. Every block already processed
+  // that precedes the current one in gamma_plus is to its left.
+  for (std::size_t p = 0; p < n; ++p) {
+    const std::size_t b = seq_minus_[p];
+    double x = 0;
+    for (std::size_t q = 0; q < p; ++q) {
+      const std::size_t c = seq_minus_[q];
+      if (pos_plus_[c] < pos_plus_[b]) {
+        x = std::max(x, out.x[c] + widths[c]);
+      }
+    }
+    out.x[b] = x;
+    out.width = std::max(out.width, x + widths[b]);
+  }
+
+  // y: process in gamma_minus order; a processed block c is below b iff
+  // c succeeds b in gamma_plus.
+  for (std::size_t p = 0; p < n; ++p) {
+    const std::size_t b = seq_minus_[p];
+    double y = 0;
+    for (std::size_t q = 0; q < p; ++q) {
+      const std::size_t c = seq_minus_[q];
+      if (pos_plus_[c] > pos_plus_[b]) {
+        y = std::max(y, out.y[c] + heights[c]);
+      }
+    }
+    out.y[b] = y;
+    out.height = std::max(out.height, y + heights[b]);
+  }
+  return out;
+}
+
+}  // namespace aplace::sa

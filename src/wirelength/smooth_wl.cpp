@@ -1,0 +1,145 @@
+#include "wirelength/smooth_wl.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace aplace::wirelength {
+namespace {
+
+// Pin coordinates for one dimension of one net, given the variable vector.
+void gather(std::span<const double> v, std::size_t dim_offset,
+            const std::vector<std::pair<std::size_t, double>>& pins,
+            std::vector<double>& out) {
+  out.clear();
+  out.reserve(pins.size());
+  for (auto [dev, off] : pins) out.push_back(v[dim_offset + dev] + off);
+}
+
+}  // namespace
+
+SmoothWirelength::SmoothWirelength(const netlist::Circuit& circuit)
+    : n_(circuit.num_devices()) {
+  APLACE_CHECK(circuit.finalized());
+  nets_.reserve(circuit.num_nets());
+  for (const netlist::Net& net : circuit.nets()) {
+    NetPins np;
+    np.weight = net.weight;
+    for (PinId pid : net.pins) {
+      const netlist::Pin& pin = circuit.pin(pid);
+      const netlist::Device& dev = circuit.device(pin.device);
+      np.x.emplace_back(pin.device.index(), pin.offset.x - dev.width / 2);
+      np.y.emplace_back(pin.device.index(), pin.offset.y - dev.height / 2);
+    }
+    nets_.push_back(std::move(np));
+  }
+}
+
+double SmoothWirelength::exact_hpwl(std::span<const double> v) const {
+  double total = 0;
+  std::vector<double> coords;
+  for (const NetPins& np : nets_) {
+    gather(v, 0, np.x, coords);
+    auto [xmin, xmax] = std::minmax_element(coords.begin(), coords.end());
+    const double wx = *xmax - *xmin;
+    gather(v, n_, np.y, coords);
+    auto [ymin, ymax] = std::minmax_element(coords.begin(), coords.end());
+    total += np.weight * (wx + (*ymax - *ymin));
+  }
+  return total;
+}
+
+namespace {
+
+// Weighted-average smooth max minus smooth min over `coords`, with gradient
+// d(WA)/d(coord_k) written to `dcoord`. Numerically stabilized by shifting
+// exponents by the max/min coordinate.
+double wa_extent(const std::vector<double>& coords, double gamma,
+                 std::vector<double>& dcoord) {
+  const std::size_t k = coords.size();
+  dcoord.assign(k, 0.0);
+  const double cmax = *std::max_element(coords.begin(), coords.end());
+  const double cmin = *std::min_element(coords.begin(), coords.end());
+
+  double num_p = 0, den_p = 0, num_m = 0, den_m = 0;
+  for (double c : coords) {
+    const double ep = std::exp((c - cmax) / gamma);
+    const double em = std::exp(-(c - cmin) / gamma);
+    num_p += c * ep;
+    den_p += ep;
+    num_m += c * em;
+    den_m += em;
+  }
+  const double f_max = num_p / den_p;
+  const double f_min = num_m / den_m;
+
+  for (std::size_t i = 0; i < k; ++i) {
+    const double c = coords[i];
+    const double ap = std::exp((c - cmax) / gamma) / den_p;
+    const double am = std::exp(-(c - cmin) / gamma) / den_m;
+    const double dmax = ap * (1.0 + (c - f_max) / gamma);
+    const double dmin = am * (1.0 - (c - f_min) / gamma);
+    dcoord[i] = dmax - dmin;
+  }
+  return f_max - f_min;
+}
+
+// LSE smooth extent: gamma*ln(sum e^{c/g}) + gamma*ln(sum e^{-c/g}).
+double lse_extent(const std::vector<double>& coords, double gamma,
+                  std::vector<double>& dcoord) {
+  const std::size_t k = coords.size();
+  dcoord.assign(k, 0.0);
+  const double cmax = *std::max_element(coords.begin(), coords.end());
+  const double cmin = *std::min_element(coords.begin(), coords.end());
+
+  double sp = 0, sm = 0;
+  for (double c : coords) {
+    sp += std::exp((c - cmax) / gamma);
+    sm += std::exp(-(c - cmin) / gamma);
+  }
+  const double f_max = cmax + gamma * std::log(sp);
+  const double f_min = cmin - gamma * std::log(sm);
+  for (std::size_t i = 0; i < k; ++i) {
+    const double c = coords[i];
+    dcoord[i] = std::exp((c - cmax) / gamma) / sp -
+                std::exp(-(c - cmin) / gamma) / sm;
+  }
+  return f_max - f_min;
+}
+
+template <class ExtentFn>
+double accumulate_wl(std::span<const double> v, std::span<double> grad,
+                     std::size_t n, double gamma, ExtentFn&& extent,
+                     const auto& nets) {
+  double total = 0;
+  std::vector<double> coords, dcoord;
+  for (const auto& np : nets) {
+    gather(v, 0, np.x, coords);
+    total += np.weight * extent(coords, gamma, dcoord);
+    for (std::size_t i = 0; i < np.x.size(); ++i) {
+      grad[np.x[i].first] += np.weight * dcoord[i];
+    }
+    gather(v, n, np.y, coords);
+    total += np.weight * extent(coords, gamma, dcoord);
+    for (std::size_t i = 0; i < np.y.size(); ++i) {
+      grad[n + np.y[i].first] += np.weight * dcoord[i];
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+double WaWirelength::value_and_grad(std::span<const double> v,
+                                    std::span<double> grad) const {
+  APLACE_DCHECK(v.size() == 2 * num_devices() && grad.size() == v.size());
+  return accumulate_wl(v, grad, num_devices(), gamma_, wa_extent, nets());
+}
+
+double LseWirelength::value_and_grad(std::span<const double> v,
+                                     std::span<double> grad) const {
+  APLACE_DCHECK(v.size() == 2 * num_devices() && grad.size() == v.size());
+  return accumulate_wl(v, grad, num_devices(), gamma_, lse_extent, nets());
+}
+
+}  // namespace aplace::wirelength

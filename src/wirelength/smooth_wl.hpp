@@ -1,0 +1,77 @@
+#pragma once
+// Smoothed (differentiable) wirelength models for analytical global
+// placement.
+//
+//  * WaWirelength  — Weighted-Average smoothing (paper Eq. 2), used by
+//    ePlace/ePlace-A. Lower estimation error than LSE (Hsu et al., DAC'11).
+//  * LseWirelength — Log-Sum-Exponential smoothing, used by NTUplace3 and
+//    the prior analytical analog work [11].
+//
+// Both evaluate a smoothed total weighted HPWL over all nets and accumulate
+// its gradient with respect to the device-center variable vector
+// v = (x_1..x_n, y_1..y_n). Pin offsets (relative to device centers, in the
+// unflipped orientation) are constants during global placement, so
+// d pin / d center = 1.
+
+#include <memory>
+#include <span>
+
+#include "netlist/circuit.hpp"
+#include "numeric/vec.hpp"
+
+namespace aplace::wirelength {
+
+class SmoothWirelength {
+ public:
+  explicit SmoothWirelength(const netlist::Circuit& circuit);
+  virtual ~SmoothWirelength() = default;
+
+  /// Smoothing parameter gamma (um). Smaller = closer to exact HPWL but
+  /// stiffer gradients; global placers anneal it downward.
+  void set_gamma(double gamma) {
+    APLACE_CHECK(gamma > 0);
+    gamma_ = gamma;
+  }
+  [[nodiscard]] double gamma() const { return gamma_; }
+
+  /// Evaluate at v (size 2n) and *add* the gradient into grad (size 2n).
+  /// Returns the smoothed weighted wirelength.
+  virtual double value_and_grad(std::span<const double> v,
+                                std::span<double> grad) const = 0;
+
+  /// Exact weighted HPWL at v (pins at constant offsets, no flipping).
+  [[nodiscard]] double exact_hpwl(std::span<const double> v) const;
+
+ protected:
+  struct NetPins {
+    // Per pin: owning device index and offset from the device center.
+    std::vector<std::pair<std::size_t, double>> x;  // (device, dx)
+    std::vector<std::pair<std::size_t, double>> y;  // (device, dy)
+    double weight = 1.0;
+  };
+
+  [[nodiscard]] const std::vector<NetPins>& nets() const { return nets_; }
+  [[nodiscard]] std::size_t num_devices() const { return n_; }
+
+  double gamma_ = 1.0;
+
+ private:
+  std::size_t n_;
+  std::vector<NetPins> nets_;
+};
+
+class WaWirelength final : public SmoothWirelength {
+ public:
+  using SmoothWirelength::SmoothWirelength;
+  double value_and_grad(std::span<const double> v,
+                        std::span<double> grad) const override;
+};
+
+class LseWirelength final : public SmoothWirelength {
+ public:
+  using SmoothWirelength::SmoothWirelength;
+  double value_and_grad(std::span<const double> v,
+                        std::span<double> grad) const override;
+};
+
+}  // namespace aplace::wirelength

@@ -1,0 +1,143 @@
+// B*-tree representation and annealer: packing admissibility (compacted,
+// non-overlapping), move closure (tree stays consistent), and end-to-end
+// legality vs the sequence-pair annealer.
+
+#include <gtest/gtest.h>
+
+#include "circuits/testcases.hpp"
+#include "netlist/evaluator.hpp"
+#include "sa/annealer.hpp"
+#include "sa/bstar_placer.hpp"
+#include "sa/bstar_tree.hpp"
+#include "test_util.hpp"
+
+namespace aplace::sa {
+namespace {
+
+TEST(BStarTreeTest, ChainPacksInRow) {
+  BStarTree t(3);
+  const std::vector<double> w{2, 3, 4}, h{1, 2, 1};
+  const auto pk = t.pack(w, h);
+  EXPECT_DOUBLE_EQ(pk.x[0], 0);
+  EXPECT_DOUBLE_EQ(pk.x[1], 2);
+  EXPECT_DOUBLE_EQ(pk.x[2], 5);
+  EXPECT_DOUBLE_EQ(pk.y[0], 0);
+  EXPECT_DOUBLE_EQ(pk.y[1], 0);
+  EXPECT_DOUBLE_EQ(pk.width, 9);
+  EXPECT_DOUBLE_EQ(pk.height, 2);
+}
+
+TEST(BStarTreeTest, RightChildStacksAbove) {
+  BStarTree t(2);
+  // Move block 1 to be the right child of 0: same x, above.
+  t.move_block(1, 0, /*as_left=*/false);
+  ASSERT_TRUE(t.consistent());
+  const std::vector<double> w{2, 2}, h{1, 3};
+  const auto pk = t.pack(w, h);
+  EXPECT_DOUBLE_EQ(pk.x[1], 0);
+  EXPECT_DOUBLE_EQ(pk.y[1], 1);
+  EXPECT_DOUBLE_EQ(pk.width, 2);
+  EXPECT_DOUBLE_EQ(pk.height, 4);
+}
+
+TEST(BStarTreeTest, MovesPreserveConsistency) {
+  numeric::Rng rng(31);
+  BStarTree t(8);
+  for (int k = 0; k < 500; ++k) {
+    const auto a =
+        static_cast<std::size_t>(rng.uniform_int(0, 7));
+    const auto b =
+        static_cast<std::size_t>(rng.uniform_int(0, 7));
+    if (rng.bernoulli()) t.swap_blocks(a, b);
+    else t.move_block(a, b, rng.bernoulli());
+    ASSERT_TRUE(t.consistent()) << "after move " << k;
+  }
+}
+
+TEST(BStarTreeTest, PackingNeverOverlapsProperty) {
+  numeric::Rng rng(47);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 2 + static_cast<std::size_t>(rng.uniform_int(0, 7));
+    BStarTree t(n);
+    t.shuffle(rng);
+    ASSERT_TRUE(t.consistent());
+    std::vector<double> w(n), h(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      w[i] = rng.uniform(0.5, 4.0);
+      h[i] = rng.uniform(0.5, 4.0);
+    }
+    const auto pk = t.pack(w, h);
+    for (std::size_t a = 0; a < n; ++a) {
+      for (std::size_t b = a + 1; b < n; ++b) {
+        const geom::Rect ra(pk.x[a], pk.y[a], pk.x[a] + w[a], pk.y[a] + h[a]);
+        const geom::Rect rb(pk.x[b], pk.y[b], pk.x[b] + w[b], pk.y[b] + h[b]);
+        EXPECT_FALSE(ra.overlaps(rb))
+            << "trial " << trial << " blocks " << a << "," << b;
+      }
+    }
+  }
+}
+
+TEST(BStarPlacerTest, LegalAndComparableToSequencePair) {
+  circuits::TestCase tc = circuits::make_testcase("CC-OTA");
+  SaOptions opts;
+  opts.max_moves = 30000;
+  const SaResult bstar = BStarPlacer(tc.circuit, opts).place();
+  const SaResult sp = SaPlacer(tc.circuit, opts).place();
+
+  const netlist::Evaluator ev(tc.circuit);
+  const netlist::QualityReport qb = ev.evaluate(bstar.placement);
+  EXPECT_NEAR(qb.overlap_area, 0.0, 1e-9);
+  EXPECT_NEAR(qb.symmetry_violation, 0.0, 1e-9);
+
+  // Same cost model: the two representations should land within a factor
+  // of each other (this is a sanity band, not a ranking claim).
+  const netlist::QualityReport qs = ev.evaluate(sp.placement);
+  EXPECT_LT(qb.area, 2.0 * qs.area);
+  EXPECT_LT(qb.hpwl, 2.0 * qs.hpwl);
+}
+
+TEST(BStarPlacerTest, Deterministic) {
+  circuits::TestCase tc = circuits::make_testcase("Adder");
+  SaOptions opts;
+  opts.seed = 9;
+  opts.max_moves = 5000;
+  const SaResult a = BStarPlacer(tc.circuit, opts).place();
+  const SaResult b = BStarPlacer(tc.circuit, opts).place();
+  EXPECT_DOUBLE_EQ(a.cost, b.cost);
+}
+
+}  // namespace
+}  // namespace aplace::sa
+
+namespace aplace::sa {
+namespace {
+
+class BStarAllCircuitsTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BStarAllCircuitsTest, LegalOnEveryCircuit) {
+  circuits::TestCase tc = circuits::make_testcase(GetParam());
+  SaOptions opts;
+  opts.max_moves = 8000;
+  const SaResult r = BStarPlacer(tc.circuit, opts).place();
+  const netlist::QualityReport q =
+      netlist::Evaluator(tc.circuit).evaluate(r.placement);
+  // Overlap-free and exactly symmetric by construction; alignment /
+  // ordering are penalty-driven, so allow small residuals at this budget.
+  EXPECT_NEAR(q.overlap_area, 0.0, 1e-9) << GetParam();
+  EXPECT_NEAR(q.symmetry_violation, 0.0, 1e-9) << GetParam();
+  EXPECT_LT(q.ordering_violation, 3.0) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCircuits, BStarAllCircuitsTest,
+                         ::testing::ValuesIn(circuits::testcase_names()),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& ch : n) {
+                             if (ch == '-') ch = '_';
+                           }
+                           return n;
+                         });
+
+}  // namespace
+}  // namespace aplace::sa

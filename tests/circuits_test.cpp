@@ -1,0 +1,126 @@
+// Testcase generators: every circuit builds, matches the paper's problem
+// class (dozens of devices, analog constraint groups, valid specs).
+
+#include <gtest/gtest.h>
+
+#include "circuits/builder.hpp"
+#include "circuits/testcases.hpp"
+
+namespace aplace::circuits {
+namespace {
+
+class AllCircuitsTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AllCircuitsTest, BuildsFinalizedCircuit) {
+  const TestCase tc = make_testcase(GetParam());
+  EXPECT_TRUE(tc.circuit.finalized());
+  EXPECT_EQ(tc.circuit.name(), GetParam());
+}
+
+TEST_P(AllCircuitsTest, HasDozensOfDevices) {
+  const TestCase tc = make_testcase(GetParam());
+  EXPECT_GE(tc.circuit.num_devices(), 12u);
+  EXPECT_LE(tc.circuit.num_devices(), 80u);
+}
+
+TEST_P(AllCircuitsTest, EveryNetHasAtLeastTwoPins) {
+  const TestCase tc = make_testcase(GetParam());
+  for (const netlist::Net& net : tc.circuit.nets()) {
+    EXPECT_GE(net.pins.size(), 2u) << net.name;
+  }
+}
+
+TEST_P(AllCircuitsTest, HasAnalogConstraints) {
+  const TestCase tc = make_testcase(GetParam());
+  const netlist::ConstraintSet& cs = tc.circuit.constraints();
+  EXPECT_FALSE(cs.symmetry_groups.empty());
+  // Each design exercises alignment or ordering too.
+  EXPECT_TRUE(!cs.alignments.empty() || !cs.orderings.empty());
+}
+
+TEST_P(AllCircuitsTest, HasCriticalNets) {
+  const TestCase tc = make_testcase(GetParam());
+  std::size_t critical = 0;
+  for (const netlist::Net& net : tc.circuit.nets()) {
+    if (net.critical) ++critical;
+  }
+  EXPECT_GE(critical, 2u);
+}
+
+TEST_P(AllCircuitsTest, SpecIsValid) {
+  TestCase tc = make_testcase(GetParam());
+  ASSERT_GE(tc.spec.metrics.size(), 3u);
+  tc.spec.normalize_weights();
+  double total = 0;
+  for (const perf::MetricSpec& m : tc.spec.metrics) {
+    EXPECT_GT(m.spec, 0.0) << m.name;
+    EXPECT_GT(m.base, 0.0) << m.name;
+    EXPECT_GT(m.weight, 0.0) << m.name;
+    total += m.weight;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_GT(tc.spec.fom_threshold, 0.5);
+  EXPECT_LT(tc.spec.fom_threshold, 1.0);
+}
+
+TEST_P(AllCircuitsTest, NominalPerformanceMeetsMostSpecs) {
+  // With zero parasitics the design should be healthy: normalized metrics
+  // near 1 on average (bases chosen above/below the specs accordingly).
+  TestCase tc = make_testcase(GetParam());
+  tc.spec.normalize_weights();
+  double fom = 0;
+  for (const perf::MetricSpec& m : tc.spec.metrics) {
+    fom += m.weight * perf::normalize_metric(m.base, m);
+  }
+  EXPECT_GT(fom, 0.9) << "nominal FOM too low — spec miscalibrated";
+}
+
+INSTANTIATE_TEST_SUITE_P(Paper, AllCircuitsTest,
+                         ::testing::ValuesIn(testcase_names()),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& ch : n) {
+                             if (ch == '-') ch = '_';
+                           }
+                           return n;
+                         });
+
+TEST(TestcasesTest, CanonicalOrderMatchesPaper) {
+  const std::vector<std::string>& names = testcase_names();
+  ASSERT_EQ(names.size(), 10u);
+  EXPECT_EQ(names.front(), "Adder");
+  EXPECT_EQ(names.back(), "VCO2");
+}
+
+TEST(TestcasesTest, UnknownNameThrows) {
+  EXPECT_THROW(make_testcase("nonexistent"), CheckError);
+}
+
+TEST(TestcasesTest, RelativeAreasFollowPaperScale) {
+  // SCF is by far the largest (big caps); the adder is the smallest.
+  const double scf = make_testcase("SCF").circuit.total_device_area();
+  const double adder = make_testcase("Adder").circuit.total_device_area();
+  const double ccota = make_testcase("CC-OTA").circuit.total_device_area();
+  EXPECT_GT(scf, 8 * ccota);
+  EXPECT_LT(adder, ccota);
+}
+
+TEST(BuilderTest, RejectsSinglePinNamedNet) {
+  Builder b("bad");
+  b.mos("M1", netlist::DeviceType::Nmos, 2, 2, "a", "b", "c");
+  b.mos("M2", netlist::DeviceType::Nmos, 2, 2, "a", "b", "dangling");
+  EXPECT_THROW(b.finish(), CheckError);
+}
+
+TEST(BuilderTest, SymmetryByName) {
+  Builder b("s");
+  b.mos("M1", netlist::DeviceType::Nmos, 2, 2, "g", "d1", "s");
+  b.mos("M2", netlist::DeviceType::Nmos, 2, 2, "g", "d1", "s");
+  b.symmetry({{"M1", "M2"}});
+  const netlist::Circuit c = b.finish();
+  ASSERT_EQ(c.constraints().symmetry_groups.size(), 1u);
+  EXPECT_EQ(c.constraints().symmetry_groups[0].pairs.size(), 1u);
+}
+
+}  // namespace
+}  // namespace aplace::circuits

@@ -1,0 +1,150 @@
+// End-to-end flow integration: each method produces legal placements on
+// paper testcases; performance-driven variants improve the GNN objective;
+// ablation directions (area term, soft symmetry) match the paper.
+
+#include <gtest/gtest.h>
+
+#include "circuits/testcases.hpp"
+#include "core/flow.hpp"
+#include "core/perf_flow.hpp"
+
+namespace aplace::core {
+namespace {
+
+class ConventionalFlowTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ConventionalFlowTest, AllThreeMethodsLegal) {
+  circuits::TestCase tc = circuits::make_testcase(GetParam());
+  const netlist::Circuit& c = tc.circuit;
+
+  EPlaceAOptions eopts;
+  eopts.candidates = 1;  // keep the test fast
+  const FlowResult ep = run_eplace_a(c, eopts);
+  EXPECT_TRUE(ep.legal(1e-6)) << "ePlace-A illegal on " << GetParam();
+  EXPECT_GT(ep.area(), 0);
+  EXPECT_GT(ep.hpwl(), 0);
+
+  const FlowResult pw = run_prior_work(c);
+  EXPECT_TRUE(pw.legal(1e-6)) << "prior work illegal on " << GetParam();
+
+  SaFlowOptions sopts;
+  sopts.sa.max_moves = 30000;
+  const FlowResult sa = run_sa(c, sopts);
+  EXPECT_TRUE(sa.legal(1e-6)) << "SA illegal on " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Subset, ConventionalFlowTest,
+                         ::testing::Values("Adder", "CC-OTA", "CM-OTA1",
+                                           "VCO1"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& ch : n) {
+                             if (ch == '-') ch = '_';
+                           }
+                           return n;
+                         });
+
+TEST(FlowTest, AreaTermAblationMatchesPaperDirection) {
+  // Paper Fig. 2: dropping the area term inflates area substantially.
+  circuits::TestCase tc = circuits::make_testcase("CC-OTA");
+  EPlaceAOptions with, without;
+  with.candidates = without.candidates = 1;
+  without.gp.eta_rel = 0.0;
+  const FlowResult rw = run_eplace_a(tc.circuit, with);
+  const FlowResult ro = run_eplace_a(tc.circuit, without);
+  ASSERT_TRUE(rw.legal() && ro.legal());
+  EXPECT_LT(rw.area(), ro.area() * 1.10)
+      << "area term should not hurt area meaningfully";
+}
+
+TEST(FlowTest, HardSymmetryRunsAndStaysLegal) {
+  circuits::TestCase tc = circuits::make_testcase("CC-OTA");
+  EPlaceAOptions opts;
+  opts.candidates = 1;
+  opts.gp.hard_symmetry = true;
+  const FlowResult r = run_eplace_a(tc.circuit, opts);
+  EXPECT_TRUE(r.legal(1e-6));
+}
+
+TEST(FlowTest, RuntimesAreRecorded) {
+  circuits::TestCase tc = circuits::make_testcase("Adder");
+  EPlaceAOptions opts;
+  opts.candidates = 1;
+  const FlowResult r = run_eplace_a(tc.circuit, opts);
+  EXPECT_GT(r.gp_seconds, 0);
+  EXPECT_GT(r.dp_seconds, 0);
+  EXPECT_GE(r.total_seconds, r.gp_seconds + r.dp_seconds - 1e-9);
+}
+
+// --- performance-driven ---------------------------------------------------------
+
+DatasetOptions quick_dataset() {
+  DatasetOptions d;
+  d.random_samples = 120;
+  d.optimized_samples = 4;
+  d.sa_moves_per_sample = 500;
+  return d;
+}
+
+gnn::TrainOptions quick_training() {
+  gnn::TrainOptions t;
+  t.epochs = 60;
+  return t;
+}
+
+TEST(PerfFlowTest, ContextBuildsAndGnnLearnsSomething) {
+  circuits::TestCase tc = circuits::make_testcase("CC-OTA");
+  auto ctx = build_perf_context(tc.circuit, tc.spec, quick_dataset(),
+                                quick_training());
+  ASSERT_NE(ctx, nullptr);
+  EXPECT_GT(ctx->label_threshold, 0.0);
+  EXPECT_LT(ctx->label_threshold, 1.0);
+  EXPECT_GT(ctx->training.train_accuracy, 0.6)
+      << "GNN failed to fit the placement-quality labels at all";
+}
+
+TEST(PerfFlowTest, EPlaceApLegalAndScored) {
+  circuits::TestCase tc = circuits::make_testcase("CC-OTA");
+  auto ctx = build_perf_context(tc.circuit, tc.spec, quick_dataset(),
+                                quick_training());
+  EPlaceAOptions opts;
+  opts.candidates = 1;
+  const PerfFlowResult r = run_eplace_ap(tc.circuit, *ctx, opts);
+  EXPECT_TRUE(r.flow.legal(1e-6));
+  EXPECT_GT(r.perf.fom, 0.0);
+  EXPECT_LE(r.perf.fom, 1.0);
+}
+
+TEST(PerfFlowTest, PerfDrivenVariantsRunForAllMethods) {
+  circuits::TestCase tc = circuits::make_testcase("Adder");
+  auto ctx = build_perf_context(tc.circuit, tc.spec, quick_dataset(),
+                                quick_training());
+
+  EPlaceAOptions eopts;
+  eopts.candidates = 1;
+  const PerfFlowResult ap = run_eplace_ap(tc.circuit, *ctx, eopts);
+  EXPECT_TRUE(ap.flow.legal(1e-6));
+
+  const PerfFlowResult pw = run_prior_work_perf(tc.circuit, *ctx);
+  EXPECT_TRUE(pw.flow.legal(1e-6));
+
+  SaFlowOptions sopts;
+  sopts.sa.max_moves = 4000;
+  const PerfFlowResult sp = run_sa_perf(tc.circuit, *ctx, sopts, 1.0);
+  EXPECT_TRUE(sp.flow.legal(1e-6));
+}
+
+TEST(PerfFlowTest, GnnPhiIsProbability) {
+  circuits::TestCase tc = circuits::make_testcase("Adder");
+  auto ctx = build_perf_context(tc.circuit, tc.spec, quick_dataset(),
+                                quick_training());
+  SaFlowOptions sopts;
+  sopts.sa.max_moves = 2000;
+  const FlowResult r = run_sa(tc.circuit, sopts);
+  const double phi = gnn_phi(*ctx, r.placement);
+  EXPECT_GT(phi, 0.0);
+  EXPECT_LT(phi, 1.0);
+}
+
+}  // namespace
+}  // namespace aplace::core

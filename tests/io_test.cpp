@@ -1,0 +1,191 @@
+// I/O: circuit/placement text round trips, SVG rendering sanity, error
+// handling on malformed input.
+
+#include <gtest/gtest.h>
+
+#include "circuits/testcases.hpp"
+#include "io/netlist_io.hpp"
+#include "io/svg.hpp"
+#include "sa/annealer.hpp"
+#include "test_util.hpp"
+
+namespace aplace::io {
+namespace {
+
+netlist::Placement quick_placement(const netlist::Circuit& c) {
+  sa::SaOptions opts;
+  opts.max_moves = 2000;
+  return sa::SaPlacer(c, opts).place().placement;
+}
+
+class IoRoundtripTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(IoRoundtripTest, CircuitTextRoundtrip) {
+  circuits::TestCase tc = circuits::make_testcase(GetParam());
+  const std::string text = circuit_to_text(tc.circuit);
+  const netlist::Circuit back = circuit_from_text(text);
+
+  EXPECT_EQ(back.name(), tc.circuit.name());
+  ASSERT_EQ(back.num_devices(), tc.circuit.num_devices());
+  ASSERT_EQ(back.num_pins(), tc.circuit.num_pins());
+  ASSERT_EQ(back.num_nets(), tc.circuit.num_nets());
+  for (std::size_t i = 0; i < back.num_devices(); ++i) {
+    const netlist::Device& a = tc.circuit.device(DeviceId{i});
+    const netlist::Device& b = back.device(DeviceId{i});
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.type, b.type);
+    EXPECT_DOUBLE_EQ(a.width, b.width);
+    EXPECT_DOUBLE_EQ(a.height, b.height);
+  }
+  for (std::size_t e = 0; e < back.num_nets(); ++e) {
+    const netlist::Net& a = tc.circuit.net(NetId{e});
+    const netlist::Net& b = back.net(NetId{e});
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.pins.size(), b.pins.size());
+    EXPECT_EQ(a.critical, b.critical);
+    EXPECT_DOUBLE_EQ(a.weight, b.weight);
+  }
+  const netlist::ConstraintSet& ca = tc.circuit.constraints();
+  const netlist::ConstraintSet& cb = back.constraints();
+  EXPECT_EQ(ca.symmetry_groups.size(), cb.symmetry_groups.size());
+  EXPECT_EQ(ca.alignments.size(), cb.alignments.size());
+  EXPECT_EQ(ca.orderings.size(), cb.orderings.size());
+  // A second serialization must be byte-identical (canonical form).
+  EXPECT_EQ(circuit_to_text(back), text);
+}
+
+TEST_P(IoRoundtripTest, PlacementTextRoundtrip) {
+  circuits::TestCase tc = circuits::make_testcase(GetParam());
+  const netlist::Placement pl = quick_placement(tc.circuit);
+  const netlist::Placement back =
+      placement_from_text(tc.circuit, placement_to_text(pl));
+  for (std::size_t i = 0; i < tc.circuit.num_devices(); ++i) {
+    EXPECT_EQ(back.position(DeviceId{i}), pl.position(DeviceId{i}));
+    EXPECT_EQ(back.orientation(DeviceId{i}), pl.orientation(DeviceId{i}));
+  }
+  EXPECT_DOUBLE_EQ(back.total_hpwl(), pl.total_hpwl());
+}
+
+INSTANTIATE_TEST_SUITE_P(Subset, IoRoundtripTest,
+                         ::testing::Values("Adder", "CC-OTA", "SCF", "VCO2"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& ch : n) {
+                             if (ch == '-') ch = '_';
+                           }
+                           return n;
+                         });
+
+TEST(IoErrorTest, RejectsUnknownDirective) {
+  EXPECT_THROW(circuit_from_text("circuit x\nbogus line\n"), CheckError);
+}
+
+TEST(IoErrorTest, RejectsUnknownDeviceInNet) {
+  const std::string text =
+      "circuit x\n"
+      "device A nmos 2 2\n"
+      "pin A p 1 1\n"
+      "net n 1 0 A.p B.q\n";
+  EXPECT_THROW(circuit_from_text(text), CheckError);
+}
+
+TEST(IoErrorTest, RejectsIncompletePlacement) {
+  const netlist::Circuit c = test::two_device_circuit();
+  EXPECT_THROW(placement_from_text(c, "placement two\nplace A 1 1\n"),
+               CheckError);
+}
+
+TEST(IoErrorTest, RejectsWrongCircuitName) {
+  const netlist::Circuit c = test::two_device_circuit();
+  EXPECT_THROW(placement_from_text(
+                   c, "placement other\nplace A 1 1\nplace B 2 2\n"),
+               CheckError);
+}
+
+TEST(IoErrorTest, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      "# a comment\n"
+      "circuit x\n"
+      "\n"
+      "device A nmos 2 2   # trailing comment\n"
+      "device B nmos 2 2\n"
+      "pin A p 1 1\n"
+      "pin B p 1 1\n"
+      "net n 1 0 A.p B.p\n";
+  const netlist::Circuit c = circuit_from_text(text);
+  EXPECT_EQ(c.num_devices(), 2u);
+}
+
+TEST(SvgTest, RendersAllDevicesAndParses) {
+  circuits::TestCase tc = circuits::make_testcase("CC-OTA");
+  const netlist::Placement pl = quick_placement(tc.circuit);
+  const std::string svg = to_svg(pl);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  for (const netlist::Device& d : tc.circuit.devices()) {
+    EXPECT_NE(svg.find(">" + d.name + "<"), std::string::npos) << d.name;
+  }
+  // Symmetry axes drawn for both groups.
+  std::size_t dashes = 0, pos = 0;
+  while ((pos = svg.find("stroke-dasharray=\"2 4\"", pos)) !=
+         std::string::npos) {
+    ++dashes;
+    pos += 1;
+  }
+  EXPECT_EQ(dashes, tc.circuit.constraints().symmetry_groups.size());
+}
+
+TEST(SvgTest, OptionsDisableLayers) {
+  circuits::TestCase tc = circuits::make_testcase("Adder");
+  const netlist::Placement pl = quick_placement(tc.circuit);
+  SvgOptions opt;
+  opt.draw_nets = false;
+  opt.draw_pins = false;
+  opt.draw_labels = false;
+  opt.draw_symmetry = false;
+  const std::string svg = to_svg(pl, opt);
+  EXPECT_EQ(svg.find("<circle"), std::string::npos);
+  EXPECT_EQ(svg.find("<text"), std::string::npos);
+}
+
+TEST(IoFileTest, WriteAndReadBack) {
+  circuits::TestCase tc = circuits::make_testcase("Adder");
+  const std::string dir = ::testing::TempDir();
+  write_circuit(tc.circuit, dir + "/adder.acirc");
+  const netlist::Circuit back = read_circuit(dir + "/adder.acirc");
+  EXPECT_EQ(back.num_devices(), tc.circuit.num_devices());
+
+  const netlist::Placement pl = quick_placement(tc.circuit);
+  write_placement(pl, dir + "/adder.aplc");
+  const netlist::Placement pback = read_placement(tc.circuit,
+                                                  dir + "/adder.aplc");
+  EXPECT_DOUBLE_EQ(pback.total_hpwl(), pl.total_hpwl());
+
+  write_svg(pl, dir + "/adder.svg");
+  EXPECT_THROW(write_svg(pl, "/nonexistent-dir/x.svg"), CheckError);
+}
+
+}  // namespace
+}  // namespace aplace::io
+
+namespace aplace::io {
+namespace {
+
+TEST(IoRoundtripExtraTest, CommonCentroidDirective) {
+  const std::string text =
+      "circuit quad\n"
+      "device A1 nmos 2 2\ndevice A2 nmos 2 2\n"
+      "device B1 nmos 2 2\ndevice B2 nmos 2 2\n"
+      "pin A1 p 1 1\npin A2 p 1 1\npin B1 p 1 1\npin B2 p 1 1\n"
+      "net n 1 0 A1.p A2.p B1.p B2.p\n"
+      "centroid A1 A2 B1 B2\n";
+  const netlist::Circuit c = circuit_from_text(text);
+  ASSERT_EQ(c.constraints().common_centroids.size(), 1u);
+  // Round trip preserves the directive.
+  const netlist::Circuit back = circuit_from_text(circuit_to_text(c));
+  EXPECT_EQ(back.constraints().common_centroids.size(), 1u);
+  EXPECT_EQ(circuit_to_text(back), circuit_to_text(c));
+}
+
+}  // namespace
+}  // namespace aplace::io
