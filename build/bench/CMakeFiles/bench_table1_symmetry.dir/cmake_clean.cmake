@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_symmetry.dir/bench_table1_symmetry.cpp.o"
+  "CMakeFiles/bench_table1_symmetry.dir/bench_table1_symmetry.cpp.o.d"
+  "bench_table1_symmetry"
+  "bench_table1_symmetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_symmetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_ccota.dir/bench_table6_ccota.cpp.o"
+  "CMakeFiles/bench_table6_ccota.dir/bench_table6_ccota.cpp.o.d"
+  "bench_table6_ccota"
+  "bench_table6_ccota.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_ccota.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_perf.dir/bench_table7_perf.cpp.o"
+  "CMakeFiles/bench_table7_perf.dir/bench_table7_perf.cpp.o.d"
+  "bench_table7_perf"
+  "bench_table7_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aplace_cli.dir/aplace_cli.cpp.o"
+  "CMakeFiles/aplace_cli.dir/aplace_cli.cpp.o.d"
+  "aplace_cli"
+  "aplace_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aplace_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_centroid.dir/common_centroid.cpp.o"
+  "CMakeFiles/common_centroid.dir/common_centroid.cpp.o.d"
+  "common_centroid"
+  "common_centroid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_centroid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

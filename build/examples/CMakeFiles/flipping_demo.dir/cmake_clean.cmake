@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flipping_demo.dir/flipping_demo.cpp.o"
+  "CMakeFiles/flipping_demo.dir/flipping_demo.cpp.o.d"
+  "flipping_demo"
+  "flipping_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flipping_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_driven.dir/perf_driven.cpp.o"
+  "CMakeFiles/perf_driven.dir/perf_driven.cpp.o.d"
+  "perf_driven"
+  "perf_driven.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_driven.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("geom")
+subdirs("netlist")
+subdirs("numeric")
+subdirs("solver")
+subdirs("wirelength")
+subdirs("density")
+subdirs("sa")
+subdirs("route")
+subdirs("perf")
+subdirs("gnn")
+subdirs("io")
+subdirs("circuits")
+subdirs("gp")
+subdirs("legal")
+subdirs("core")

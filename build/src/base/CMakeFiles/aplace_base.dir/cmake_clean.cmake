@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aplace_base.dir/base.cpp.o"
+  "CMakeFiles/aplace_base.dir/base.cpp.o.d"
+  "libaplace_base.a"
+  "libaplace_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aplace_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuits/builder.cpp" "src/circuits/CMakeFiles/aplace_circuits.dir/builder.cpp.o" "gcc" "src/circuits/CMakeFiles/aplace_circuits.dir/builder.cpp.o.d"
+  "/root/repo/src/circuits/comparator.cpp" "src/circuits/CMakeFiles/aplace_circuits.dir/comparator.cpp.o" "gcc" "src/circuits/CMakeFiles/aplace_circuits.dir/comparator.cpp.o.d"
+  "/root/repo/src/circuits/misc.cpp" "src/circuits/CMakeFiles/aplace_circuits.dir/misc.cpp.o" "gcc" "src/circuits/CMakeFiles/aplace_circuits.dir/misc.cpp.o.d"
+  "/root/repo/src/circuits/ota.cpp" "src/circuits/CMakeFiles/aplace_circuits.dir/ota.cpp.o" "gcc" "src/circuits/CMakeFiles/aplace_circuits.dir/ota.cpp.o.d"
+  "/root/repo/src/circuits/registry.cpp" "src/circuits/CMakeFiles/aplace_circuits.dir/registry.cpp.o" "gcc" "src/circuits/CMakeFiles/aplace_circuits.dir/registry.cpp.o.d"
+  "/root/repo/src/circuits/vco.cpp" "src/circuits/CMakeFiles/aplace_circuits.dir/vco.cpp.o" "gcc" "src/circuits/CMakeFiles/aplace_circuits.dir/vco.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/aplace_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/aplace_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/aplace_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/aplace_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/aplace_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

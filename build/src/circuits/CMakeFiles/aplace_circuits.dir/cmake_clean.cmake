@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aplace_circuits.dir/builder.cpp.o"
+  "CMakeFiles/aplace_circuits.dir/builder.cpp.o.d"
+  "CMakeFiles/aplace_circuits.dir/comparator.cpp.o"
+  "CMakeFiles/aplace_circuits.dir/comparator.cpp.o.d"
+  "CMakeFiles/aplace_circuits.dir/misc.cpp.o"
+  "CMakeFiles/aplace_circuits.dir/misc.cpp.o.d"
+  "CMakeFiles/aplace_circuits.dir/ota.cpp.o"
+  "CMakeFiles/aplace_circuits.dir/ota.cpp.o.d"
+  "CMakeFiles/aplace_circuits.dir/registry.cpp.o"
+  "CMakeFiles/aplace_circuits.dir/registry.cpp.o.d"
+  "CMakeFiles/aplace_circuits.dir/vco.cpp.o"
+  "CMakeFiles/aplace_circuits.dir/vco.cpp.o.d"
+  "libaplace_circuits.a"
+  "libaplace_circuits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aplace_circuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

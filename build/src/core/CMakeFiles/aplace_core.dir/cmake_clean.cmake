@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aplace_core.dir/flow.cpp.o"
+  "CMakeFiles/aplace_core.dir/flow.cpp.o.d"
+  "CMakeFiles/aplace_core.dir/perf_flow.cpp.o"
+  "CMakeFiles/aplace_core.dir/perf_flow.cpp.o.d"
+  "libaplace_core.a"
+  "libaplace_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aplace_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aplace_density.dir/bell.cpp.o"
+  "CMakeFiles/aplace_density.dir/bell.cpp.o.d"
+  "CMakeFiles/aplace_density.dir/bin_grid.cpp.o"
+  "CMakeFiles/aplace_density.dir/bin_grid.cpp.o.d"
+  "CMakeFiles/aplace_density.dir/electro.cpp.o"
+  "CMakeFiles/aplace_density.dir/electro.cpp.o.d"
+  "libaplace_density.a"
+  "libaplace_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aplace_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

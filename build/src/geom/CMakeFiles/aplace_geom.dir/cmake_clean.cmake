@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aplace_geom.dir/geom.cpp.o"
+  "CMakeFiles/aplace_geom.dir/geom.cpp.o.d"
+  "libaplace_geom.a"
+  "libaplace_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aplace_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gnn/graph.cpp" "src/gnn/CMakeFiles/aplace_gnn.dir/graph.cpp.o" "gcc" "src/gnn/CMakeFiles/aplace_gnn.dir/graph.cpp.o.d"
+  "/root/repo/src/gnn/model.cpp" "src/gnn/CMakeFiles/aplace_gnn.dir/model.cpp.o" "gcc" "src/gnn/CMakeFiles/aplace_gnn.dir/model.cpp.o.d"
+  "/root/repo/src/gnn/trainer.cpp" "src/gnn/CMakeFiles/aplace_gnn.dir/trainer.cpp.o" "gcc" "src/gnn/CMakeFiles/aplace_gnn.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/aplace_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/aplace_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/aplace_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/aplace_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aplace_gnn.dir/graph.cpp.o"
+  "CMakeFiles/aplace_gnn.dir/graph.cpp.o.d"
+  "CMakeFiles/aplace_gnn.dir/model.cpp.o"
+  "CMakeFiles/aplace_gnn.dir/model.cpp.o.d"
+  "CMakeFiles/aplace_gnn.dir/trainer.cpp.o"
+  "CMakeFiles/aplace_gnn.dir/trainer.cpp.o.d"
+  "libaplace_gnn.a"
+  "libaplace_gnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aplace_gnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

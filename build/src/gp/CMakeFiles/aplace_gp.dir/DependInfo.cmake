@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gp/eplace_gp.cpp" "src/gp/CMakeFiles/aplace_gp.dir/eplace_gp.cpp.o" "gcc" "src/gp/CMakeFiles/aplace_gp.dir/eplace_gp.cpp.o.d"
+  "/root/repo/src/gp/ntu_gp.cpp" "src/gp/CMakeFiles/aplace_gp.dir/ntu_gp.cpp.o" "gcc" "src/gp/CMakeFiles/aplace_gp.dir/ntu_gp.cpp.o.d"
+  "/root/repo/src/gp/penalties.cpp" "src/gp/CMakeFiles/aplace_gp.dir/penalties.cpp.o" "gcc" "src/gp/CMakeFiles/aplace_gp.dir/penalties.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/aplace_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/aplace_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/aplace_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/aplace_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/density/CMakeFiles/aplace_density.dir/DependInfo.cmake"
+  "/root/repo/build/src/wirelength/CMakeFiles/aplace_wirelength.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

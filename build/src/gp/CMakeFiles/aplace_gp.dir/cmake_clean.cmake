@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aplace_gp.dir/eplace_gp.cpp.o"
+  "CMakeFiles/aplace_gp.dir/eplace_gp.cpp.o.d"
+  "CMakeFiles/aplace_gp.dir/ntu_gp.cpp.o"
+  "CMakeFiles/aplace_gp.dir/ntu_gp.cpp.o.d"
+  "CMakeFiles/aplace_gp.dir/penalties.cpp.o"
+  "CMakeFiles/aplace_gp.dir/penalties.cpp.o.d"
+  "libaplace_gp.a"
+  "libaplace_gp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aplace_gp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aplace_io.dir/netlist_io.cpp.o"
+  "CMakeFiles/aplace_io.dir/netlist_io.cpp.o.d"
+  "CMakeFiles/aplace_io.dir/svg.cpp.o"
+  "CMakeFiles/aplace_io.dir/svg.cpp.o.d"
+  "libaplace_io.a"
+  "libaplace_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aplace_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/legal/ilp_detailed.cpp" "src/legal/CMakeFiles/aplace_legal.dir/ilp_detailed.cpp.o" "gcc" "src/legal/CMakeFiles/aplace_legal.dir/ilp_detailed.cpp.o.d"
+  "/root/repo/src/legal/relative_order.cpp" "src/legal/CMakeFiles/aplace_legal.dir/relative_order.cpp.o" "gcc" "src/legal/CMakeFiles/aplace_legal.dir/relative_order.cpp.o.d"
+  "/root/repo/src/legal/two_stage_lp.cpp" "src/legal/CMakeFiles/aplace_legal.dir/two_stage_lp.cpp.o" "gcc" "src/legal/CMakeFiles/aplace_legal.dir/two_stage_lp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/aplace_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/aplace_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/aplace_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/aplace_solver.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

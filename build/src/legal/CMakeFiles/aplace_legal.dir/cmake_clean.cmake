@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aplace_legal.dir/ilp_detailed.cpp.o"
+  "CMakeFiles/aplace_legal.dir/ilp_detailed.cpp.o.d"
+  "CMakeFiles/aplace_legal.dir/relative_order.cpp.o"
+  "CMakeFiles/aplace_legal.dir/relative_order.cpp.o.d"
+  "CMakeFiles/aplace_legal.dir/two_stage_lp.cpp.o"
+  "CMakeFiles/aplace_legal.dir/two_stage_lp.cpp.o.d"
+  "libaplace_legal.a"
+  "libaplace_legal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aplace_legal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/circuit.cpp" "src/netlist/CMakeFiles/aplace_netlist.dir/circuit.cpp.o" "gcc" "src/netlist/CMakeFiles/aplace_netlist.dir/circuit.cpp.o.d"
+  "/root/repo/src/netlist/evaluator.cpp" "src/netlist/CMakeFiles/aplace_netlist.dir/evaluator.cpp.o" "gcc" "src/netlist/CMakeFiles/aplace_netlist.dir/evaluator.cpp.o.d"
+  "/root/repo/src/netlist/placement.cpp" "src/netlist/CMakeFiles/aplace_netlist.dir/placement.cpp.o" "gcc" "src/netlist/CMakeFiles/aplace_netlist.dir/placement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/aplace_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/aplace_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

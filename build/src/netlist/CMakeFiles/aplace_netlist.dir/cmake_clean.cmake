@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aplace_netlist.dir/circuit.cpp.o"
+  "CMakeFiles/aplace_netlist.dir/circuit.cpp.o.d"
+  "CMakeFiles/aplace_netlist.dir/evaluator.cpp.o"
+  "CMakeFiles/aplace_netlist.dir/evaluator.cpp.o.d"
+  "CMakeFiles/aplace_netlist.dir/placement.cpp.o"
+  "CMakeFiles/aplace_netlist.dir/placement.cpp.o.d"
+  "libaplace_netlist.a"
+  "libaplace_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aplace_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

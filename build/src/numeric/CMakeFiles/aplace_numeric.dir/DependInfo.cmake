@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numeric/cg.cpp" "src/numeric/CMakeFiles/aplace_numeric.dir/cg.cpp.o" "gcc" "src/numeric/CMakeFiles/aplace_numeric.dir/cg.cpp.o.d"
+  "/root/repo/src/numeric/nesterov.cpp" "src/numeric/CMakeFiles/aplace_numeric.dir/nesterov.cpp.o" "gcc" "src/numeric/CMakeFiles/aplace_numeric.dir/nesterov.cpp.o.d"
+  "/root/repo/src/numeric/spectral.cpp" "src/numeric/CMakeFiles/aplace_numeric.dir/spectral.cpp.o" "gcc" "src/numeric/CMakeFiles/aplace_numeric.dir/spectral.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/aplace_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

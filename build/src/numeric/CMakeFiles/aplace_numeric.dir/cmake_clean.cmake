@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aplace_numeric.dir/cg.cpp.o"
+  "CMakeFiles/aplace_numeric.dir/cg.cpp.o.d"
+  "CMakeFiles/aplace_numeric.dir/nesterov.cpp.o"
+  "CMakeFiles/aplace_numeric.dir/nesterov.cpp.o.d"
+  "CMakeFiles/aplace_numeric.dir/spectral.cpp.o"
+  "CMakeFiles/aplace_numeric.dir/spectral.cpp.o.d"
+  "libaplace_numeric.a"
+  "libaplace_numeric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aplace_numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aplace_perf.dir/model.cpp.o"
+  "CMakeFiles/aplace_perf.dir/model.cpp.o.d"
+  "CMakeFiles/aplace_perf.dir/spec.cpp.o"
+  "CMakeFiles/aplace_perf.dir/spec.cpp.o.d"
+  "libaplace_perf.a"
+  "libaplace_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aplace_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aplace_route.dir/router.cpp.o"
+  "CMakeFiles/aplace_route.dir/router.cpp.o.d"
+  "libaplace_route.a"
+  "libaplace_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aplace_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

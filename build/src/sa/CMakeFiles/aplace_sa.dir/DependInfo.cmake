@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sa/annealer.cpp" "src/sa/CMakeFiles/aplace_sa.dir/annealer.cpp.o" "gcc" "src/sa/CMakeFiles/aplace_sa.dir/annealer.cpp.o.d"
+  "/root/repo/src/sa/bstar_placer.cpp" "src/sa/CMakeFiles/aplace_sa.dir/bstar_placer.cpp.o" "gcc" "src/sa/CMakeFiles/aplace_sa.dir/bstar_placer.cpp.o.d"
+  "/root/repo/src/sa/bstar_tree.cpp" "src/sa/CMakeFiles/aplace_sa.dir/bstar_tree.cpp.o" "gcc" "src/sa/CMakeFiles/aplace_sa.dir/bstar_tree.cpp.o.d"
+  "/root/repo/src/sa/island.cpp" "src/sa/CMakeFiles/aplace_sa.dir/island.cpp.o" "gcc" "src/sa/CMakeFiles/aplace_sa.dir/island.cpp.o.d"
+  "/root/repo/src/sa/sequence_pair.cpp" "src/sa/CMakeFiles/aplace_sa.dir/sequence_pair.cpp.o" "gcc" "src/sa/CMakeFiles/aplace_sa.dir/sequence_pair.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/aplace_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/aplace_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/aplace_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/aplace_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

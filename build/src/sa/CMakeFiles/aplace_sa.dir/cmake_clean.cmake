@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aplace_sa.dir/annealer.cpp.o"
+  "CMakeFiles/aplace_sa.dir/annealer.cpp.o.d"
+  "CMakeFiles/aplace_sa.dir/bstar_placer.cpp.o"
+  "CMakeFiles/aplace_sa.dir/bstar_placer.cpp.o.d"
+  "CMakeFiles/aplace_sa.dir/bstar_tree.cpp.o"
+  "CMakeFiles/aplace_sa.dir/bstar_tree.cpp.o.d"
+  "CMakeFiles/aplace_sa.dir/island.cpp.o"
+  "CMakeFiles/aplace_sa.dir/island.cpp.o.d"
+  "CMakeFiles/aplace_sa.dir/sequence_pair.cpp.o"
+  "CMakeFiles/aplace_sa.dir/sequence_pair.cpp.o.d"
+  "libaplace_sa.a"
+  "libaplace_sa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aplace_sa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aplace_solver.dir/lp.cpp.o"
+  "CMakeFiles/aplace_solver.dir/lp.cpp.o.d"
+  "CMakeFiles/aplace_solver.dir/milp.cpp.o"
+  "CMakeFiles/aplace_solver.dir/milp.cpp.o.d"
+  "libaplace_solver.a"
+  "libaplace_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aplace_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

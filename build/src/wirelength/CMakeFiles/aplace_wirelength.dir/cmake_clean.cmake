@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aplace_wirelength.dir/area_term.cpp.o"
+  "CMakeFiles/aplace_wirelength.dir/area_term.cpp.o.d"
+  "CMakeFiles/aplace_wirelength.dir/smooth_wl.cpp.o"
+  "CMakeFiles/aplace_wirelength.dir/smooth_wl.cpp.o.d"
+  "libaplace_wirelength.a"
+  "libaplace_wirelength.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aplace_wirelength.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

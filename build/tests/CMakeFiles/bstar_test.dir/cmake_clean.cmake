@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bstar_test.dir/bstar_test.cpp.o"
+  "CMakeFiles/bstar_test.dir/bstar_test.cpp.o.d"
+  "bstar_test"
+  "bstar_test.pdb"
+  "bstar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bstar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

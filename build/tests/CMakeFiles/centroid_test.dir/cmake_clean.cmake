@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/centroid_test.dir/centroid_test.cpp.o"
+  "CMakeFiles/centroid_test.dir/centroid_test.cpp.o.d"
+  "centroid_test"
+  "centroid_test.pdb"
+  "centroid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/centroid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/route_perf_test.dir/route_perf_test.cpp.o"
+  "CMakeFiles/route_perf_test.dir/route_perf_test.cpp.o.d"
+  "route_perf_test"
+  "route_perf_test.pdb"
+  "route_perf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/route_perf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

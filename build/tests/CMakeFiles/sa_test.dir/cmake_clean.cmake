@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sa_test.dir/sa_test.cpp.o"
+  "CMakeFiles/sa_test.dir/sa_test.cpp.o.d"
+  "sa_test"
+  "sa_test.pdb"
+  "sa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/wirelength_test.cpp" "tests/CMakeFiles/wirelength_test.dir/wirelength_test.cpp.o" "gcc" "tests/CMakeFiles/wirelength_test.dir/wirelength_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/aplace_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuits/CMakeFiles/aplace_circuits.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/aplace_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/gp/CMakeFiles/aplace_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/density/CMakeFiles/aplace_density.dir/DependInfo.cmake"
+  "/root/repo/build/src/wirelength/CMakeFiles/aplace_wirelength.dir/DependInfo.cmake"
+  "/root/repo/build/src/legal/CMakeFiles/aplace_legal.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/aplace_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/sa/CMakeFiles/aplace_sa.dir/DependInfo.cmake"
+  "/root/repo/build/src/gnn/CMakeFiles/aplace_gnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/aplace_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/aplace_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/aplace_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/aplace_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/aplace_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/aplace_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

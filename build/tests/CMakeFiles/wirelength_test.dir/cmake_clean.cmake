@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wirelength_test.dir/wirelength_test.cpp.o"
+  "CMakeFiles/wirelength_test.dir/wirelength_test.cpp.o.d"
+  "wirelength_test"
+  "wirelength_test.pdb"
+  "wirelength_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wirelength_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
