@@ -5,11 +5,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
 #include "circuits/testcases.hpp"
 #include "density/electro.hpp"
 #include "gnn/graph.hpp"
 #include "gnn/model.hpp"
 #include "numeric/rng.hpp"
+#include "numeric/spectral.hpp"
 #include "sa/sequence_pair.hpp"
 #include "solver/lp.hpp"
 #include "wirelength/smooth_wl.hpp"
@@ -38,7 +44,67 @@ void BM_ElectroSolve(benchmark::State& state) {
     benchmark::DoNotOptimize(ed.value_and_grad(v, g, 1.0));
   }
 }
-BENCHMARK(BM_ElectroSolve)->Arg(16)->Arg(32)->Arg(64);
+BENCHMARK(BM_ElectroSolve)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+// Full 2D spectral Poisson solve (analysis + potential + both field
+// syntheses) on one random density matrix, FFT path vs. dense-basis oracle.
+numeric::Matrix random_density(std::size_t bins) {
+  numeric::Matrix m(bins, bins);
+  numeric::Rng rng(7);
+  for (double& x : m.data()) x = rng.uniform(0, 1);
+  return m;
+}
+
+void spectral_solve_fft(const numeric::Matrix& m,
+                        const numeric::spectral::Basis& bx,
+                        const numeric::spectral::Basis& by,
+                        numeric::Matrix& psi, numeric::Matrix& ex,
+                        numeric::Matrix& ey) {
+  using namespace numeric::spectral;
+  std::copy(m.data().begin(), m.data().end(), psi.data().begin());
+  dct2d_inplace(psi, bx, by);
+  std::copy(psi.data().begin(), psi.data().end(), ex.data().begin());
+  std::copy(psi.data().begin(), psi.data().end(), ey.data().begin());
+  idct2d_inplace(psi, bx, by);
+  isxcy2d_inplace(ex, bx, by);
+  icxsy2d_inplace(ey, bx, by);
+}
+
+void spectral_solve_naive(const numeric::Matrix& m,
+                          const numeric::spectral::Basis& bx,
+                          const numeric::spectral::Basis& by,
+                          numeric::Matrix& psi, numeric::Matrix& ex,
+                          numeric::Matrix& ey) {
+  using namespace numeric::spectral;
+  const numeric::Matrix a = dct2d_naive(m, bx, by);
+  psi = idct2d_naive(a, bx, by);
+  ex = isxcy2d_naive(a, bx, by);
+  ey = icxsy2d_naive(a, bx, by);
+}
+
+void BM_SpectralSolveFft(benchmark::State& state) {
+  const auto bins = static_cast<std::size_t>(state.range(0));
+  const numeric::spectral::Basis bx(bins), by(bins);
+  numeric::Matrix m = random_density(bins);
+  numeric::Matrix psi(bins, bins), ex(bins, bins), ey(bins, bins);
+  for (auto _ : state) {
+    spectral_solve_fft(m, bx, by, psi, ex, ey);
+    benchmark::DoNotOptimize(psi.data().data());
+  }
+}
+BENCHMARK(BM_SpectralSolveFft)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_SpectralSolveNaive(benchmark::State& state) {
+  const auto bins = static_cast<std::size_t>(state.range(0));
+  const numeric::spectral::Basis bx(bins), by(bins);
+  const numeric::Matrix m = random_density(bins);
+  numeric::Matrix psi(bins, bins), ex(bins, bins), ey(bins, bins);
+  for (auto _ : state) {
+    spectral_solve_naive(m, bx, by, psi, ex, ey);
+    benchmark::DoNotOptimize(psi.data().data());
+  }
+}
+BENCHMARK(BM_SpectralSolveNaive)->Arg(64)->Arg(128)->Arg(256);
 
 void BM_WaWirelengthGrad(benchmark::State& state) {
   circuits::TestCase tc = circuits::make_testcase("SCF");
@@ -102,6 +168,58 @@ void BM_GnnForwardBackward(benchmark::State& state) {
 }
 BENCHMARK(BM_GnnForwardBackward);
 
+// Quick-mode before/after table: times the full 2D spectral solve on the
+// dense-basis (before) and FFT (after) paths without the google-benchmark
+// harness, so `APLACE_QUICK=1 ./bench_micro_kernels` prints the comparison
+// in a second or two.
+void print_spectral_table() {
+  using clock = std::chrono::steady_clock;
+  std::printf("==== spectral Poisson solve: dense basis vs. FFT ====\n");
+  std::printf("%8s %14s %14s %10s\n", "bins", "naive (ms)", "fft (ms)",
+              "speedup");
+  for (const std::size_t bins : {64u, 128u, 256u}) {
+    const numeric::spectral::Basis bx(bins), by(bins);
+    numeric::Matrix m = random_density(bins);
+    numeric::Matrix psi(bins, bins), ex(bins, bins), ey(bins, bins);
+
+    // One warm-up each (builds the lazy dense tables / touches caches).
+    spectral_solve_naive(m, bx, by, psi, ex, ey);
+    spectral_solve_fft(m, bx, by, psi, ex, ey);
+
+    const int naive_reps = bins >= 256 ? 3 : 10;
+    auto t0 = clock::now();
+    for (int i = 0; i < naive_reps; ++i) {
+      spectral_solve_naive(m, bx, by, psi, ex, ey);
+    }
+    const double naive_ms =
+        std::chrono::duration<double, std::milli>(clock::now() - t0).count() /
+        naive_reps;
+
+    const int fft_reps = 50;
+    t0 = clock::now();
+    for (int i = 0; i < fft_reps; ++i) {
+      spectral_solve_fft(m, bx, by, psi, ex, ey);
+    }
+    const double fft_ms =
+        std::chrono::duration<double, std::milli>(clock::now() - t0).count() /
+        fft_reps;
+
+    std::printf("%5zux%zu %14.3f %14.3f %9.1fx\n", bins, bins, naive_ms,
+                fft_ms, naive_ms / fft_ms);
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const char* quick = std::getenv("APLACE_QUICK");
+  if (quick != nullptr && quick[0] != '\0' && quick[0] != '0') {
+    print_spectral_table();
+    return 0;
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

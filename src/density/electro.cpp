@@ -17,7 +17,8 @@ ElectroDensity::ElectroDensity(const netlist::Circuit& circuit,
       rho_(ny, nx),
       psi_(ny, nx),
       ex_(ny, nx),
-      ey_(ny, nx) {
+      ey_(ny, nx),
+      occupancy_(ny, nx) {
   APLACE_CHECK(circuit.finalized());
   APLACE_CHECK_MSG(target_density > 0 && target_density <= 1.0,
                    "target density must be in (0, 1]");
@@ -37,6 +38,17 @@ ElectroDensity::ElectroDensity(const netlist::Circuit& circuit,
   }
 }
 
+geom::Point ElectroDensity::clamped_center(const geom::Point& c,
+                                           const DeviceInfo& d) const {
+  const geom::Rect& rg = grid_.region();
+  auto clamp1 = [](double v, double lo, double hi) {
+    // A device larger than the region has lo > hi: center it.
+    return lo <= hi ? std::clamp(v, lo, hi) : 0.5 * (lo + hi);
+  };
+  return {clamp1(c.x, rg.xlo() + d.w / 2, rg.xhi() - d.w / 2),
+          clamp1(c.y, rg.ylo() + d.h / 2, rg.yhi() - d.h / 2)};
+}
+
 double ElectroDensity::value_and_grad(std::span<const double> v,
                                       std::span<double> grad, double scale) {
   const std::size_t n = devices_.size();
@@ -44,13 +56,17 @@ double ElectroDensity::value_and_grad(std::span<const double> v,
 
   // --- charge density -------------------------------------------------------
   rho_.fill(0.0);
-  numeric::Matrix occupancy(grid_.ny(), grid_.nx());  // true footprint area
+  occupancy_.fill(0.0);  // true footprint area
   for (std::size_t i = 0; i < n; ++i) {
-    const geom::Point c{v[i], v[n + i]};
     const DeviceInfo& d = devices_[i];
+    // Clamp the lookup position into the region: a device dragged outside
+    // by the wirelength pull still deposits charge into the boundary bins
+    // (and below, samples the field there), so its Neumann mirror image
+    // produces the force that pulls it back inside.
+    const geom::Point c = clamped_center({v[i], v[n + i]}, d);
     grid_.splat(geom::Rect::centered(c, d.w, d.h), d.charge, rho_);
     grid_.splat(geom::Rect::centered(c, d.real_w, d.real_h), d.charge,
-                occupancy);
+                occupancy_);
   }
   // Convert charge per bin into density (charge / bin area).
   for (double& x : rho_.data()) x /= grid_.bin_area();
@@ -62,17 +78,20 @@ double ElectroDensity::value_and_grad(std::span<const double> v,
   // by total device area. (target_ still sizes the placement region.)
   double over = 0;
   const double cap = grid_.bin_area();
-  for (double o : occupancy.data()) over += std::max(0.0, o - cap);
+  for (double o : occupancy_.data()) over += std::max(0.0, o - cap);
   const double total_area = circuit_->total_device_area();
   overflow_ = total_area > 0 ? over / total_area : 0.0;
 
   // --- spectral Poisson solve ----------------------------------------------
+  // All transforms run in place on the member matrices: psi_ temporarily
+  // holds the DCT coefficients a, from which the three synthesis inputs are
+  // produced, so the whole solve allocates nothing.
   using namespace numeric::spectral;
-  const numeric::Matrix a = dct2d(rho_, basis_x_, basis_y_);
   const std::size_t nx = grid_.nx(), ny = grid_.ny();
   const double pi = std::numbers::pi;
 
-  numeric::Matrix a_psi(ny, nx), a_ex(ny, nx), a_ey(ny, nx);
+  std::copy(rho_.data().begin(), rho_.data().end(), psi_.data().begin());
+  dct2d_inplace(psi_, basis_x_, basis_y_);
   for (std::size_t r = 0; r < ny; ++r) {
     const double wv = pi * static_cast<double>(r) / static_cast<double>(ny) /
                       grid_.bin_h();
@@ -80,37 +99,42 @@ double ElectroDensity::value_and_grad(std::span<const double> v,
       const double wu = pi * static_cast<double>(c) / static_cast<double>(nx) /
                         grid_.bin_w();
       const double w2 = wu * wu + wv * wv;
-      if (w2 <= 0) continue;  // (0,0): mean removed
-      const double coef = a(r, c) / w2;
-      a_psi(r, c) = coef;
-      a_ex(r, c) = coef * wu;
-      a_ey(r, c) = coef * wv;
+      if (w2 <= 0) {  // (0,0): mean removed
+        psi_(r, c) = 0.0;
+        ex_(r, c) = 0.0;
+        ey_(r, c) = 0.0;
+        continue;
+      }
+      const double coef = psi_(r, c) / w2;
+      psi_(r, c) = coef;
+      ex_(r, c) = coef * wu;
+      ey_(r, c) = coef * wv;
     }
   }
-  psi_ = idct2d(a_psi, basis_x_, basis_y_);
-  ex_ = isxcy2d(a_ex, basis_x_, basis_y_);
-  ey_ = icxsy2d(a_ey, basis_x_, basis_y_);
+  idct2d_inplace(psi_, basis_x_, basis_y_);
+  isxcy2d_inplace(ex_, basis_x_, basis_y_);
+  icxsy2d_inplace(ey_, basis_x_, basis_y_);
 
   // --- energy and per-device forces ----------------------------------------
   double energy = 0;
   for (std::size_t i = 0; i < n; ++i) {
     const DeviceInfo& d = devices_[i];
-    const geom::Rect rect =
-        geom::Rect::centered({v[i], v[n + i]}, d.w, d.h);
+    const geom::Point c = clamped_center({v[i], v[n + i]}, d);
+    const geom::Rect rect = geom::Rect::centered(c, d.w, d.h);
     const auto [cx0, cx1] = grid_.x_range(rect.xlo(), rect.xhi());
     const auto [cy0, cy1] = grid_.y_range(rect.ylo(), rect.yhi());
     double psi_acc = 0, ex_acc = 0, ey_acc = 0, area_acc = 0;
     for (std::size_t r = cy0; r <= cy1; ++r) {
-      for (std::size_t c = cx0; c <= cx1; ++c) {
-        const double ov = grid_.bin_rect(r, c).overlap_area(rect);
+      for (std::size_t cc = cx0; cc <= cx1; ++cc) {
+        const double ov = grid_.bin_rect(r, cc).overlap_area(rect);
         if (ov <= 0) continue;
-        psi_acc += ov * psi_(r, c);
-        ex_acc += ov * ex_(r, c);
-        ey_acc += ov * ey_(r, c);
+        psi_acc += ov * psi_(r, cc);
+        ex_acc += ov * ex_(r, cc);
+        ey_acc += ov * ey_(r, cc);
         area_acc += ov;
       }
     }
-    if (area_acc <= 0) continue;  // fully outside the region
+    if (area_acc <= 0) continue;  // region degenerate beyond clamping
     const double q_over_a = d.charge / area_acc;
     energy += 0.5 * q_over_a * psi_acc;
     grad[i] += scale * (-q_over_a * ex_acc);

@@ -32,7 +32,10 @@ class ElectroDensity {
   [[nodiscard]] double target_density() const { return target_; }
 
   /// Evaluate the potential energy N at v = (x.., y..) and *add*
-  /// scale * dN/dv into grad. Also refreshes overflow().
+  /// scale * dN/dv into grad. Also refreshes overflow(). Devices whose
+  /// footprint has escaped the region are evaluated at the nearest
+  /// in-region position, so they always feel a restoring density force.
+  /// Allocation-free after construction.
   double value_and_grad(std::span<const double> v, std::span<double> grad,
                         double scale);
 
@@ -54,13 +57,20 @@ class ElectroDensity {
     double real_w, real_h;
   };
 
+  /// Device center clamped so its inflated footprint stays inside the
+  /// region (escaped devices are looked up at the nearest boundary bins).
+  [[nodiscard]] geom::Point clamped_center(const geom::Point& c,
+                                           const DeviceInfo& d) const;
+
   const netlist::Circuit* circuit_;
   BinGrid grid_;
   double target_;
   numeric::spectral::Basis basis_x_, basis_y_;
   std::vector<DeviceInfo> devices_;
 
-  numeric::Matrix rho_, psi_, ex_, ey_;
+  // Scratch matrices reused across evaluations: value_and_grad performs no
+  // heap allocation after construction (the Nesterov hot loop).
+  numeric::Matrix rho_, psi_, ex_, ey_, occupancy_;
   double overflow_ = 1.0;
 };
 

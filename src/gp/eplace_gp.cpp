@@ -5,6 +5,7 @@
 #include <numbers>
 
 #include "netlist/placement.hpp"
+#include "numeric/fft.hpp"
 #include "numeric/rng.hpp"
 
 namespace aplace::gp {
@@ -13,6 +14,16 @@ namespace {
 geom::Rect make_region(const netlist::Circuit& c, double utilization) {
   const double side = std::sqrt(c.total_device_area() / utilization);
   return {0, 0, side, side};
+}
+
+// Validate the density bin count and (by default) round it up to a power of
+// two, which keeps ElectroDensity on the FFT-backed spectral path.
+EPlaceGpOptions normalized(EPlaceGpOptions opts) {
+  APLACE_CHECK_MSG(opts.bins >= 2, "ePlace-A needs >= 2 density bins");
+  if (opts.pow2_bins && !numeric::fft::is_pow2(opts.bins)) {
+    opts.bins = numeric::fft::next_pow2(opts.bins);
+  }
+  return opts;
 }
 
 // Mean absolute value over a vector (gradient magnitude proxy).
@@ -27,7 +38,7 @@ double mean_abs(const numeric::Vec& g) {
 EPlaceGlobalPlacer::EPlaceGlobalPlacer(const netlist::Circuit& circuit,
                                        EPlaceGpOptions opts)
     : circuit_(&circuit),
-      opts_(opts),
+      opts_(normalized(opts)),
       region_(make_region(circuit, opts.utilization)),
       wl_owner_(opts.smoothing == WlSmoothing::WeightedAverage
                     ? std::unique_ptr<wirelength::SmoothWirelength>(
@@ -35,7 +46,7 @@ EPlaceGlobalPlacer::EPlaceGlobalPlacer(const netlist::Circuit& circuit,
                     : std::make_unique<wirelength::LseWirelength>(circuit)),
       wl_(*wl_owner_),
       area_(circuit),
-      dens_(circuit, region_, opts.bins, opts.bins, opts.target_density),
+      dens_(circuit, region_, opts_.bins, opts_.bins, opts_.target_density),
       pen_(circuit) {}
 
 GpResult EPlaceGlobalPlacer::run() {

@@ -27,6 +27,10 @@ enum class WlSmoothing : std::uint8_t { WeightedAverage, LogSumExp };
 
 struct EPlaceGpOptions {
   std::size_t bins = 32;          ///< density bins per side
+  /// Round `bins` up to the next power of two so the electrostatic Poisson
+  /// solve takes the O(n log n) FFT path instead of the O(n^2) dense-basis
+  /// fallback. Disable only to exercise the fallback deliberately.
+  bool pow2_bins = true;
   double utilization = 0.55;      ///< region side = sqrt(total area / util)
   double target_density = 0.85;   ///< bin capacity fraction
   double stop_overflow = 0.18;    ///< stop when density overflow drops below

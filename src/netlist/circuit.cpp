@@ -54,8 +54,9 @@ PinId Circuit::add_center_pin(DeviceId device, std::string name) {
 NetId Circuit::add_net(std::string name, std::vector<PinId> pins,
                        double weight, bool critical) {
   require_mutable();
-  APLACE_CHECK_MSG(pins.size() >= 2,
-                   "net '" << name << "' needs at least two pins");
+  // Single-pin (dangling) nets are legal — they contribute nothing to
+  // wirelength and every consumer skips them — but a pinless net is a bug.
+  APLACE_CHECK_MSG(!pins.empty(), "net '" << name << "' needs at least one pin");
   APLACE_CHECK_MSG(!net_by_name_.contains(name),
                    "duplicate net name '" << name << "'");
   APLACE_CHECK_MSG(weight > 0, "net '" << name << "' weight must be positive");

@@ -1,5 +1,6 @@
 #include "numeric/spectral.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 
@@ -7,113 +8,247 @@
 
 namespace aplace::numeric::spectral {
 
-Basis::Basis(std::size_t n) : n_(n), cos_(n * n), sin_(n * n) {
+Basis::Basis(std::size_t n) : n_(n), gather_(n), result_(n) {
   APLACE_CHECK_MSG(n >= 2, "spectral basis needs >= 2 bins");
+  if (fft::is_pow2(n)) plan_ = std::make_unique<fft::FftPlan>(n);
+}
+
+Basis::~Basis() = default;
+Basis::Basis(Basis&&) noexcept = default;
+Basis& Basis::operator=(Basis&&) noexcept = default;
+
+void Basis::ensure_tables() const {
+  if (!cos_.empty()) return;
   const double pi = std::numbers::pi;
-  for (std::size_t k = 0; k < n; ++k) {
-    for (std::size_t j = 0; j < n; ++j) {
+  cos_.resize(n_ * n_);
+  sin_.resize(n_ * n_);
+  for (std::size_t k = 0; k < n_; ++k) {
+    for (std::size_t j = 0; j < n_; ++j) {
       const double arg =
           pi * static_cast<double>(k) * (2.0 * static_cast<double>(j) + 1.0) /
-          (2.0 * static_cast<double>(n));
-      cos_[k * n + j] = std::cos(arg);
-      sin_[k * n + j] = std::sin(arg);
+          (2.0 * static_cast<double>(n_));
+      cos_[k * n_ + j] = std::cos(arg);
+      sin_[k * n_ + j] = std::sin(arg);
     }
+  }
+}
+
+double Basis::cosine(std::size_t k, std::size_t j) const {
+  ensure_tables();
+  return cos_[k * n_ + j];
+}
+
+double Basis::sine(std::size_t k, std::size_t j) const {
+  ensure_tables();
+  return sin_[k * n_ + j];
+}
+
+void Basis::naive_strided(Kind kind, const double* in, std::size_t in_stride,
+                          double* out, std::size_t out_stride) const {
+  ensure_tables();
+  for (std::size_t t = 0; t < n_; ++t) gather_[t] = in[t * in_stride];
+  switch (kind) {
+    case Kind::Dct:
+      for (std::size_t k = 0; k < n_; ++k) {
+        const double* row = &cos_[k * n_];
+        double s = 0;
+        for (std::size_t j = 0; j < n_; ++j) s += gather_[j] * row[j];
+        const double w = (k == 0) ? 0.5 : 1.0;
+        result_[k] = (2.0 / static_cast<double>(n_)) * w * s;
+      }
+      break;
+    case Kind::Idct:
+      std::fill(result_.begin(), result_.end(), 0.0);
+      for (std::size_t k = 0; k < n_; ++k) {
+        const double a = gather_[k];
+        if (a == 0.0) continue;
+        const double* row = &cos_[k * n_];
+        for (std::size_t j = 0; j < n_; ++j) result_[j] += a * row[j];
+      }
+      break;
+    case Kind::SineSynth:
+      std::fill(result_.begin(), result_.end(), 0.0);
+      for (std::size_t k = 1; k < n_; ++k) {
+        const double a = gather_[k];
+        if (a == 0.0) continue;
+        const double* row = &sin_[k * n_];
+        for (std::size_t j = 0; j < n_; ++j) result_[j] += a * row[j];
+      }
+      break;
+  }
+  for (std::size_t t = 0; t < n_; ++t) out[t * out_stride] = result_[t];
+}
+
+void Basis::dct_strided(const double* in, std::size_t in_stride, double* out,
+                        std::size_t out_stride) const {
+  if (plan_) {
+    plan_->dct2(in, in_stride, out, out_stride);
+  } else {
+    naive_strided(Kind::Dct, in, in_stride, out, out_stride);
+  }
+}
+
+void Basis::idct_strided(const double* in, std::size_t in_stride, double* out,
+                         std::size_t out_stride) const {
+  if (plan_) {
+    plan_->dct3(in, in_stride, out, out_stride);
+  } else {
+    naive_strided(Kind::Idct, in, in_stride, out, out_stride);
+  }
+}
+
+void Basis::sine_synthesis_strided(const double* in, std::size_t in_stride,
+                                   double* out, std::size_t out_stride) const {
+  if (plan_) {
+    plan_->dst3(in, in_stride, out, out_stride);
+  } else {
+    naive_strided(Kind::SineSynth, in, in_stride, out, out_stride);
   }
 }
 
 std::vector<double> Basis::dct(const std::vector<double>& v) const {
   APLACE_DCHECK(v.size() == n_);
-  std::vector<double> a(n_, 0.0);
-  for (std::size_t k = 0; k < n_; ++k) {
-    double s = 0;
-    for (std::size_t j = 0; j < n_; ++j) s += v[j] * cosine(k, j);
-    const double w = (k == 0) ? 0.5 : 1.0;
-    a[k] = (2.0 / static_cast<double>(n_)) * w * s;
-  }
+  std::vector<double> a(n_);
+  dct_strided(v.data(), 1, a.data(), 1);
   return a;
 }
 
 std::vector<double> Basis::idct(const std::vector<double>& a) const {
   APLACE_DCHECK(a.size() == n_);
-  std::vector<double> v(n_, 0.0);
-  for (std::size_t j = 0; j < n_; ++j) {
-    double s = 0;
-    for (std::size_t k = 0; k < n_; ++k) s += a[k] * cosine(k, j);
-    v[j] = s;
-  }
+  std::vector<double> v(n_);
+  idct_strided(a.data(), 1, v.data(), 1);
   return v;
 }
 
 std::vector<double> Basis::sine_synthesis(const std::vector<double>& a) const {
   APLACE_DCHECK(a.size() == n_);
-  std::vector<double> v(n_, 0.0);
-  for (std::size_t j = 0; j < n_; ++j) {
-    double s = 0;
-    for (std::size_t k = 1; k < n_; ++k) s += a[k] * sine(k, j);
-    v[j] = s;
-  }
+  std::vector<double> v(n_);
+  sine_synthesis_strided(a.data(), 1, v.data(), 1);
+  return v;
+}
+
+std::vector<double> Basis::naive_dct(const std::vector<double>& v) const {
+  APLACE_DCHECK(v.size() == n_);
+  std::vector<double> a(n_);
+  naive_strided(Kind::Dct, v.data(), 1, a.data(), 1);
+  return a;
+}
+
+std::vector<double> Basis::naive_idct(const std::vector<double>& a) const {
+  APLACE_DCHECK(a.size() == n_);
+  std::vector<double> v(n_);
+  naive_strided(Kind::Idct, a.data(), 1, v.data(), 1);
+  return v;
+}
+
+std::vector<double> Basis::naive_sine_synthesis(
+    const std::vector<double>& a) const {
+  APLACE_DCHECK(a.size() == n_);
+  std::vector<double> v(n_);
+  naive_strided(Kind::SineSynth, a.data(), 1, v.data(), 1);
   return v;
 }
 
 namespace {
 
-enum class Kind { Analysis, CosSynth, SinSynth };
+enum class Kind : std::uint8_t { Dct, Idct, SineSynth };
 
-// Apply a 1D transform along every row of `m` (length = bx.size()).
-Matrix transform_rows(const Matrix& m, const Basis& bx, Kind kind) {
-  APLACE_CHECK(m.cols() == bx.size());
-  Matrix out(m.rows(), m.cols());
-  std::vector<double> row(m.cols());
-  for (std::size_t r = 0; r < m.rows(); ++r) {
-    for (std::size_t c = 0; c < m.cols(); ++c) row[c] = m(r, c);
-    std::vector<double> t;
+void apply_1d(const Basis& b, Kind kind, const double* in,
+              std::size_t in_stride, double* out, std::size_t out_stride,
+              bool naive) {
+  if (naive) {
+    // Route through the vector oracle API to stay on the dense path.
+    std::vector<double> tmp(b.size());
+    for (std::size_t t = 0; t < b.size(); ++t) tmp[t] = in[t * in_stride];
+    std::vector<double> r;
     switch (kind) {
-      case Kind::Analysis: t = bx.dct(row); break;
-      case Kind::CosSynth: t = bx.idct(row); break;
-      case Kind::SinSynth: t = bx.sine_synthesis(row); break;
+      case Kind::Dct: r = b.naive_dct(tmp); break;
+      case Kind::Idct: r = b.naive_idct(tmp); break;
+      case Kind::SineSynth: r = b.naive_sine_synthesis(tmp); break;
     }
-    for (std::size_t c = 0; c < m.cols(); ++c) out(r, c) = t[c];
+    for (std::size_t t = 0; t < b.size(); ++t) out[t * out_stride] = r[t];
+    return;
   }
-  return out;
+  switch (kind) {
+    case Kind::Dct: b.dct_strided(in, in_stride, out, out_stride); break;
+    case Kind::Idct: b.idct_strided(in, in_stride, out, out_stride); break;
+    case Kind::SineSynth:
+      b.sine_synthesis_strided(in, in_stride, out, out_stride);
+      break;
+  }
 }
 
-Matrix transform_cols(const Matrix& m, const Basis& by, Kind kind) {
-  APLACE_CHECK(m.rows() == by.size());
-  Matrix out(m.rows(), m.cols());
-  std::vector<double> col(m.rows());
-  for (std::size_t c = 0; c < m.cols(); ++c) {
-    for (std::size_t r = 0; r < m.rows(); ++r) col[r] = m(r, c);
-    std::vector<double> t;
-    switch (kind) {
-      case Kind::Analysis: t = by.dct(col); break;
-      case Kind::CosSynth: t = by.idct(col); break;
-      case Kind::SinSynth: t = by.sine_synthesis(col); break;
-    }
-    for (std::size_t r = 0; r < m.rows(); ++r) out(r, c) = t[r];
+// Rows with bx (kind_x), then columns with by (kind_y), in place.
+void apply_2d(Matrix& m, const Basis& bx, const Basis& by, Kind kind_x,
+              Kind kind_y, bool naive = false) {
+  APLACE_CHECK(m.cols() == bx.size() && m.rows() == by.size());
+  double* d = m.data().data();
+  const std::size_t cols = m.cols();
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    apply_1d(bx, kind_x, d + r * cols, 1, d + r * cols, 1, naive);
   }
+  for (std::size_t c = 0; c < cols; ++c) {
+    apply_1d(by, kind_y, d + c, cols, d + c, cols, naive);
+  }
+}
+
+Matrix apply_2d_copy(const Matrix& m, const Basis& bx, const Basis& by,
+                     Kind kind_x, Kind kind_y, bool naive = false) {
+  Matrix out = m;
+  apply_2d(out, bx, by, kind_x, kind_y, naive);
   return out;
 }
 
 }  // namespace
 
 Matrix dct2d(const Matrix& m, const Basis& bx, const Basis& by) {
-  return transform_cols(transform_rows(m, bx, Kind::Analysis), by,
-                        Kind::Analysis);
+  return apply_2d_copy(m, bx, by, Kind::Dct, Kind::Dct);
 }
 
 Matrix idct2d(const Matrix& a, const Basis& bx, const Basis& by) {
-  return transform_cols(transform_rows(a, bx, Kind::CosSynth), by,
-                        Kind::CosSynth);
+  return apply_2d_copy(a, bx, by, Kind::Idct, Kind::Idct);
 }
 
 Matrix isxcy2d(const Matrix& a, const Basis& bx, const Basis& by) {
-  return transform_cols(transform_rows(a, bx, Kind::SinSynth), by,
-                        Kind::CosSynth);
+  return apply_2d_copy(a, bx, by, Kind::SineSynth, Kind::Idct);
 }
 
 Matrix icxsy2d(const Matrix& a, const Basis& bx, const Basis& by) {
-  return transform_cols(transform_rows(a, bx, Kind::CosSynth), by,
-                        Kind::SinSynth);
+  return apply_2d_copy(a, bx, by, Kind::Idct, Kind::SineSynth);
+}
+
+void dct2d_inplace(Matrix& m, const Basis& bx, const Basis& by) {
+  apply_2d(m, bx, by, Kind::Dct, Kind::Dct);
+}
+
+void idct2d_inplace(Matrix& m, const Basis& bx, const Basis& by) {
+  apply_2d(m, bx, by, Kind::Idct, Kind::Idct);
+}
+
+void isxcy2d_inplace(Matrix& m, const Basis& bx, const Basis& by) {
+  apply_2d(m, bx, by, Kind::SineSynth, Kind::Idct);
+}
+
+void icxsy2d_inplace(Matrix& m, const Basis& bx, const Basis& by) {
+  apply_2d(m, bx, by, Kind::Idct, Kind::SineSynth);
+}
+
+Matrix dct2d_naive(const Matrix& m, const Basis& bx, const Basis& by) {
+  return apply_2d_copy(m, bx, by, Kind::Dct, Kind::Dct, /*naive=*/true);
+}
+
+Matrix idct2d_naive(const Matrix& a, const Basis& bx, const Basis& by) {
+  return apply_2d_copy(a, bx, by, Kind::Idct, Kind::Idct, /*naive=*/true);
+}
+
+Matrix isxcy2d_naive(const Matrix& a, const Basis& bx, const Basis& by) {
+  return apply_2d_copy(a, bx, by, Kind::SineSynth, Kind::Idct,
+                       /*naive=*/true);
+}
+
+Matrix icxsy2d_naive(const Matrix& a, const Basis& bx, const Basis& by) {
+  return apply_2d_copy(a, bx, by, Kind::Idct, Kind::SineSynth,
+                       /*naive=*/true);
 }
 
 }  // namespace aplace::numeric::spectral

@@ -23,6 +23,10 @@ SmoothWirelength::SmoothWirelength(const netlist::Circuit& circuit)
   APLACE_CHECK(circuit.finalized());
   nets_.reserve(circuit.num_nets());
   for (const netlist::Net& net : circuit.nets()) {
+    // Degenerate nets: an empty pin list would make the minmax/max_element
+    // dereferences below undefined behavior, and a single-pin net has zero
+    // extent and zero gradient — skip both up front.
+    if (net.pins.size() < 2) continue;
     NetPins np;
     np.weight = net.weight;
     for (PinId pid : net.pins) {

@@ -114,6 +114,52 @@ TEST(ElectroTest, GradientRoughlyMatchesFiniteDifference) {
   }
 }
 
+TEST(ElectroTest, EscapedDeviceFeelsRestoringForce) {
+  // A device dragged fully outside the region used to accumulate zero
+  // overlap and silently feel no density force; the clamped lookup must
+  // give it a nonzero gradient pointing back inside.
+  const netlist::Circuit c = test::two_device_circuit();
+  ElectroDensity ed(c, {0, 0, 16, 16}, 16, 16, 0.8);
+  // Device 0 escaped far left of the region, device 1 well inside.
+  const std::vector<double> v{-6.0, 8.0, 8.0, 8.0};
+  std::vector<double> g(4, 0.0);
+  ed.value_and_grad(v, g, 1.0);
+  // Descent direction -g must move device 0 in +x (back toward the region):
+  // its charge lands in the boundary bins, and the Neumann mirror image
+  // repels it inward.
+  EXPECT_LT(g[0], 0.0) << "escaped device must be pulled back inside";
+  EXPECT_NE(g[0], 0.0);
+
+  // Same on the other axis: escaped above the region, pulled down.
+  const std::vector<double> vy{8.0, 8.0, 23.0, 8.0};
+  std::fill(g.begin(), g.end(), 0.0);
+  ed.value_and_grad(vy, g, 1.0);
+  EXPECT_GT(g[2], 0.0) << "escaped device must be pulled back down";
+}
+
+TEST(ElectroTest, GradientMatchesFiniteDifferenceOnFftPath) {
+  // Finite-difference sanity of the gradient after the FFT rewiring, on a
+  // power-of-two grid (the FFT path) at a different size than the legacy
+  // test. Tolerances are loose for the same reason as above: the per-device
+  // field averaging is an approximation of dN/dv.
+  const netlist::Circuit c = test::two_device_circuit();
+  ElectroDensity ed(c, {0, 0, 16, 16}, 64, 64, 0.8);
+  const std::vector<double> v{6.5, 9.5, 8.5, 7.5};
+  std::vector<double> g(4, 0.0);
+  ed.value_and_grad(v, g, 1.0);
+  const auto fd = test::numeric_gradient(
+      [&](const std::vector<double>& x) {
+        std::vector<double> tmp(4, 0.0);
+        return ed.value_and_grad(x, tmp, 0.0);
+      },
+      v, 1e-4);
+  for (int i = 0; i < 4; ++i) {
+    if (std::abs(fd[i]) < 1e-3) continue;
+    EXPECT_GT(g[i] * fd[i], 0.0) << "sign mismatch at " << i;
+    EXPECT_NEAR(g[i], fd[i], 0.75 * std::abs(fd[i]) + 1e-2) << i;
+  }
+}
+
 TEST(BellTest, ValueProfile) {
   const double w = 4, wb = 1;
   EXPECT_NEAR(bell_value(0, w, wb), 1.0, 1e-12);

@@ -53,11 +53,15 @@ TEST(CircuitTest, RejectsPinOutsideFootprint) {
   EXPECT_THROW(c.add_pin(a, "p", {1, -0.1}), CheckError);
 }
 
-TEST(CircuitTest, RejectsSinglePinNet) {
+TEST(CircuitTest, AcceptsSinglePinNetRejectsPinless) {
+  // Dangling single-pin nets are legal (consumers skip them); a net with
+  // no pins at all is a construction bug.
   Circuit c;
   const DeviceId a = c.add_device("A", DeviceType::Nmos, 2, 2);
   const PinId p = c.add_center_pin(a, "p");
-  EXPECT_THROW(c.add_net("n", {p}), CheckError);
+  EXPECT_THROW(c.add_net("empty", {}), CheckError);
+  const NetId n = c.add_net("stub", {p});
+  EXPECT_EQ(c.net(n).degree(), 1u);
 }
 
 TEST(CircuitTest, RejectsDoublyConnectedPin) {

@@ -8,6 +8,7 @@
 
 #include "numeric/adam.hpp"
 #include "numeric/cg.hpp"
+#include "numeric/fft.hpp"
 #include "numeric/matrix.hpp"
 #include "numeric/nesterov.hpp"
 #include "numeric/rng.hpp"
@@ -102,6 +103,115 @@ TEST(SpectralTest, SineSynthesisDifferentiatesCosine) {
   for (std::size_t j = 0; j < n; ++j) {
     EXPECT_NEAR(synth[j], basis.sine(k0, j), 1e-12);
   }
+}
+
+// --- FFT path vs. dense-basis oracle ----------------------------------------
+
+std::vector<double> random_vec(std::size_t n, Rng& rng) {
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.uniform(-3, 3);
+  return v;
+}
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (double& x : m.data()) x = rng.uniform(-3, 3);
+  return m;
+}
+
+void expect_matrix_near(const Matrix& a, const Matrix& b, double tol) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      EXPECT_NEAR(a(r, c), b(r, c), tol) << "(" << r << ", " << c << ")";
+    }
+  }
+}
+
+TEST(FftSpectralTest, Matches1dNaiveAcrossSizes) {
+  Rng rng(11);
+  for (const std::size_t n : {4u, 8u, 16u, 64u, 128u}) {
+    const spectral::Basis basis(n);
+    ASSERT_TRUE(basis.uses_fft()) << n;
+    const std::vector<double> v = random_vec(n, rng);
+    const std::vector<double> fwd = basis.dct(v);
+    const std::vector<double> fwd_ref = basis.naive_dct(v);
+    const std::vector<double> cos_s = basis.idct(v);
+    const std::vector<double> cos_ref = basis.naive_idct(v);
+    const std::vector<double> sin_s = basis.sine_synthesis(v);
+    const std::vector<double> sin_ref = basis.naive_sine_synthesis(v);
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(fwd[j], fwd_ref[j], 1e-10) << "dct n=" << n << " j=" << j;
+      EXPECT_NEAR(cos_s[j], cos_ref[j], 1e-10) << "idct n=" << n << " j=" << j;
+      EXPECT_NEAR(sin_s[j], sin_ref[j], 1e-10) << "dst n=" << n << " j=" << j;
+    }
+  }
+}
+
+TEST(FftSpectralTest, Matches2dNaiveAcrossSizes) {
+  Rng rng(13);
+  for (const std::size_t n : {4u, 8u, 16u, 64u, 128u}) {
+    const spectral::Basis bx(n), by(n);
+    const Matrix m = random_matrix(n, n, rng);
+    expect_matrix_near(spectral::dct2d(m, bx, by),
+                       spectral::dct2d_naive(m, bx, by), 1e-10);
+    expect_matrix_near(spectral::idct2d(m, bx, by),
+                       spectral::idct2d_naive(m, bx, by), 1e-10);
+    expect_matrix_near(spectral::isxcy2d(m, bx, by),
+                       spectral::isxcy2d_naive(m, bx, by), 1e-10);
+    expect_matrix_near(spectral::icxsy2d(m, bx, by),
+                       spectral::icxsy2d_naive(m, bx, by), 1e-10);
+  }
+}
+
+TEST(FftSpectralTest, RectangularGridsMatchNaive) {
+  Rng rng(17);
+  const spectral::Basis bx(16), by(64);
+  const Matrix m = random_matrix(64, 16, rng);
+  expect_matrix_near(spectral::dct2d(m, bx, by),
+                     spectral::dct2d_naive(m, bx, by), 1e-10);
+  expect_matrix_near(spectral::isxcy2d(m, bx, by),
+                     spectral::isxcy2d_naive(m, bx, by), 1e-10);
+}
+
+TEST(FftSpectralTest, InplaceMatchesReturningVariants) {
+  Rng rng(19);
+  const spectral::Basis bx(32), by(8);
+  const Matrix m = random_matrix(8, 32, rng);
+  Matrix inplace = m;
+  spectral::dct2d_inplace(inplace, bx, by);
+  expect_matrix_near(inplace, spectral::dct2d(m, bx, by), 1e-12);
+  inplace = m;
+  spectral::icxsy2d_inplace(inplace, bx, by);
+  expect_matrix_near(inplace, spectral::icxsy2d(m, bx, by), 1e-12);
+}
+
+TEST(FftSpectralTest, NonPow2FallsBackToNaive) {
+  Rng rng(23);
+  const spectral::Basis b12(12);
+  EXPECT_FALSE(b12.uses_fft());
+  const std::vector<double> v = random_vec(12, rng);
+  const std::vector<double> back = b12.idct(b12.dct(v));
+  for (std::size_t j = 0; j < v.size(); ++j) {
+    EXPECT_NEAR(back[j], v[j], 1e-10);
+  }
+  // Mixed grid: FFT along x (16 bins), dense fallback along y (12 bins).
+  const spectral::Basis bx(16);
+  const Matrix m = random_matrix(12, 16, rng);
+  const Matrix round = spectral::idct2d(spectral::dct2d(m, bx, b12), bx, b12);
+  expect_matrix_near(round, m, 1e-10);
+}
+
+TEST(FftSpectralTest, FftPlanRejectsNonPow2) {
+  EXPECT_TRUE(fft::is_pow2(2));
+  EXPECT_TRUE(fft::is_pow2(256));
+  EXPECT_FALSE(fft::is_pow2(0));
+  EXPECT_FALSE(fft::is_pow2(1));
+  EXPECT_FALSE(fft::is_pow2(12));
+  EXPECT_EQ(fft::next_pow2(1), 2u);
+  EXPECT_EQ(fft::next_pow2(33), 64u);
+  EXPECT_EQ(fft::next_pow2(64), 64u);
 }
 
 // --- optimizers ---------------------------------------------------------------

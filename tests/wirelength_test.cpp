@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "circuits/testcases.hpp"
 #include "netlist/placement.hpp"
 #include "test_util.hpp"
@@ -39,6 +42,39 @@ TEST(WirelengthTest, ExactHpwlMatchesPlacement) {
   }
   wirelength::WaWirelength wl(c);
   EXPECT_NEAR(wl.exact_hpwl(v), pl.total_hpwl(), 1e-9);
+}
+
+TEST(WirelengthTest, DegenerateNetsAreSkipped) {
+  // A single-pin (dangling) net used to reach minmax_element on the pin
+  // range; it must contribute nothing to value, gradient or exact HPWL.
+  netlist::Circuit c("dangling");
+  const DeviceId a = c.add_device("A", netlist::DeviceType::Nmos, 2, 2);
+  const DeviceId b = c.add_device("B", netlist::DeviceType::Nmos, 2, 2);
+  const PinId pa = c.add_pin(a, "p", {1, 1});
+  const PinId pb = c.add_pin(b, "p", {1, 1});
+  const PinId dangling = c.add_pin(b, "q", {0.5, 0.5});
+  c.add_net("n", {pa, pb});
+  c.add_net("stub", {dangling}, /*weight=*/7.0);
+  c.finalize();
+
+  netlist::Circuit ref("reference");
+  const DeviceId ra = ref.add_device("A", netlist::DeviceType::Nmos, 2, 2);
+  const DeviceId rb = ref.add_device("B", netlist::DeviceType::Nmos, 2, 2);
+  ref.add_net("n", {ref.add_pin(ra, "p", {1, 1}), ref.add_pin(rb, "p", {1, 1})});
+  ref.finalize();
+
+  const std::vector<double> v{0.0, 5.0, 1.0, 4.0};
+  wirelength::WaWirelength wl(c);
+  wirelength::WaWirelength wl_ref(ref);
+  EXPECT_DOUBLE_EQ(wl.exact_hpwl(v), wl_ref.exact_hpwl(v));
+
+  std::vector<double> g(4, 0.0), g_ref(4, 0.0);
+  EXPECT_DOUBLE_EQ(wl.value_and_grad(v, g), wl_ref.value_and_grad(v, g_ref));
+  for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(g[i], g_ref[i]);
+
+  wirelength::LseWirelength lse(c);
+  std::fill(g.begin(), g.end(), 0.0);
+  EXPECT_TRUE(std::isfinite(lse.value_and_grad(v, g)));
 }
 
 TEST(WirelengthTest, WaOverestimatesShrinkingWithGamma) {
