@@ -1,7 +1,11 @@
 #include "core/flow.hpp"
 
 #include <chrono>
+#include <cmath>
 #include <limits>
+#include <string>
+#include <utility>
+#include <vector>
 
 namespace aplace::core {
 namespace {
@@ -12,85 +16,365 @@ double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
+Deadline make_deadline(double budget_seconds) {
+  return budget_seconds > 0 ? Deadline::after_seconds(budget_seconds)
+                            : Deadline{};
+}
+
+// Placement requires a finalized circuit, but error results must be
+// constructible even for inputs validate() rejected before finalization.
+// Those carry a placement over this minimal static circuit instead; a
+// non-ok status tells callers not to read it.
+const netlist::Circuit& placeholder_circuit() {
+  static const netlist::Circuit c = [] {
+    netlist::Circuit cc("invalid-input-placeholder");
+    cc.add_device("dummy", netlist::DeviceType::Nmos, 1.0, 1.0);
+    cc.finalize();
+    return cc;
+  }();
+  return c;
+}
+
+netlist::Placement safe_placement(const netlist::Circuit& c) {
+  return netlist::Placement(c.finalized() ? c : placeholder_circuit());
+}
+
+// Shared per-flow boilerplate: stamp timing and evaluate quality once the
+// final placement is known (previously duplicated in every flow).
+FlowResult assemble_result(const netlist::Circuit& circuit,
+                           netlist::Placement placement, double gp_seconds,
+                           double dp_seconds) {
+  FlowResult out{std::move(placement), {}, gp_seconds, dp_seconds,
+                 gp_seconds + dp_seconds};
+  out.quality = netlist::Evaluator(circuit).evaluate(out.placement);
+  return out;
+}
+
+FlowResult error_result(const netlist::Circuit& circuit, aplace::Status status,
+                        double total_seconds) {
+  FlowResult out{safe_placement(circuit), {}, 0, 0, total_seconds};
+  out.status = std::move(status);
+  return out;
+}
+
+// Flow boundary: pre-flight validation, then run the flow body with every
+// escaped exception converted to a structured status carrying the circuit
+// name and flow stage instead of crashing the caller.
+template <class Fn>
+FlowResult run_guarded(const char* flow_name, const netlist::Circuit& circuit,
+                       Fn&& body) {
+  const auto t0 = Clock::now();
+  if (aplace::Status s = netlist::validate(circuit); !s.ok()) {
+    s.add_context(std::string(flow_name) + " pre-flight validation of '" +
+                  circuit.name() + "'");
+    return error_result(circuit, std::move(s), seconds_since(t0));
+  }
+  try {
+    FlowResult out = body();
+    out.total_seconds = seconds_since(t0);
+    return out;
+  } catch (const aplace::CheckError& e) {
+    return error_result(
+        circuit,
+        aplace::Status::internal(std::string("unhandled check failure: ") +
+                                 e.what())
+            .add_context(std::string(flow_name) + " flow on circuit '" +
+                         circuit.name() + "'"),
+        seconds_since(t0));
+  } catch (const std::exception& e) {
+    return error_result(
+        circuit,
+        aplace::Status::internal(std::string("unhandled exception: ") +
+                                 e.what())
+            .add_context(std::string(flow_name) + " flow on circuit '" +
+                         circuit.name() + "'"),
+        seconds_since(t0));
+  }
+}
+
+// Replace the GP hand-off with NaN (fault injection): exercises the
+// sanitize-and-recover path of every legalizer.
+void poison(numeric::Vec& positions) {
+  std::fill(positions.begin(), positions.end(),
+            std::numeric_limits<double>::quiet_NaN());
+}
+
+struct LegalizeOutcome {
+  netlist::Placement placement;
+  FallbackLevel level = FallbackLevel::None;
+  aplace::Status status{};  ///< Ok iff `placement` is legal
+};
+
+// The legalization fallback chain. Levels, in order:
+//   1. primary ILP (when `ilp` != nullptr)    -> FallbackLevel::None
+//   2. rounded LP relaxation (flipping off)   -> FallbackLevel::RoundedLp
+//   3. two-stage LP                           -> `two_stage_level`
+//   4. greedy shift                           -> FallbackLevel::GreedyShift
+// Every level runs behind a try/catch and its output is re-checked against
+// the evaluator (a solver claiming Optimal does not get a free pass). The
+// greedy level ignores the deadline on purpose: it is cheap and the chain
+// must end with an answer. When all levels fail the returned status carries
+// one trail note per failed level.
+LegalizeOutcome legalize_chain(const netlist::Circuit& circuit,
+                               std::span<const double> positions,
+                               const legal::IlpOptions* ilp,
+                               legal::TwoStageOptions two_opts,
+                               FallbackLevel two_stage_level,
+                               const Deadline& deadline,
+                               const FaultInjection& inject) {
+  LegalizeOutcome out{netlist::Placement(circuit)};
+  const netlist::Evaluator eval(circuit);
+  std::vector<std::string> failures;
+
+  // Run one level: `attempt` returns a Status and fills `pl` on success.
+  // Returns true when the level delivered a *legal* placement.
+  auto attempt_level = [&](FallbackLevel level, const char* what,
+                           bool injected_failure, auto&& attempt) {
+    if (injected_failure) {
+      failures.push_back(std::string(what) +
+                         ": infeasible: fault injection forced failure");
+      return false;
+    }
+    netlist::Placement pl(circuit);
+    aplace::Status s;
+    try {
+      s = attempt(pl);
+    } catch (const aplace::CheckError& e) {
+      s = aplace::Status::internal(std::string("check failure: ") + e.what());
+    } catch (const std::exception& e) {
+      s = aplace::Status::internal(std::string("exception: ") + e.what());
+    }
+    if (s.ok() && !eval.evaluate(pl).legal(1e-6)) {
+      s = aplace::Status::infeasible(
+          "solver reported success but the placement violates constraints");
+    }
+    if (s.ok()) {
+      out.placement = std::move(pl);
+      out.level = level;
+      return true;
+    }
+    // Keep the latest failed attempt for diagnostics (the greedy level's
+    // best-effort iterate when everything fails).
+    out.placement = std::move(pl);
+    failures.push_back(std::string(what) + ": " + s.to_string());
+    return false;
+  };
+
+  if (ilp != nullptr) {
+    const bool primary_ok = attempt_level(
+        FallbackLevel::None, "ILP legalization", inject.fail_primary_dp,
+        [&](netlist::Placement& pl) {
+          legal::IlpOptions o = *ilp;
+          o.deadline = deadline;
+          legal::IlpResult r =
+              legal::IlpDetailedPlacer(circuit, o).place(positions);
+          if (r.ok()) pl = std::move(r.placement);
+          return r.outcome;
+        });
+    if (primary_ok) return out;
+
+    const bool rounded_ok = attempt_level(
+        FallbackLevel::RoundedLp, "rounded-LP legalization",
+        inject.fail_rounded_lp, [&](netlist::Placement& pl) {
+          // Rounded LP relaxation: drop the flipping binaries and the
+          // refine/reshape iterations so a single LP (plus the MILP
+          // rounding fallback) decides the placement.
+          legal::IlpOptions o = *ilp;
+          o.deadline = deadline;
+          o.enable_flipping = false;
+          o.refine_rounds = 1;
+          o.reshape_attempts = 0;
+          legal::IlpResult r =
+              legal::IlpDetailedPlacer(circuit, o).place(positions);
+          if (r.ok()) pl = std::move(r.placement);
+          return r.outcome;
+        });
+    if (rounded_ok) return out;
+  }
+
+  const bool two_ok = attempt_level(
+      two_stage_level, "two-stage LP legalization", inject.fail_two_stage,
+      [&](netlist::Placement& pl) {
+        two_opts.deadline = deadline;
+        legal::TwoStageResult r =
+            legal::TwoStageLpLegalizer(circuit, two_opts).place(positions);
+        if (r.ok()) pl = std::move(r.placement);
+        return r.outcome;
+      });
+  if (two_ok) return out;
+
+  const bool greedy_ok = attempt_level(
+      FallbackLevel::GreedyShift, "greedy-shift legalization", false,
+      [&](netlist::Placement& pl) {
+        legal::GreedyShiftResult r =
+            legal::GreedyShiftLegalizer(circuit).place(positions);
+        pl = std::move(r.placement);  // best-effort iterate even on failure
+        return r.outcome;
+      });
+  if (greedy_ok) return out;
+
+  out.level = FallbackLevel::GreedyShift;
+  out.status = aplace::Status::infeasible(
+      "no legalization level produced a legal placement for '" +
+      circuit.name() + "'");
+  for (std::string& f : failures) out.status.add_context(std::move(f));
+  return out;
+}
+
 }  // namespace
 
 FlowResult run_eplace_a(const netlist::Circuit& circuit, EPlaceAOptions opts) {
-  APLACE_CHECK(opts.candidates >= 1);
-  const netlist::Evaluator eval(circuit);
-  FlowResult best{netlist::Placement(circuit), {}, 0, 0, 0};
-  double best_score = std::numeric_limits<double>::infinity();
-  double scale_area = 1.0, scale_hpwl = 1.0;
+  return run_guarded("ePlace-A", circuit, [&]() -> FlowResult {
+    APLACE_CHECK(opts.candidates >= 1);
+    const Deadline deadline = make_deadline(opts.time_budget_seconds);
+    FlowResult best{netlist::Placement(circuit), {}, 0, 0, 0};
+    best.status = aplace::Status::internal("no candidate was evaluated");
+    double best_score = std::numeric_limits<double>::infinity();
+    double scale_area = 1.0, scale_hpwl = 1.0;
+    bool have_ok = false, have_scales = false;
 
-  for (int k = 0; k < opts.candidates; ++k) {
-    gp::EPlaceGpOptions gopts = opts.gp;
-    gopts.seed = opts.gp.seed + 48ULL * static_cast<std::uint64_t>(k);
+    for (int k = 0; k < opts.candidates; ++k) {
+      // Later candidates are optional work; the first one runs even on an
+      // expired budget so the flow still ends with a (degraded) answer.
+      if (k > 0 && deadline.expired()) {
+        best.deadline_hit = true;
+        break;
+      }
+      gp::EPlaceGpOptions gopts = opts.gp;
+      gopts.seed = opts.gp.seed + 48ULL * static_cast<std::uint64_t>(k);
+      gopts.deadline = deadline;
 
-    const auto t0 = Clock::now();
-    gp::EPlaceGlobalPlacer placer(circuit, gopts);
-    const gp::GpResult gpr = placer.run();
-    const double gp_s = seconds_since(t0);
+      const auto t0 = Clock::now();
+      gp::EPlaceGlobalPlacer placer(circuit, gopts);
+      gp::GpResult gpr = placer.run();
+      if (opts.inject.poison_gp) poison(gpr.positions);
+      const double gp_s = seconds_since(t0);
 
-    const auto t1 = Clock::now();
-    const legal::IlpDetailedPlacer dp(circuit, opts.dp);
-    legal::IlpResult dpr = dp.place(gpr.positions);
-    APLACE_CHECK_MSG(dpr.ok(), "ePlace-A detailed placement "
-                                   << to_string(dpr.status) << " on circuit '"
-                                   << circuit.name() << "'");
-    const double dp_s = seconds_since(t1);
+      const auto t1 = Clock::now();
+      LegalizeOutcome leg =
+          legalize_chain(circuit, gpr.positions, &opts.dp, {},
+                         FallbackLevel::TwoStageLp, deadline, opts.inject);
+      const double dp_s = seconds_since(t1);
 
-    FlowResult cand{std::move(dpr.placement), {}, gp_s, dp_s, gp_s + dp_s};
-    cand.quality = eval.evaluate(cand.placement);
-    if (k == 0) {
-      scale_area = std::max(cand.quality.area, 1e-9);
-      scale_hpwl = std::max(cand.quality.hpwl, 1e-9);
-    }
-    const double score =
-        cand.quality.area / scale_area + cand.quality.hpwl / scale_hpwl;
-    // Accumulate runtime across candidates (they run sequentially).
-    cand.gp_seconds += best.gp_seconds;
-    cand.dp_seconds += best.dp_seconds;
-    cand.total_seconds += best.total_seconds;
-    if (score < best_score) {
-      best_score = score;
-      best = std::move(cand);
-    } else {
+      FlowResult cand =
+          assemble_result(circuit, std::move(leg.placement), gp_s, dp_s);
+      cand.status = std::move(leg.status);
+      cand.fallback = leg.level;
+      cand.gp_diverged = gpr.diverged || opts.inject.poison_gp ||
+                         !numeric::all_finite(gpr.positions);
+      cand.deadline_hit = gpr.deadline_hit || deadline.expired();
+
+      // Accumulate runtime across candidates (they run sequentially).
+      cand.gp_seconds += best.gp_seconds;
+      cand.dp_seconds += best.dp_seconds;
+      cand.total_seconds += best.total_seconds;
+
+      if (cand.ok()) {
+        if (!have_scales) {
+          scale_area = std::max(cand.quality.area, 1e-9);
+          scale_hpwl = std::max(cand.quality.hpwl, 1e-9);
+          have_scales = true;
+        }
+        const double score =
+            cand.quality.area / scale_area + cand.quality.hpwl / scale_hpwl;
+        if (!have_ok || score < best_score) {
+          best_score = score;
+          best = std::move(cand);
+          have_ok = true;
+          continue;
+        }
+      } else if (!have_ok) {
+        // No legal candidate yet: keep the structured failure.
+        best = std::move(cand);
+        continue;
+      }
       best.gp_seconds = cand.gp_seconds;
       best.dp_seconds = cand.dp_seconds;
       best.total_seconds = cand.total_seconds;
+      best.deadline_hit |= cand.deadline_hit;
     }
-  }
-  return best;
+    return best;
+  });
 }
 
 FlowResult run_prior_work(const netlist::Circuit& circuit,
                           PriorWorkOptions opts) {
-  const auto t0 = Clock::now();
-  gp::PriorAnalyticalGlobalPlacer placer(circuit, opts.gp);
-  const gp::GpResult gpr = placer.run();
-  const double gp_s = seconds_since(t0);
+  return run_guarded("prior-work", circuit, [&]() -> FlowResult {
+    const Deadline deadline = make_deadline(opts.time_budget_seconds);
+    gp::NtuGpOptions gopts = opts.gp;
+    gopts.deadline = deadline;
 
-  const auto t1 = Clock::now();
-  const legal::TwoStageLpLegalizer dp(circuit, opts.dp);
-  legal::TwoStageResult dpr = dp.place(gpr.positions);
-  APLACE_CHECK_MSG(dpr.ok(), "prior-work detailed placement "
-                                 << to_string(dpr.status) << " on circuit '"
-                                 << circuit.name() << "'");
-  const double dp_s = seconds_since(t1);
+    const auto t0 = Clock::now();
+    gp::PriorAnalyticalGlobalPlacer placer(circuit, gopts);
+    gp::GpResult gpr = placer.run();
+    if (opts.inject.poison_gp) poison(gpr.positions);
+    const double gp_s = seconds_since(t0);
 
-  FlowResult out{std::move(dpr.placement), {}, gp_s, dp_s, gp_s + dp_s};
-  out.quality = netlist::Evaluator(circuit).evaluate(out.placement);
-  return out;
+    const auto t1 = Clock::now();
+    // The two-stage LP is this flow's *primary* legalizer (FallbackLevel
+    // None on success); forcing it to fail via fail_primary_dp keeps the
+    // injection knob uniform across flows.
+    FaultInjection inject = opts.inject;
+    inject.fail_two_stage |= inject.fail_primary_dp;
+    LegalizeOutcome leg =
+        legalize_chain(circuit, gpr.positions, nullptr, opts.dp,
+                       FallbackLevel::None, deadline, inject);
+    const double dp_s = seconds_since(t1);
+
+    FlowResult out =
+        assemble_result(circuit, std::move(leg.placement), gp_s, dp_s);
+    out.status = std::move(leg.status);
+    out.fallback = leg.level;
+    out.gp_diverged = gpr.diverged || opts.inject.poison_gp ||
+                      !numeric::all_finite(gpr.positions);
+    out.deadline_hit = gpr.deadline_hit || deadline.expired();
+    return out;
+  });
 }
 
 FlowResult run_sa(const netlist::Circuit& circuit, SaFlowOptions opts) {
-  const auto t0 = Clock::now();
-  sa::SaPlacer placer(circuit, opts.sa);
-  sa::SaResult sar = placer.place();
-  const double total = seconds_since(t0);
+  return run_guarded("SA", circuit, [&]() -> FlowResult {
+    const Deadline deadline = make_deadline(opts.time_budget_seconds);
+    sa::SaOptions sopts = opts.sa;
+    sopts.deadline = deadline;
 
-  FlowResult out{std::move(sar.placement), {}, 0, 0, total};
-  out.quality = netlist::Evaluator(circuit).evaluate(out.placement);
-  return out;
+    const auto t0 = Clock::now();
+    sa::SaPlacer placer(circuit, sopts);
+    sa::SaResult sar = placer.place();
+    const double sa_s = seconds_since(t0);
+
+    FlowResult out =
+        assemble_result(circuit, std::move(sar.placement), 0.0, sa_s);
+    out.deadline_hit = sar.deadline_hit;
+    if (out.quality.legal(1e-6) && !opts.inject.fail_primary_dp) {
+      return out;
+    }
+
+    // Annealing left residual constraint violations (alignment/ordering are
+    // only penalized, not enforced): repair with the analytical fallback
+    // chain starting from the SA positions.
+    const std::size_t n = circuit.num_devices();
+    std::vector<double> pos(2 * n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const geom::Point p = out.placement.position(DeviceId{i});
+      pos[i] = p.x;
+      pos[n + i] = p.y;
+    }
+    const auto t1 = Clock::now();
+    FaultInjection inject = opts.inject;
+    inject.fail_two_stage |= inject.fail_primary_dp;
+    LegalizeOutcome leg =
+        legalize_chain(circuit, pos, nullptr, {}, FallbackLevel::TwoStageLp,
+                       deadline, inject);
+    const double dp_s = seconds_since(t1);
+
+    FlowResult repaired =
+        assemble_result(circuit, std::move(leg.placement), 0.0, sa_s + dp_s);
+    repaired.status = std::move(leg.status);
+    repaired.fallback = leg.level;
+    repaired.deadline_hit = out.deadline_hit || deadline.expired();
+    return repaired;
+  });
 }
 
 }  // namespace aplace::core

@@ -10,16 +10,58 @@
 //   * run_sa:         simulated annealing over sequence pairs with symmetry
 //                     islands.
 //
-// Each returns the legalized placement plus quality metrics and timing.
+// Each returns the legalized placement plus quality metrics, timing, and a
+// structured account of how the answer was produced: a Status (Ok, or why
+// the flow degraded/failed) and the FallbackLevel of the legalizer that
+// actually delivered the placement. Flows never throw on malformed input or
+// solver failure — netlist::validate() runs as a pre-flight check and
+// escaped exceptions are converted to Internal statuses at the flow
+// boundary.
 
+#include "base/status.hpp"
 #include "gp/eplace_gp.hpp"
 #include "gp/ntu_gp.hpp"
+#include "legal/greedy_shift.hpp"
 #include "legal/ilp_detailed.hpp"
 #include "legal/two_stage_lp.hpp"
 #include "netlist/evaluator.hpp"
+#include "netlist/validate.hpp"
 #include "sa/annealer.hpp"
 
 namespace aplace::core {
+
+/// Which legalizer in the fallback chain produced the final placement.
+/// The ePlace-A chain is: ILP (None) -> rounded LP relaxation (RoundedLp)
+/// -> two-stage LP (TwoStageLp) -> greedy shift (GreedyShift). The
+/// prior-work flow starts at its own two-stage LP (None) and falls back to
+/// GreedyShift; the SA flow reports None when annealing itself ended legal.
+enum class FallbackLevel : std::uint8_t {
+  None,         ///< the flow's primary legalizer succeeded
+  RoundedLp,    ///< ILP relaxation with flipping off, single round
+  TwoStageLp,   ///< two-stage LP legalizer as fallback
+  GreedyShift,  ///< greedy shift last resort
+};
+
+inline const char* to_string(FallbackLevel f) {
+  switch (f) {
+    case FallbackLevel::None: return "none";
+    case FallbackLevel::RoundedLp: return "rounded-lp";
+    case FallbackLevel::TwoStageLp: return "two-stage-lp";
+    case FallbackLevel::GreedyShift: return "greedy-shift";
+  }
+  return "?";
+}
+
+/// Deterministic fault injection for the robustness test harness: force
+/// individual fallback levels to fail (as if infeasible) or poison the GP
+/// hand-off with NaN, so every link of the chain can be exercised on
+/// circuits that would otherwise legalize first try.
+struct FaultInjection {
+  bool fail_primary_dp = false;  ///< primary legalizer reports Infeasible
+  bool fail_rounded_lp = false;  ///< rounded-LP fallback reports Infeasible
+  bool fail_two_stage = false;   ///< two-stage fallback reports Infeasible
+  bool poison_gp = false;        ///< replace the GP hand-off with NaN
+};
 
 struct FlowResult {
   netlist::Placement placement;
@@ -27,12 +69,20 @@ struct FlowResult {
   double gp_seconds = 0;
   double dp_seconds = 0;
   double total_seconds = 0;
+  /// How the flow ended. Ok means `placement` is legal; otherwise the code
+  /// and trail explain the failure (InvalidInput, Infeasible, ...) and
+  /// `placement` is best-effort diagnostics only.
+  aplace::Status status{};
+  FallbackLevel fallback = FallbackLevel::None;
+  bool gp_diverged = false;   ///< GP watchdog tripped; hand-off was rescued
+  bool deadline_hit = false;  ///< some stage was truncated by the budget
 
   [[nodiscard]] double area() const { return quality.area; }
   [[nodiscard]] double hpwl() const { return quality.hpwl; }
   [[nodiscard]] bool legal(double tol = 1e-6) const {
     return quality.legal(tol);
   }
+  [[nodiscard]] bool ok() const { return status.ok(); }
 };
 
 struct EPlaceAOptions {
@@ -41,15 +91,23 @@ struct EPlaceAOptions {
   /// Independent GP+DP candidates (different GP seed groups); the best
   /// placement by normalized area+wirelength is kept.
   int candidates = 2;
+  /// Wall-clock budget for the whole flow; 0 = unlimited. On expiry the
+  /// remaining stages degrade (cheaper fallbacks) instead of overrunning.
+  double time_budget_seconds = 0;
+  FaultInjection inject;
 };
 
 struct PriorWorkOptions {
   gp::NtuGpOptions gp;
   legal::TwoStageOptions dp;
+  double time_budget_seconds = 0;  ///< 0 = unlimited
+  FaultInjection inject;
 };
 
 struct SaFlowOptions {
   sa::SaOptions sa;
+  double time_budget_seconds = 0;  ///< 0 = unlimited
+  FaultInjection inject;
 };
 
 [[nodiscard]] FlowResult run_eplace_a(const netlist::Circuit& circuit,

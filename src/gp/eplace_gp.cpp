@@ -56,8 +56,15 @@ GpResult EPlaceGlobalPlacer::run() {
   // total stays far below the SA baseline's budget.
   GpResult best;
   double best_score = std::numeric_limits<double>::infinity();
+  bool any_deadline_hit = false;
   for (int k = 0; k < opts_.num_starts; ++k) {
+    // Keep whatever starts already finished when the budget runs out.
+    if (k > 0 && opts_.deadline.expired()) {
+      any_deadline_hit = true;
+      break;
+    }
     GpResult r = run_single(opts_.seed + 8ULL * static_cast<std::uint64_t>(k));
+    any_deadline_hit |= r.deadline_hit;
     const std::size_t n = circuit_->num_devices();
     netlist::Placement pl(*circuit_);
     for (std::size_t i = 0; i < n; ++i) {
@@ -78,6 +85,7 @@ GpResult EPlaceGlobalPlacer::run() {
       best = std::move(r);
     }
   }
+  best.deadline_hit |= any_deadline_hit;
   return best;
 }
 
@@ -168,7 +176,9 @@ GpResult EPlaceGlobalPlacer::run_single(std::uint64_t seed) {
   numeric::NesterovOptions nopts;
   nopts.max_iters = opts_.max_iters;
   nopts.initial_step = 0.1 * bin_w;
+  nopts.deadline = opts_.deadline;
   numeric::NesterovSolver solver(nopts);
+  numeric::NesterovInfo ninfo;
 
   double last_hpwl = wl_.exact_hpwl(v);
   // Track the best iterate seen: Nesterov is not a descent method, and the
@@ -212,7 +222,10 @@ GpResult EPlaceGlobalPlacer::run_single(std::uint64_t seed) {
         // A minimum iteration count lets wirelength/area optimization act
         // even when the initial state is accidentally overlap-free.
         return st.iter < opts_.min_iters || overflow >= opts_.stop_overflow;
-      });
+      },
+      &ninfo);
+  result.diverged |= ninfo.diverged;
+  result.deadline_hit |= ninfo.deadline_hit;
 
   if (best_score < std::numeric_limits<double>::infinity()) v = best_v;
 
@@ -221,7 +234,7 @@ GpResult EPlaceGlobalPlacer::run_single(std::uint64_t seed) {
   // down with a monotone density ramp (classic ePlace schedule). The best
   // low-overflow iterate becomes the hand-off to the detailed placer, whose
   // pair directions are only reliable when residual overlap is small.
-  {
+  if (!opts_.deadline.expired()) {
     numeric::Vec g0(2 * n, 0.0);
     dens_.value_and_grad(v, g0, 1.0);  // refresh overflow at the restart
     double best2_score = std::numeric_limits<double>::infinity();
@@ -230,6 +243,7 @@ GpResult EPlaceGlobalPlacer::run_single(std::uint64_t seed) {
     numeric::NesterovOptions n2 = nopts;
     n2.max_iters = opts_.max_iters / 2;
     const numeric::NesterovSolver spread(n2);
+    numeric::NesterovInfo sinfo;
     result.iterations += spread.minimize(
         v, gradient,
         [&](const numeric::NesterovState& st, std::span<const double> vv) {
@@ -247,8 +261,13 @@ GpResult EPlaceGlobalPlacer::run_single(std::uint64_t seed) {
           area_.set_gamma(gamma);
           lambda *= opts_.lambda_growth;  // monotone ramp: legality first
           return st.iter < 10 || overflow >= opts_.stop_overflow;
-        });
+        },
+        &sinfo);
+    result.diverged |= sinfo.diverged;
+    result.deadline_hit |= sinfo.deadline_hit;
     if (best2_score < std::numeric_limits<double>::infinity()) v = best2_v;
+  } else {
+    result.deadline_hit = true;
   }
 
   if (opts_.hard_symmetry) pen_.project_symmetry(v);

@@ -14,6 +14,7 @@
 #include <functional>
 #include <memory>
 
+#include "base/deadline.hpp"
 #include "density/electro.hpp"
 #include "gp/penalties.hpp"
 #include "netlist/circuit.hpp"
@@ -57,6 +58,9 @@ struct EPlaceGpOptions {
   /// Wirelength smoothing function. ePlace-A uses WA (paper Eq. 2); the
   /// LSE option exists for the smoothing ablation bench.
   WlSmoothing smoothing = WlSmoothing::WeightedAverage;
+  /// Wall-clock budget shared with the rest of the flow: checked between
+  /// multi-start trajectories, between phases, and inside the solver.
+  Deadline deadline;
 };
 
 struct GpResult {
@@ -64,6 +68,10 @@ struct GpResult {
   int iterations = 0;
   double overflow = 1.0;
   double hpwl = 0.0;  ///< exact HPWL at the final iterate
+  /// The solver watchdog tripped (NaN/Inf or gradient explosion); positions
+  /// hold the last healthy iterate, not a converged solution.
+  bool diverged = false;
+  bool deadline_hit = false;  ///< truncated by the wall-clock budget
 };
 
 class EPlaceGlobalPlacer {

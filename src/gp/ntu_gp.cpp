@@ -67,6 +67,7 @@ GpResult PriorAnalyticalGlobalPlacer::run() {
   numeric::CgOptions copts;
   copts.max_iters = opts_.inner_iters;
   copts.initial_step = 0.2 * bin_w;
+  copts.deadline = opts_.deadline;
   const numeric::CgSolver cg(copts);
 
   double extra_scale = 1.0;
@@ -95,11 +96,23 @@ GpResult PriorAnalyticalGlobalPlacer::run() {
   };
 
   for (int outer = 0; outer < opts_.outer_iters; ++outer) {
+    if (opts_.deadline.expired()) {
+      result.deadline_hit = true;
+      break;
+    }
+    numeric::CgInfo cinfo;
     result.iterations +=
         cg.minimize(v, objective,
                     [](const numeric::CgState&, std::span<const double>) {
                       return true;
-                    });
+                    },
+                    &cinfo);
+    result.diverged |= cinfo.diverged;
+    result.deadline_hit |= cinfo.deadline_hit;
+    // v was rolled back to the last healthy iterate; doubling the density
+    // weight and continuing from a poisoned trajectory rarely helps, so
+    // hand off what we have.
+    if (cinfo.diverged || cinfo.deadline_hit) break;
     const double overflow = dens_.overflow();
     if (outer >= 1 && overflow < opts_.stop_overflow) break;
     beta *= 2.0;  // NTUplace3-style outer ramp

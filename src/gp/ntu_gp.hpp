@@ -12,6 +12,7 @@
 
 #include <functional>
 
+#include "base/deadline.hpp"
 #include "density/bell.hpp"
 #include "gp/eplace_gp.hpp"  // GpResult
 #include "gp/penalties.hpp"
@@ -34,6 +35,8 @@ struct NtuGpOptions {
   double order_rel = 0.08;
   double extra_rel = 2.0;  ///< extra-term (GNN) weight vs. WL gradient
   std::uint64_t seed = 3;
+  /// Wall-clock budget: checked between outer rounds and inside CG.
+  Deadline deadline;
 };
 
 class PriorAnalyticalGlobalPlacer {

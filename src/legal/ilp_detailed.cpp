@@ -6,103 +6,12 @@
 #include <limits>
 #include <set>
 
+#include "legal/projection.hpp"
 #include "legal/relative_order.hpp"
 
 namespace aplace::legal {
-namespace {
 
 using netlist::Axis;
-
-// Project positions onto the exactly-symmetric set (per-group optimal axis)
-// so pair-order derivation within symmetry groups is self-consistent.
-void project_symmetry(const netlist::Circuit& circuit,
-                      std::vector<double>& v) {
-  const std::size_t n = circuit.num_devices();
-  for (const netlist::SymmetryGroup& g :
-       circuit.constraints().symmetry_groups) {
-    auto mir = [&](std::size_t d) -> double& {
-      return g.axis == Axis::Vertical ? v[d] : v[n + d];
-    };
-    auto ort = [&](std::size_t d) -> double& {
-      return g.axis == Axis::Vertical ? v[n + d] : v[d];
-    };
-    double m = 0;
-    std::size_t cnt = 0;
-    for (auto [a, b] : g.pairs) {
-      m += (mir(a.index()) + mir(b.index())) / 2;
-      ++cnt;
-    }
-    for (DeviceId d : g.self_symmetric) {
-      m += mir(d.index());
-      ++cnt;
-    }
-    m /= static_cast<double>(cnt);
-    for (auto [a, b] : g.pairs) {
-      const double half = (mir(a.index()) - mir(b.index())) / 2;
-      mir(a.index()) = m + half;
-      mir(b.index()) = m - half;
-      const double o = (ort(a.index()) + ort(b.index())) / 2;
-      ort(a.index()) = o;
-      ort(b.index()) = o;
-    }
-    for (DeviceId d : g.self_symmetric) mir(d.index()) = m;
-  }
-}
-
-
-// Repair coordinates so ordering constraints hold in their dimension:
-// forced order edges would otherwise conflict with coordinate-derived edges
-// through in-between devices and make the LP infeasible. Keeps the multiset
-// of coordinates, assigns them sorted to the required sequence.
-void project_ordering(const netlist::Circuit& circuit,
-                      std::vector<double>& v) {
-  const std::size_t n = circuit.num_devices();
-  for (const netlist::OrderingConstraint& oc :
-       circuit.constraints().orderings) {
-    const bool horiz = oc.direction == netlist::OrderDirection::LeftToRight;
-    std::vector<double> coords;
-    coords.reserve(oc.devices.size());
-    for (DeviceId d : oc.devices) {
-      coords.push_back(horiz ? v[d.index()] : v[n + d.index()]);
-    }
-    std::sort(coords.begin(), coords.end());
-    for (std::size_t k = 0; k < oc.devices.size(); ++k) {
-      (horiz ? v[oc.devices[k].index()]
-             : v[n + oc.devices[k].index()]) = coords[k];
-    }
-  }
-}
-
-
-// Snap each common-centroid quad to an ideal cross-coupled arrangement at
-// its joint centroid before deriving pair orders: order chains derived from
-// a degenerate start (e.g. both a-devices left of both b-devices) would
-// contradict the diagonal-sum equalities and make the LP infeasible.
-void project_centroid(const netlist::Circuit& circuit,
-                      std::vector<double>& v) {
-  const std::size_t n = circuit.num_devices();
-  for (const netlist::CommonCentroidQuad& q :
-       circuit.constraints().common_centroids) {
-    const double cx = (v[q.a1.index()] + v[q.a2.index()] + v[q.b1.index()] +
-                       v[q.b2.index()]) /
-                      4.0;
-    const double cy = (v[n + q.a1.index()] + v[n + q.a2.index()] +
-                       v[n + q.b1.index()] + v[n + q.b2.index()]) /
-                      4.0;
-    const netlist::Device& da = circuit.device(q.a1);
-    const double hw = da.width / 2, hh = da.height / 2;
-    v[q.a1.index()] = cx - hw;
-    v[n + q.a1.index()] = cy - hh;
-    v[q.a2.index()] = cx + hw;
-    v[n + q.a2.index()] = cy + hh;
-    v[q.b1.index()] = cx + hw;
-    v[n + q.b1.index()] = cy - hh;
-    v[q.b2.index()] = cx - hw;
-    v[n + q.b2.index()] = cy + hh;
-  }
-}
-
-}  // namespace
 
 IlpDetailedPlacer::IlpDetailedPlacer(const netlist::Circuit& circuit,
                                      IlpOptions opts)
@@ -119,6 +28,7 @@ IlpResult IlpDetailedPlacer::place(std::span<const double> gp_positions) const {
   const double gu = opts_.grid_pitch;  // um per grid unit
 
   std::vector<double> start(gp_positions.begin(), gp_positions.end());
+  sanitize_positions(c, start);
   project_symmetry(c, start);
   project_ordering(c, start);
   project_centroid(c, start);
@@ -129,6 +39,11 @@ IlpResult IlpDetailedPlacer::place(std::span<const double> gp_positions) const {
       n);
 
   IlpResult result{netlist::Placement(c)};
+  if (opts_.deadline.expired()) {
+    result.outcome = aplace::Status::budget_exhausted(
+        "time budget expired before ILP legalization started");
+    return result;
+  }
   std::vector<int> vx(n), vy(n), vfx(n, -1), vfy(n, -1);
 
   // Direction refinement: solve, re-derive every pair's direction from the
@@ -136,14 +51,33 @@ IlpResult IlpDetailedPlacer::place(std::span<const double> gp_positions) const {
   // its own re-derived constraints, so the objective is non-increasing;
   // stop at the first round without improvement.
   double best_obj = std::numeric_limits<double>::infinity();
+  bool have_solution = false;
   std::vector<geom::Orientation> fixed_flips;
   for (int round = 0; round < opts_.refine_rounds; ++round) {
+    if (round > 0 && opts_.deadline.expired()) break;
     // Round 0 decides the flipping binaries by branch-and-bound; later
     // refinement rounds keep them fixed so each round is a single LP.
     solver::MilpSolution sol =
         solve_round(orders, round == 0 ? nullptr : &fixed_flips, vx, vy, vfx,
                     vfy, result);
-    if (!sol.ok()) return result;
+    if (!sol.ok()) {
+      if (!have_solution) {
+        // Nothing usable yet: report why instead of handing back the
+        // default (origin pile-up) placement with only an LpStatus flag.
+        result.outcome =
+            sol.deadline_hit
+                ? aplace::Status::budget_exhausted(
+                      "branch-and-bound hit the time budget before finding "
+                      "an integral solution")
+                : status_from_lp(sol.status, "ILP legalization round 0");
+        return result;
+      }
+      // A later refinement round failed; the placement from the previous
+      // round is still valid — restore its status instead of leaking the
+      // failed trial's (previously this returned a good placement marked
+      // Infeasible).
+      break;
+    }
     if (round == 0 && opts_.enable_flipping) {
       fixed_flips.resize(n);
       for (std::size_t i = 0; i < n; ++i) {
@@ -154,6 +88,7 @@ IlpResult IlpDetailedPlacer::place(std::span<const double> gp_positions) const {
     if (sol.objective >= best_obj - 1e-9) break;
     best_obj = sol.objective;
     finish_placement(sol, vx, vy, vfx, vfy, result);
+    have_solution = true;
 
     std::vector<double> pos(2 * n);
     for (std::size_t i = 0; i < n; ++i) {
@@ -171,7 +106,13 @@ IlpResult IlpDetailedPlacer::place(std::span<const double> gp_positions) const {
   // flipping one edge of the binding chain of the larger extent from
   // horizontal to vertical (or vice versa) and keep the move when the
   // objective improves. Each attempt is a single LP (flips stay fixed).
+  if (!have_solution) {
+    result.outcome = aplace::Status::internal(
+        "ILP legalization produced no solution (refine_rounds <= 0?)");
+    return result;
+  }
   for (int attempt = 0; attempt < opts_.reshape_attempts; ++attempt) {
+    if (opts_.deadline.expired()) break;
     std::vector<double> pos(2 * n);
     for (std::size_t i = 0; i < n; ++i) {
       const geom::Point p = result.placement.position(DeviceId{i});
@@ -269,7 +210,8 @@ IlpResult IlpDetailedPlacer::place(std::span<const double> gp_positions) const {
   // The binaries were decided against the round-0 arrangement; refinement
   // and reshaping may have changed the topology enough that different flips
   // now win. One more branch-and-bound pass with the final direction set.
-  if (opts_.enable_flipping && opts_.refine_rounds > 1) {
+  if (opts_.enable_flipping && opts_.refine_rounds > 1 &&
+      !opts_.deadline.expired()) {
     // Small node budget: the relaxation is usually near-integral by now.
     solver::MilpSolution sol =
         solve_round(orders, nullptr, vx, vy, vfx, vfy, result, 8);
@@ -283,6 +225,7 @@ IlpResult IlpDetailedPlacer::place(std::span<const double> gp_positions) const {
   // rejected trial's status behind).
   result.status = solver::LpStatus::Optimal;
   result.objective = best_obj;
+  result.outcome = {};
   return result;
 }
 
@@ -483,6 +426,7 @@ solver::MilpSolution IlpDetailedPlacer::solve_round(
   // ---- solve -------------------------------------------------------------------
   solver::MilpOptions mopts;
   mopts.max_nodes = max_nodes > 0 ? max_nodes : opts_.max_nodes;
+  mopts.deadline = opts_.deadline;
   solver::MilpSolution sol = solver::solve_milp(lp, mopts);
   result.status = sol.status;
   result.objective = sol.objective;

@@ -15,6 +15,8 @@
 #include <span>
 #include <vector>
 
+#include "base/deadline.hpp"
+#include "base/status.hpp"
 #include "legal/relative_order.hpp"
 #include "netlist/evaluator.hpp"
 #include "netlist/placement.hpp"
@@ -35,6 +37,9 @@ struct IlpOptions {
   /// Critical-chain reshaping attempts: flip one binding separation edge of
   /// the larger layout extent per attempt (single LP each).
   int reshape_attempts = 10;
+  /// Wall-clock budget shared with the rest of the flow. Checked between
+  /// rounds and inside branch-and-bound; an already-solved round is kept.
+  Deadline deadline;
 };
 
 struct IlpResult {
@@ -45,8 +50,14 @@ struct IlpResult {
   long bb_nodes = 0;
   int reshape_accepted = 0;  ///< accepted critical-chain flips
   int reshape_chain_len = 0; ///< last binding-chain length (diagnostics)
+  /// Structured outcome: Ok when `placement` holds a solved round, otherwise
+  /// why legalization produced nothing usable (Infeasible, BudgetExhausted,
+  /// ...). Never trust `placement` when this is non-ok.
+  aplace::Status outcome = aplace::Status::internal("ILP placer did not run");
 
-  [[nodiscard]] bool ok() const { return status == solver::LpStatus::Optimal; }
+  [[nodiscard]] bool ok() const {
+    return outcome.ok() && status == solver::LpStatus::Optimal;
+  }
 };
 
 class IlpDetailedPlacer {

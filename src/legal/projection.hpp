@@ -1,0 +1,51 @@
+#pragma once
+// Start-point projections shared by the legalizers.
+//
+// Every legalizer derives pairwise separation directions from the GP
+// hand-off, so the hand-off must first be made *self-consistent* with the
+// constraint groups: exactly mirrored symmetry pairs, ordering chains in
+// their required sequence, common-centroid quads in a cross-coupled
+// arrangement. Deriving orders from an inconsistent start would produce
+// contradictory constraints and an infeasible LP. These helpers were
+// previously duplicated file-locally in ilp_detailed.cpp and
+// two_stage_lp.cpp.
+//
+// sanitize_positions() additionally replaces non-finite coordinates (a
+// diverged GP can hand off NaN/Inf) with a deterministic finite spread so
+// the projections and order derivation below stay well defined.
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "base/status.hpp"
+#include "netlist/circuit.hpp"
+#include "solver/lp.hpp"
+
+namespace aplace::legal {
+
+/// Replace NaN/Inf coordinates in v = (x.., y..) with a finite deterministic
+/// spread near the centroid of the finite entries. Returns true when any
+/// coordinate needed repair.
+bool sanitize_positions(const netlist::Circuit& circuit,
+                        std::vector<double>& v);
+
+/// Project positions onto the exactly-symmetric set (per-group optimal axis)
+/// so pair-order derivation within symmetry groups is self-consistent.
+void project_symmetry(const netlist::Circuit& circuit, std::vector<double>& v);
+
+/// Repair coordinates so ordering constraints hold in their dimension.
+/// Keeps the multiset of coordinates, assigns them sorted to the sequence.
+void project_ordering(const netlist::Circuit& circuit, std::vector<double>& v);
+
+/// Snap each common-centroid quad to an ideal cross-coupled arrangement at
+/// its joint centroid before deriving pair orders.
+void project_centroid(const netlist::Circuit& circuit, std::vector<double>& v);
+
+/// Map a solver status to a pipeline Status: Optimal -> Ok, Infeasible ->
+/// Infeasible, IterLimit -> BudgetExhausted, Unbounded -> Internal. `what`
+/// names the solve for the message ("stage-1 area LP", "ILP round 0", ...).
+[[nodiscard]] aplace::Status status_from_lp(solver::LpStatus s,
+                                            std::string_view what);
+
+}  // namespace aplace::legal

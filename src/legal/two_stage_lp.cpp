@@ -6,6 +6,7 @@
 #include <limits>
 #include <set>
 
+#include "legal/projection.hpp"
 #include "legal/relative_order.hpp"
 #include "netlist/evaluator.hpp"
 
@@ -116,95 +117,6 @@ Skeleton build_skeleton(const netlist::Circuit& c,
   return s;
 }
 
-// Project positions onto the symmetric set (same as the ILP placer) so
-// within-group pair orders are consistent.
-void project_symmetry(const netlist::Circuit& circuit,
-                      std::vector<double>& v) {
-  const std::size_t n = circuit.num_devices();
-  for (const netlist::SymmetryGroup& g :
-       circuit.constraints().symmetry_groups) {
-    auto mir = [&](std::size_t d) -> double& {
-      return g.axis == Axis::Vertical ? v[d] : v[n + d];
-    };
-    auto ort = [&](std::size_t d) -> double& {
-      return g.axis == Axis::Vertical ? v[n + d] : v[d];
-    };
-    double m = 0;
-    std::size_t cnt = 0;
-    for (auto [a, b] : g.pairs) {
-      m += (mir(a.index()) + mir(b.index())) / 2;
-      ++cnt;
-    }
-    for (DeviceId d : g.self_symmetric) {
-      m += mir(d.index());
-      ++cnt;
-    }
-    m /= static_cast<double>(cnt);
-    for (auto [a, b] : g.pairs) {
-      const double half = (mir(a.index()) - mir(b.index())) / 2;
-      mir(a.index()) = m + half;
-      mir(b.index()) = m - half;
-      const double o = (ort(a.index()) + ort(b.index())) / 2;
-      ort(a.index()) = o;
-      ort(b.index()) = o;
-    }
-    for (DeviceId d : g.self_symmetric) mir(d.index()) = m;
-  }
-}
-
-
-// Repair coordinates so ordering constraints hold in their dimension:
-// forced order edges would otherwise conflict with coordinate-derived edges
-// through in-between devices and make the LP infeasible. Keeps the multiset
-// of coordinates, assigns them sorted to the required sequence.
-void project_ordering(const netlist::Circuit& circuit,
-                      std::vector<double>& v) {
-  const std::size_t n = circuit.num_devices();
-  for (const netlist::OrderingConstraint& oc :
-       circuit.constraints().orderings) {
-    const bool horiz = oc.direction == netlist::OrderDirection::LeftToRight;
-    std::vector<double> coords;
-    coords.reserve(oc.devices.size());
-    for (DeviceId d : oc.devices) {
-      coords.push_back(horiz ? v[d.index()] : v[n + d.index()]);
-    }
-    std::sort(coords.begin(), coords.end());
-    for (std::size_t k = 0; k < oc.devices.size(); ++k) {
-      (horiz ? v[oc.devices[k].index()]
-             : v[n + oc.devices[k].index()]) = coords[k];
-    }
-  }
-}
-
-
-// Snap each common-centroid quad to an ideal cross-coupled arrangement at
-// its joint centroid before deriving pair orders: order chains derived from
-// a degenerate start (e.g. both a-devices left of both b-devices) would
-// contradict the diagonal-sum equalities and make the LP infeasible.
-void project_centroid(const netlist::Circuit& circuit,
-                      std::vector<double>& v) {
-  const std::size_t n = circuit.num_devices();
-  for (const netlist::CommonCentroidQuad& q :
-       circuit.constraints().common_centroids) {
-    const double cx = (v[q.a1.index()] + v[q.a2.index()] + v[q.b1.index()] +
-                       v[q.b2.index()]) /
-                      4.0;
-    const double cy = (v[n + q.a1.index()] + v[n + q.a2.index()] +
-                       v[n + q.b1.index()] + v[n + q.b2.index()]) /
-                      4.0;
-    const netlist::Device& da = circuit.device(q.a1);
-    const double hw = da.width / 2, hh = da.height / 2;
-    v[q.a1.index()] = cx - hw;
-    v[n + q.a1.index()] = cy - hh;
-    v[q.a2.index()] = cx + hw;
-    v[n + q.a2.index()] = cy + hh;
-    v[q.b1.index()] = cx + hw;
-    v[n + q.b1.index()] = cy - hh;
-    v[q.b2.index()] = cx - hw;
-    v[n + q.b2.index()] = cy + hh;
-  }
-}
-
 }  // namespace
 
 TwoStageLpLegalizer::TwoStageLpLegalizer(const netlist::Circuit& circuit,
@@ -222,6 +134,7 @@ TwoStageResult TwoStageLpLegalizer::place(
   APLACE_CHECK(gp_positions.size() == 2 * n);
 
   std::vector<double> start(gp_positions.begin(), gp_positions.end());
+  sanitize_positions(c, start);
   project_symmetry(c, start);
   project_ordering(c, start);
   project_centroid(c, start);
@@ -230,15 +143,21 @@ TwoStageResult TwoStageLpLegalizer::place(
       n);
 
   TwoStageResult result{netlist::Placement(c)};
+  if (opts_.deadline.expired()) {
+    result.outcome = aplace::Status::budget_exhausted(
+        "time budget expired before two-stage LP legalization started");
+    return result;
+  }
   // Direction refinement, area-first (matching [11]'s two-stage priority):
   // re-derive every pair's direction from the solved placement and re-run
   // while the lexicographic (extents, wirelength) score improves.
   double best_score = std::numeric_limits<double>::infinity();
   TwoStageResult best = result;
   for (int round = 0; round < opts_.refine_rounds; ++round) {
+    if (round > 0 && opts_.deadline.expired()) break;
     if (!run_stages(orders, result)) {
       if (round == 0) return result;  // propagate first-round failure
-      break;
+      break;  // keep `best` from the previous round
     }
     const double hpwl = result.placement.total_hpwl();
     const double score =
@@ -270,7 +189,10 @@ bool TwoStageLpLegalizer::run_stages(const std::vector<PairOrder>& orders,
   Skeleton s1 = build_skeleton(c, orders, gu, /*extent_cost=*/1.0);
   const solver::LpSolution sol1 = solve_lp(s1.lp);
   result.status = sol1.status;
-  if (!sol1.ok()) return false;
+  if (!sol1.ok()) {
+    result.outcome = status_from_lp(sol1.status, "stage-1 area LP");
+    return false;
+  }
   const double W1 = sol1.x[s1.vW];
   const double H1 = sol1.x[s1.vH];
   result.stage1_width = W1;
@@ -310,7 +232,10 @@ bool TwoStageLpLegalizer::run_stages(const std::vector<PairOrder>& orders,
 
   const solver::LpSolution sol2 = solve_lp(lp);
   result.status = sol2.status;
-  if (!sol2.ok()) return false;
+  if (!sol2.ok()) {
+    result.outcome = status_from_lp(sol2.status, "stage-2 wirelength LP");
+    return false;
+  }
 
   const netlist::Evaluator eval(c);
   auto build = [&](bool snap) {
@@ -333,6 +258,7 @@ bool TwoStageLpLegalizer::run_stages(const std::vector<PairOrder>& orders,
   } else {
     result.placement = build(false);
   }
+  result.outcome = {};
   return true;
 }
 

@@ -12,6 +12,8 @@
 #include <span>
 #include <vector>
 
+#include "base/deadline.hpp"
+#include "base/status.hpp"
 #include "legal/relative_order.hpp"
 #include "netlist/placement.hpp"
 #include "solver/lp.hpp"
@@ -25,6 +27,9 @@ struct TwoStageOptions {
   /// behaviour of [11] (area LP, then wirelength LP); the iterative
   /// refinement is an ePlace-A-side enhancement.
   int refine_rounds = 1;
+  /// Wall-clock budget; checked between refinement rounds (a solved round
+  /// is always kept).
+  Deadline deadline;
 };
 
 struct TwoStageResult {
@@ -32,8 +37,14 @@ struct TwoStageResult {
   solver::LpStatus status = solver::LpStatus::IterLimit;
   double stage1_width = 0.0;   ///< grid units
   double stage1_height = 0.0;
+  /// Structured outcome. Non-ok means `placement` was never filled in (it is
+  /// the default origin pile-up) — callers must not use it silently.
+  aplace::Status outcome =
+      aplace::Status::internal("two-stage LP legalizer did not run");
 
-  [[nodiscard]] bool ok() const { return status == solver::LpStatus::Optimal; }
+  [[nodiscard]] bool ok() const {
+    return outcome.ok() && status == solver::LpStatus::Optimal;
+  }
 };
 
 class TwoStageLpLegalizer {

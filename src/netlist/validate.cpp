@@ -1,0 +1,293 @@
+#include "netlist/validate.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace aplace::netlist {
+namespace {
+
+// Collects findings; the first becomes the Status message, the rest go to
+// the diagnostic trail so one validate() pass reports everything at once.
+class Findings {
+ public:
+  std::ostringstream& add() {
+    lines_.emplace_back();
+    return lines_.back();
+  }
+
+  [[nodiscard]] aplace::Status to_status() const {
+    if (lines_.empty()) return {};
+    aplace::Status s = aplace::Status::invalid_input(lines_.front().str());
+    for (std::size_t i = 1; i < lines_.size(); ++i) {
+      s.add_context(lines_[i].str());
+    }
+    return s;
+  }
+
+ private:
+  std::vector<std::ostringstream> lines_;
+};
+
+// Cycle detection over the directed "must precede" graph of one dimension
+// (x for LeftToRight orderings, y for BottomToTop). Kahn's algorithm; any
+// node left unprocessed sits on a cycle.
+void check_ordering_cycles(const Circuit& c, OrderDirection dir,
+                           Findings& out) {
+  const std::size_t n = c.num_devices();
+  std::vector<std::vector<std::size_t>> succ(n);
+  std::vector<std::size_t> indeg(n, 0);
+  bool any_edge = false;
+  for (const OrderingConstraint& oc : c.constraints().orderings) {
+    if (oc.direction != dir) continue;
+    for (std::size_t k = 0; k + 1 < oc.devices.size(); ++k) {
+      const std::size_t a = oc.devices[k].index();
+      const std::size_t b = oc.devices[k + 1].index();
+      if (a >= n || b >= n) continue;  // reported separately
+      succ[a].push_back(b);
+      ++indeg[b];
+      any_edge = true;
+    }
+  }
+  if (!any_edge) return;
+
+  std::vector<std::size_t> queue;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (indeg[i] == 0) queue.push_back(i);
+  }
+  std::size_t processed = 0;
+  while (!queue.empty()) {
+    const std::size_t u = queue.back();
+    queue.pop_back();
+    ++processed;
+    for (std::size_t v : succ[u]) {
+      if (--indeg[v] == 0) queue.push_back(v);
+    }
+  }
+  if (processed == n) return;
+
+  std::ostringstream& os = out.add();
+  os << "ordering constraints ("
+     << (dir == OrderDirection::LeftToRight ? "left-to-right" : "bottom-to-top")
+     << ") form a cycle through:";
+  for (std::size_t i = 0; i < n; ++i) {
+    if (indeg[i] > 0) os << " '" << c.device(DeviceId{i}).name << "'";
+  }
+}
+
+}  // namespace
+
+aplace::Status validate(const Circuit& c) {
+  Findings out;
+  const std::size_t nd = c.num_devices();
+  const std::size_t np = c.num_pins();
+  const std::size_t nn = c.num_nets();
+
+  if (nd == 0) {
+    out.add() << "circuit '" << c.name() << "' has no devices";
+    return out.to_status();
+  }
+  if (!c.finalized()) {
+    out.add() << "circuit '" << c.name()
+              << "' is not finalized; call finalize() before placement";
+  }
+
+  auto dev_ok = [&](DeviceId id) { return id.valid() && id.index() < nd; };
+  auto dev_name = [&](DeviceId id) -> std::string {
+    return dev_ok(id) ? c.device(id).name : "<bad id>";
+  };
+
+  // ---- devices -------------------------------------------------------------
+  for (std::size_t i = 0; i < nd; ++i) {
+    const Device& d = c.device(DeviceId{i});
+    if (!(std::isfinite(d.width) && std::isfinite(d.height)) ||
+        d.width <= 0 || d.height <= 0) {
+      out.add() << "device '" << d.name << "' has a degenerate footprint "
+                << d.width << " x " << d.height
+                << " (zero/negative/non-finite)";
+    }
+  }
+
+  // ---- pins / nets (referential integrity both ways) -----------------------
+  for (std::size_t i = 0; i < np; ++i) {
+    const Pin& p = c.pin(PinId{i});
+    if (!dev_ok(p.device)) {
+      out.add() << "pin '" << p.name << "' references a nonexistent device";
+      continue;
+    }
+    if (!p.net.valid() || p.net.index() >= nn) {
+      out.add() << "pin '" << p.name << "' on device '" << dev_name(p.device)
+                << "' dangles (not connected to any net)";
+    }
+    const Device& d = c.device(p.device);
+    if (!(p.offset.x >= 0 && p.offset.x <= d.width && p.offset.y >= 0 &&
+          p.offset.y <= d.height)) {
+      out.add() << "pin '" << p.name << "' offset lies outside device '"
+                << d.name << "'";
+    }
+  }
+  for (std::size_t e = 0; e < nn; ++e) {
+    const Net& net = c.net(NetId{e});
+    if (net.pins.empty()) {
+      out.add() << "net '" << net.name << "' has no pins";
+      continue;
+    }
+    if (!(std::isfinite(net.weight)) || net.weight <= 0) {
+      out.add() << "net '" << net.name << "' has non-positive weight "
+                << net.weight;
+    }
+    for (PinId pid : net.pins) {
+      if (!pid.valid() || pid.index() >= np) {
+        out.add() << "net '" << net.name << "' references a nonexistent pin";
+      } else if (c.pin(pid).net != NetId{e}) {
+        out.add() << "net '" << net.name
+                  << "' lists a pin that belongs to another net";
+      }
+    }
+  }
+
+  // ---- symmetry groups -----------------------------------------------------
+  // in_group: device -> (group index, axis) for cross-constraint checks.
+  std::unordered_map<std::size_t, std::pair<std::size_t, Axis>> in_group;
+  std::unordered_map<std::size_t, std::size_t> pair_partner;
+  const auto& groups = c.constraints().symmetry_groups;
+  for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+    const SymmetryGroup& g = groups[gi];
+    auto claim = [&](DeviceId id) {
+      if (!dev_ok(id)) {
+        out.add() << "symmetry group " << gi
+                  << " references a nonexistent device";
+        return;
+      }
+      auto [it, inserted] = in_group.emplace(id.index(),
+                                             std::make_pair(gi, g.axis));
+      if (!inserted && it->second.first != gi) {
+        out.add() << "device '" << dev_name(id) << "' belongs to symmetry "
+                  << "groups " << it->second.first << " and " << gi
+                  << "; a device may mirror about only one axis";
+      }
+    };
+    for (auto [a, b] : g.pairs) {
+      if (a == b) {
+        out.add() << "symmetry group " << gi << " pairs device '"
+                  << dev_name(a) << "' with itself";
+        continue;
+      }
+      claim(a);
+      claim(b);
+      if (dev_ok(a) && dev_ok(b)) {
+        pair_partner[a.index()] = b.index();
+        pair_partner[b.index()] = a.index();
+        const Device& da = c.device(a);
+        const Device& db = c.device(b);
+        if (da.width != db.width || da.height != db.height) {
+          out.add() << "symmetry pair '" << da.name << "'/'" << db.name
+                    << "' footprints differ; mirroring about a shared axis "
+                    << "is impossible";
+        }
+      }
+    }
+    for (DeviceId d : g.self_symmetric) claim(d);
+  }
+
+  // ---- alignments ----------------------------------------------------------
+  const auto& aligns = c.constraints().alignments;
+  for (const AlignmentPair& p : aligns) {
+    if (!dev_ok(p.a) || !dev_ok(p.b)) {
+      out.add() << "alignment references a nonexistent device";
+    } else if (p.a == p.b) {
+      out.add() << "alignment of device '" << dev_name(p.a) << "' with itself";
+    }
+  }
+
+  // ---- orderings -----------------------------------------------------------
+  for (const OrderingConstraint& oc : c.constraints().orderings) {
+    if (oc.devices.size() < 2) {
+      out.add() << "ordering constraint with fewer than two devices";
+      continue;
+    }
+    std::unordered_set<std::size_t> seen;
+    for (DeviceId d : oc.devices) {
+      if (!dev_ok(d)) {
+        out.add() << "ordering references a nonexistent device";
+      } else if (!seen.insert(d.index()).second) {
+        out.add() << "device '" << dev_name(d)
+                  << "' appears twice in one ordering constraint";
+      }
+    }
+
+    // A symmetry pair mirrored about a vertical axis shares its y
+    // coordinate; ordering the two bottom-to-top (which needs a strict y
+    // gap) is contradictory. Likewise horizontal axis vs. left-to-right.
+    const Axis conflicting_axis = oc.direction == OrderDirection::BottomToTop
+                                      ? Axis::Vertical
+                                      : Axis::Horizontal;
+    for (std::size_t i = 0; i < oc.devices.size(); ++i) {
+      for (std::size_t j = i + 1; j < oc.devices.size(); ++j) {
+        const std::size_t a = oc.devices[i].index();
+        const std::size_t b = oc.devices[j].index();
+        auto pit = pair_partner.find(a);
+        if (pit == pair_partner.end() || pit->second != b) continue;
+        auto git = in_group.find(a);
+        if (git != in_group.end() && git->second.second == conflicting_axis) {
+          out.add() << "ordering forces a gap between symmetry pair '"
+                    << dev_name(oc.devices[i]) << "'/'"
+                    << dev_name(oc.devices[j])
+                    << "' along the coordinate their axis makes equal";
+        }
+      }
+    }
+
+    // Alignments that equalize the ordered coordinate are contradictory:
+    // Bottom / HorizontalCenter pin y while bottom-to-top ordering needs a
+    // y gap; VerticalCenter pins x against left-to-right ordering.
+    for (const AlignmentPair& p : aligns) {
+      if (!dev_ok(p.a) || !dev_ok(p.b)) continue;
+      const bool same_coord =
+          oc.direction == OrderDirection::BottomToTop
+              ? (p.kind == AlignmentKind::Bottom ||
+                 p.kind == AlignmentKind::HorizontalCenter)
+              : p.kind == AlignmentKind::VerticalCenter;
+      if (!same_coord) continue;
+      bool has_a = false, has_b = false;
+      for (DeviceId d : oc.devices) {
+        has_a |= d == p.a;
+        has_b |= d == p.b;
+      }
+      if (has_a && has_b) {
+        out.add() << "ordering forces a gap between aligned devices '"
+                  << dev_name(p.a) << "'/'" << dev_name(p.b)
+                  << "' in the aligned dimension";
+      }
+    }
+  }
+  check_ordering_cycles(c, OrderDirection::LeftToRight, out);
+  check_ordering_cycles(c, OrderDirection::BottomToTop, out);
+
+  // ---- common centroid -----------------------------------------------------
+  for (const CommonCentroidQuad& q : c.constraints().common_centroids) {
+    const DeviceId ids[4] = {q.a1, q.a2, q.b1, q.b2};
+    bool ok = true;
+    for (DeviceId d : ids) {
+      if (!dev_ok(d)) {
+        out.add() << "common-centroid quad references a nonexistent device";
+        ok = false;
+      }
+    }
+    if (!ok) continue;
+    for (int i = 0; i < 4; ++i) {
+      for (int j = i + 1; j < 4; ++j) {
+        if (ids[i] == ids[j]) {
+          out.add() << "common-centroid quad repeats device '"
+                    << dev_name(ids[i]) << "'; four distinct devices required";
+        }
+      }
+    }
+  }
+
+  return out.to_status();
+}
+
+}  // namespace aplace::netlist

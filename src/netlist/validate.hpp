@@ -1,0 +1,24 @@
+#pragma once
+// Pre-flight netlist validation for untrusted inputs.
+//
+// validate() inspects a Circuit without throwing and returns a structured
+// Status: Ok when the netlist and its constraint set are well formed, or
+// InvalidInput with an actionable message (plus every further finding in the
+// diagnostic trail). It catches the classes of malformed input that would
+// otherwise surface deep inside a solver as a raw CheckError, an infeasible
+// LP or a NaN: ordering cycles, devices claimed by multiple symmetry groups,
+// degenerate footprints, dangling pin/net references, and constraint
+// combinations that are contradictory by construction (a symmetry pair
+// ordered along its equal coordinate, an alignment fighting an ordering).
+//
+// Every flow runs validate() before constructing placers, so adversarial
+// netlists are rejected with context instead of crashing the pipeline.
+
+#include "base/status.hpp"
+#include "netlist/circuit.hpp"
+
+namespace aplace::netlist {
+
+[[nodiscard]] aplace::Status validate(const Circuit& circuit);
+
+}  // namespace aplace::netlist

@@ -7,6 +7,7 @@
 #include <functional>
 #include <span>
 
+#include "base/deadline.hpp"
 #include "numeric/vec.hpp"
 
 namespace aplace::numeric {
@@ -18,12 +19,25 @@ struct CgOptions {
   double backtrack_factor = 0.5;
   int max_line_search = 20;
   double grad_tol = 1e-7;
+  /// Wall-clock budget polled once per iteration; unlimited by default.
+  Deadline deadline;
+  /// Watchdog: non-finite objective/gradient values are treated as rejected
+  /// trial points; when the current state itself is poisoned the solver
+  /// rolls back to the last healthy iterate and restarts once, damped.
+  bool watchdog = true;
 };
 
 struct CgState {
   int iter = 0;
   double value = 0.0;
   double gradient_norm = 0.0;
+};
+
+/// Post-mortem of one minimize() call (all false on a clean run).
+struct CgInfo {
+  bool diverged = false;
+  bool deadline_hit = false;
+  int restarts = 0;
 };
 
 class CgSolver {
@@ -37,7 +51,9 @@ class CgSolver {
   explicit CgSolver(CgOptions opts = {}) : opts_(opts) {}
 
   /// Minimize starting from v (updated in place). Returns iterations used.
-  int minimize(Vec& v, const ValueGradFn& fg, const Callback& cb) const;
+  /// `info`, when given, reports divergence / deadline / restart outcomes.
+  int minimize(Vec& v, const ValueGradFn& fg, const Callback& cb,
+               CgInfo* info = nullptr) const;
 
  private:
   CgOptions opts_;

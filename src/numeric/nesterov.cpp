@@ -16,8 +16,11 @@ double lipschitz_step(const Vec& u_new, const Vec& u_old, const Vec& g_new,
 
 }  // namespace
 
-int NesterovSolver::minimize(Vec& v, const GradientFn& grad,
-                             const Callback& cb) const {
+int NesterovSolver::minimize(Vec& v, const GradientFn& grad, const Callback& cb,
+                             NesterovInfo* info) const {
+  NesterovInfo local;
+  NesterovInfo& inf = info ? *info : local;
+  inf = {};
   const std::size_t n = v.size();
   if (n == 0) return 0;
 
@@ -28,25 +31,49 @@ int NesterovSolver::minimize(Vec& v, const GradientFn& grad,
   Vec u_prev = u_cur;
 
   grad(u_cur, g_cur);
+  if (opts_.watchdog && (!all_finite(v_cur) || !all_finite(g_cur))) {
+    // Nothing to roll back to: the start state itself is poisoned.
+    inf.diverged = true;
+    return 0;
+  }
   double a_cur = 1.0;
   double alpha = opts_.initial_step;
   const double g0 = norm2(g_cur);
   if (g0 > 1e-30) alpha = std::clamp(alpha, opts_.min_step, opts_.max_step);
+  // Gradient-explosion threshold, relative to the starting magnitude.
+  const double explode = opts_.explosion_factor * std::max(g0, 1.0);
 
+  Vec v_good = v_cur;  ///< last healthy major iterate (watchdog rollback)
   int iter = 0;
   Vec v_next(n), u_next(n), g_next(n);
   for (; iter < opts_.max_iters; ++iter) {
+    if (opts_.deadline.expired()) {
+      inf.deadline_hit = true;
+      break;
+    }
     // Backtracking on the trial step: accept once the Lipschitz step
     // re-estimated at the trial point does not collapse below the trial.
     double trial = alpha;
     const double a_next = (1.0 + std::sqrt(4.0 * a_cur * a_cur + 1.0)) / 2.0;
     const double lookahead = (a_cur - 1.0) / a_next;
+    bool unhealthy = false;
     for (int bt = 0;; ++bt) {
       for (std::size_t i = 0; i < n; ++i) {
         v_next[i] = u_cur[i] - trial * g_cur[i];
         u_next[i] = v_next[i] + lookahead * (v_next[i] - v_cur[i]);
       }
       grad(u_next, g_next);
+      if (opts_.watchdog &&
+          (!all_finite(v_next) || !all_finite(g_next))) {
+        // Keep NaN/Inf out of the Lipschitz estimate: shrink and retry,
+        // escalate to the watchdog when the step cannot shrink further.
+        if (bt >= opts_.backtrack_limit || trial <= opts_.min_step) {
+          unhealthy = true;
+          break;
+        }
+        trial *= 0.5;
+        continue;
+      }
       const double predicted =
           lipschitz_step(u_next, u_cur, g_next, g_cur, opts_);
       if (predicted >= 0.95 * trial || bt >= opts_.backtrack_limit ||
@@ -55,6 +82,30 @@ int NesterovSolver::minimize(Vec& v, const GradientFn& grad,
         break;
       }
       trial = std::max(predicted, trial * 0.5);
+    }
+    if (opts_.watchdog && !unhealthy && norm2(g_next) > explode) {
+      unhealthy = true;
+    }
+
+    if (unhealthy) {
+      if (inf.restarts < 1) {
+        // Roll back to the last good iterate and restart the momentum with
+        // a damped step. One retry: a second blow-up means the objective
+        // itself is pathological, not a transient overshoot.
+        ++inf.restarts;
+        v_cur = v_good;
+        u_cur = v_good;
+        grad(u_cur, g_cur);
+        if (!all_finite(g_cur)) {
+          inf.diverged = true;
+          break;
+        }
+        a_cur = 1.0;
+        alpha = std::max(opts_.min_step, 0.01 * alpha);
+        continue;
+      }
+      inf.diverged = true;
+      break;
     }
 
     u_prev = u_cur;
@@ -65,6 +116,7 @@ int NesterovSolver::minimize(Vec& v, const GradientFn& grad,
     a_cur = a_next;
     alpha = std::clamp(lipschitz_step(u_cur, u_prev, g_cur, g_prev, opts_),
                        opts_.min_step, opts_.max_step);
+    v_good = v_cur;
 
     NesterovState st;
     st.iter = iter;
@@ -75,7 +127,8 @@ int NesterovSolver::minimize(Vec& v, const GradientFn& grad,
       break;
     }
   }
-  v = v_cur;
+  // On divergence hand back the last healthy iterate, never the poisoned one.
+  v = inf.diverged ? v_good : v_cur;
   return iter;
 }
 

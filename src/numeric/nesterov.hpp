@@ -16,6 +16,7 @@
 #include <functional>
 #include <span>
 
+#include "base/deadline.hpp"
 #include "numeric/vec.hpp"
 
 namespace aplace::numeric {
@@ -26,12 +27,27 @@ struct NesterovOptions {
   int backtrack_limit = 10;     ///< max halvings per iteration
   double min_step = 1e-12;
   double max_step = 1e6;
+  /// Wall-clock budget polled once per iteration; unlimited by default.
+  Deadline deadline;
+  /// Watchdog: treat a NaN/Inf iterate/gradient, or a gradient norm above
+  /// explosion_factor * max(initial norm, 1), as divergence. The solver
+  /// rolls back to the last healthy iterate and retries once with a damped
+  /// step before giving up.
+  bool watchdog = true;
+  double explosion_factor = 1e8;
 };
 
 struct NesterovState {
   int iter = 0;
   double step = 0.0;
   double gradient_norm = 0.0;
+};
+
+/// Post-mortem of one minimize() call (all false on a clean run).
+struct NesterovInfo {
+  bool diverged = false;      ///< watchdog gave up; v holds last good iterate
+  bool deadline_hit = false;  ///< stopped by the wall-clock budget
+  int restarts = 0;           ///< damped watchdog restarts taken
 };
 
 class NesterovSolver {
@@ -46,7 +62,9 @@ class NesterovSolver {
   explicit NesterovSolver(NesterovOptions opts = {}) : opts_(opts) {}
 
   /// Minimize starting from v (updated in place). Returns iterations used.
-  int minimize(Vec& v, const GradientFn& grad, const Callback& cb) const;
+  /// `info`, when given, reports divergence / deadline / restart outcomes.
+  int minimize(Vec& v, const GradientFn& grad, const Callback& cb,
+               NesterovInfo* info = nullptr) const;
 
  private:
   NesterovOptions opts_;

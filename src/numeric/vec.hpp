@@ -50,4 +50,13 @@ inline void scale(std::span<double> x, double alpha) {
   return out;
 }
 
+/// True when every entry is neither NaN nor infinite. Used by the solver
+/// watchdogs to catch numerical blow-ups before they poison the iterate.
+[[nodiscard]] inline bool all_finite(std::span<const double> a) {
+  for (double v : a) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
 }  // namespace aplace::numeric

@@ -161,9 +161,15 @@ SaResult SaPlacer::place() {
   long moves = 0;
 
   netlist::Placement trial(*circuit_);
-  while (temp > t_stop) {
+  while (temp > t_stop && !best.deadline_hit) {
     for (long m = 0; m < moves_per_temp; ++m) {
       if (opts_.max_moves > 0 && moves >= opts_.max_moves) break;
+      // Poll the wall-clock budget every 64 moves (steady_clock reads are
+      // cheap but not free next to a sequence-pair repack).
+      if ((moves & 63) == 0 && opts_.deadline.expired()) {
+        best.deadline_hit = true;
+        break;
+      }
       ++moves;
 
       // --- propose ---------------------------------------------------------

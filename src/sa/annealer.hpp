@@ -13,6 +13,7 @@
 #include <functional>
 #include <optional>
 
+#include "base/deadline.hpp"
 #include "netlist/evaluator.hpp"
 #include "netlist/placement.hpp"
 #include "numeric/rng.hpp"
@@ -26,6 +27,9 @@ struct SaOptions {
   double stop_temperature_ratio = 1e-4;  ///< stop when T < ratio * T0
   int moves_per_temp_per_block = 60;
   long max_moves = 0;             ///< 0 = schedule-driven only
+  /// Wall-clock budget polled every few moves; the best state found so far
+  /// is returned when it expires (the initial packing when it already was).
+  Deadline deadline;
   std::uint64_t seed = 1;
 
   double area_weight = 0.38;      ///< vs. (1 - area_weight) wirelength
@@ -41,6 +45,7 @@ struct SaResult {
   double cost = 0.0;
   long moves_evaluated = 0;
   long moves_accepted = 0;
+  bool deadline_hit = false;  ///< annealing truncated by the wall-clock budget
 };
 
 class SaPlacer {

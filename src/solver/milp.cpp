@@ -45,6 +45,10 @@ MilpSolution solve_milp(const LpProblem& p, MilpOptions opts) {
   LpProblem work = p;  // bounds mutated per node, structure shared
 
   while (!stack.empty() && best.nodes_explored < opts.max_nodes) {
+    if (opts.deadline.expired()) {
+      best.deadline_hit = true;
+      break;
+    }
     Node node = std::move(stack.back());
     stack.pop_back();
     ++best.nodes_explored;

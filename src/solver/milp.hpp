@@ -9,6 +9,7 @@
 // is feasible and rounding preserves feasibility (true for the flipping
 // binaries, which never constrain other variables).
 
+#include "base/deadline.hpp"
 #include "solver/lp.hpp"
 
 namespace aplace::solver {
@@ -17,6 +18,10 @@ struct MilpOptions {
   long max_nodes = 4000;
   double int_tol = 1e-6;
   SimplexOptions simplex;
+  /// Wall-clock budget polled once per branch-and-bound node; an expired
+  /// deadline truncates the search (rounding fallback still runs, so a
+  /// feasible relaxation keeps yielding an integral answer).
+  Deadline deadline;
 };
 
 struct MilpSolution {
@@ -25,6 +30,7 @@ struct MilpSolution {
   double objective = 0.0;
   long nodes_explored = 0;
   bool proven_optimal = false;  ///< false when the node limit truncated search
+  bool deadline_hit = false;    ///< the wall-clock budget truncated the search
 
   [[nodiscard]] bool ok() const { return status == LpStatus::Optimal; }
 };

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
+#include <string>
+
 #include "circuits/testcases.hpp"
 #include "core/flow.hpp"
 #include "core/perf_flow.hpp"
@@ -74,6 +77,98 @@ TEST(FlowTest, RuntimesAreRecorded) {
   EXPECT_GT(r.gp_seconds, 0);
   EXPECT_GT(r.dp_seconds, 0);
   EXPECT_GE(r.total_seconds, r.gp_seconds + r.dp_seconds - 1e-9);
+}
+
+// --- robustness: fallback chain, budgets, structured errors ---------------
+
+TEST(FlowRobustnessTest, ForcedInfeasiblePrimaryRecoversViaFallback) {
+  // The ISSUE's mandatory case: force the primary ILP to report infeasible
+  // and require the chain to still deliver a legal placement with a
+  // degraded FallbackLevel.
+  circuits::TestCase tc = circuits::make_testcase("CC-OTA");
+  EPlaceAOptions opts;
+  opts.candidates = 1;
+  opts.inject.fail_primary_dp = true;
+  const FlowResult r = run_eplace_a(tc.circuit, opts);
+  EXPECT_TRUE(r.ok()) << r.status.to_string();
+  EXPECT_TRUE(r.legal(1e-6));
+  EXPECT_NE(r.fallback, FallbackLevel::None)
+      << "primary was forced to fail; a fallback must have produced this";
+}
+
+TEST(FlowRobustnessTest, FullInjectedChainBottomsOutAtGreedyShift) {
+  circuits::TestCase tc = circuits::make_testcase("Adder");
+  EPlaceAOptions opts;
+  opts.candidates = 1;
+  opts.inject.fail_primary_dp = true;
+  opts.inject.fail_rounded_lp = true;
+  opts.inject.fail_two_stage = true;
+  const FlowResult r = run_eplace_a(tc.circuit, opts);
+  EXPECT_EQ(r.fallback, FallbackLevel::GreedyShift)
+      << "status: " << r.status.to_string();
+  EXPECT_TRUE(r.ok()) << r.status.to_string();
+  EXPECT_TRUE(r.legal(1e-6));
+}
+
+TEST(FlowRobustnessTest, PriorWorkRecoversFromForcedPrimaryFailure) {
+  circuits::TestCase tc = circuits::make_testcase("Adder");
+  PriorWorkOptions opts;
+  opts.inject.fail_primary_dp = true;
+  const FlowResult r = run_prior_work(tc.circuit, opts);
+  EXPECT_TRUE(r.ok()) << r.status.to_string();
+  EXPECT_TRUE(r.legal(1e-6));
+  EXPECT_EQ(r.fallback, FallbackLevel::GreedyShift);
+}
+
+TEST(FlowRobustnessTest, SaRecoversFromForcedPrimaryFailure) {
+  circuits::TestCase tc = circuits::make_testcase("Adder");
+  SaFlowOptions opts;
+  opts.sa.max_moves = 20000;
+  opts.inject.fail_primary_dp = true;
+  const FlowResult r = run_sa(tc.circuit, opts);
+  EXPECT_TRUE(r.ok()) << r.status.to_string();
+  EXPECT_TRUE(r.legal(1e-6));
+  EXPECT_NE(r.fallback, FallbackLevel::None);
+}
+
+TEST(FlowRobustnessTest, TinyTimeBudgetDegradesWithoutThrowing) {
+  // An already-expired wall-clock budget: every deadline-aware stage must
+  // step aside and the deadline-free greedy last resort still has to end
+  // the flow with a legal placement.
+  circuits::TestCase tc = circuits::make_testcase("Adder");
+  EPlaceAOptions opts;
+  opts.candidates = 2;
+  opts.time_budget_seconds = 1e-6;
+  std::optional<FlowResult> r;
+  EXPECT_NO_THROW(r.emplace(run_eplace_a(tc.circuit, opts)));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(r->deadline_hit);
+  EXPECT_TRUE(r->ok()) << r->status.to_string();
+  EXPECT_TRUE(r->legal(1e-6));
+  EXPECT_EQ(r->fallback, FallbackLevel::GreedyShift)
+      << "deadline-aware legalizers should have reported BudgetExhausted";
+}
+
+TEST(FlowRobustnessTest, InvalidInputReturnsStructuredStatus) {
+  // Unfinalized circuit with a dangling pin: pre-flight validation must
+  // reject it from every flow without throwing.
+  netlist::Circuit c("broken");
+  const auto d = c.add_device("m1", netlist::DeviceType::Nmos, 2.0, 1.0);
+  c.add_center_pin(d, "g");  // never connected; finalize() never called
+
+  std::optional<FlowResult> r;
+  EXPECT_NO_THROW(r.emplace(run_eplace_a(c)));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_FALSE(r->ok());
+  EXPECT_EQ(r->status.code(), aplace::StatusCode::InvalidInput);
+  EXPECT_NE(r->status.to_string().find("pre-flight"), std::string::npos)
+      << r->status.to_string();
+
+  const FlowResult pw = run_prior_work(c);
+  EXPECT_EQ(pw.status.code(), aplace::StatusCode::InvalidInput);
+
+  const FlowResult sa = run_sa(c);
+  EXPECT_EQ(sa.status.code(), aplace::StatusCode::InvalidInput);
 }
 
 // --- performance-driven ---------------------------------------------------------
