@@ -11,6 +11,7 @@ int main() {
   std::printf("%-8s | %15s | %15s | %15s\n", "", "WA+flip (a/h)",
               "LSE+flip (a/h)", "WA, no flip (a/h)");
 
+  bench::JsonReport json("ablation_smoothing");
   std::vector<double> wa_a, wa_h, lse_a, lse_h, nf_a, nf_h;
   for (const char* name : {"CC-OTA", "Comp1", "CM-OTA1", "VGA"}) {
     circuits::TestCase tc = circuits::make_testcase(name);
@@ -25,6 +26,9 @@ int main() {
     const core::FlowResult rw = core::run_eplace_a(c, wa);
     const core::FlowResult rl = core::run_eplace_a(c, lse);
     const core::FlowResult rn = core::run_eplace_a(c, noflip);
+    json.add_flow(name, "eplace-a-wa", wa.gp.seed, rw);
+    json.add_flow(name, "eplace-a-lse", lse.gp.seed, rl);
+    json.add_flow(name, "eplace-a-noflip", noflip.gp.seed, rn);
     std::printf("%-8s | %7.1f %7.1f | %7.1f %7.1f | %7.1f %7.1f\n", name,
                 rw.area(), rw.hpwl(), rl.area(), rl.hpwl(), rn.area(),
                 rn.hpwl());
@@ -43,5 +47,10 @@ int main() {
       "Note: for analog-sized (2-3 pin) nets WA and LSE errors are of the\n"
       "same order, so unlike the paper's claim the smoothing choice is a\n"
       "wash here; flipping is the reliable HPWL win (see EXPERIMENTS.md).\n");
+  json.add_metric("lse_vs_wa_area", bench::geomean_ratio(lse_a, wa_a));
+  json.add_metric("lse_vs_wa_hpwl", bench::geomean_ratio(lse_h, wa_h));
+  json.add_metric("noflip_vs_wa_area", bench::geomean_ratio(nf_a, wa_a));
+  json.add_metric("noflip_vs_wa_hpwl", bench::geomean_ratio(nf_h, wa_h));
+  json.write();
   return 0;
 }

@@ -1,0 +1,76 @@
+// Batch placement throughput: all ten paper circuits x three flows, run
+// once sequentially (1 thread, parallel=false) and once on an 8-thread
+// pool via core::run_batch. Quality must match exactly between the two
+// runs (determinism contract); the JSON carries both wall times and the
+// speedup so CI can track batch scaling on multi-core runners.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "core/batch.hpp"
+
+int main() {
+  using namespace aplace;
+  bench::header("Batch driver: 10 circuits x 3 flows, sequential vs 8 threads");
+
+  // Keep every circuit alive for the whole run; BatchJob holds pointers.
+  std::vector<std::unique_ptr<circuits::TestCase>> cases;
+  std::vector<core::BatchJob> jobs;
+  for (const std::string& name : circuits::testcase_names()) {
+    cases.push_back(
+        std::make_unique<circuits::TestCase>(circuits::make_testcase(name)));
+    const netlist::Circuit* c = &cases.back()->circuit;
+    for (core::FlowKind flow : {core::FlowKind::EPlaceA,
+                                core::FlowKind::PriorWork,
+                                core::FlowKind::Sa}) {
+      core::BatchJob j;
+      j.circuit = c;
+      j.flow = flow;
+      j.eplace = bench::paper_eplace_options();
+      j.sa.sa = bench::paper_sa_options();
+      j.label = name + "/" + core::to_string(flow);
+      jobs.push_back(std::move(j));
+    }
+  }
+
+  base::ThreadPool::set_global_threads(1);
+  core::BatchOptions seq;
+  seq.parallel = false;
+  const core::BatchReport r1 = core::run_batch(jobs, seq);
+
+  base::ThreadPool::set_global_threads(8);
+  const core::BatchReport r8 = core::run_batch(jobs, {});
+
+  bench::JsonReport json("batch");
+  bool quality_match = true;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const core::BatchItem& a = r1.items[i];
+    const core::BatchItem& b = r8.items[i];
+    if (a.result.quality.hpwl != b.result.quality.hpwl ||
+        a.result.quality.area != b.result.quality.area) {
+      quality_match = false;
+      std::printf("MISMATCH %-18s hpwl %.6f vs %.6f, area %.6f vs %.6f\n",
+                  a.label.c_str(), a.result.hpwl(), b.result.hpwl(),
+                  a.result.area(), b.result.area());
+    }
+    json.add_run(a.label, core::to_string(a.flow), 0, b.wall_seconds,
+                 b.result.hpwl(), b.result.area(), b.result.legal());
+  }
+
+  std::printf("jobs %zu (ok seq %zu / 8t %zu)\n", jobs.size(), r1.num_ok,
+              r8.num_ok);
+  std::printf("sequential %.2fs, 8 threads %.2fs, speedup %.2fx\n",
+              r1.wall_seconds, r8.wall_seconds,
+              r1.wall_seconds / r8.wall_seconds);
+  std::printf("quality (hpwl+area) identical across thread counts: %s\n",
+              quality_match ? "yes" : "NO");
+
+  json.add_metric("wall_sequential", r1.wall_seconds);
+  json.add_metric("wall_parallel_8t", r8.wall_seconds);
+  json.add_metric("speedup", r1.wall_seconds / r8.wall_seconds);
+  json.add_metric("jobs_ok", static_cast<double>(r8.num_ok));
+  json.add_metric("quality_match", quality_match ? 1.0 : 0.0);
+  json.write();
+  return quality_match ? 0 : 1;
+}

@@ -10,12 +10,16 @@
 //   APLACE_QUICK=1   shrink budgets (smoke-test mode; numbers not
 //                    publication-grade but every code path still runs).
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cmath>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "base/thread_pool.hpp"
 #include "circuits/testcases.hpp"
 #include "core/flow.hpp"
 #include "core/perf_flow.hpp"
@@ -103,5 +107,124 @@ inline double geomean_ratio(const std::vector<double>& a,
   }
   return std::exp(s / static_cast<double>(a.size()));
 }
+
+// ---- machine-readable output ------------------------------------------------
+// Next to the human-readable tables, every bench binary records its runs in
+// a JsonReport and writes BENCH_<name>.json ($APLACE_BENCH_JSON_DIR when
+// set, else the working directory). The CI quick-bench job uploads these
+// files and gates on them via scripts/check_bench_regression.py, so the
+// schema below ("aplace-bench-v1") is a contract: one record per flow run
+// with wall time, quality, legality, fallback level, plus the thread count
+// and seed the run used.
+
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench) : bench_(std::move(bench)) {}
+
+  /// Record one placement-flow run.
+  void add_flow(const std::string& circuit, const std::string& flow,
+                std::uint64_t seed, const core::FlowResult& r) {
+    runs_.push_back(Run{circuit, flow, seed, r.total_seconds, r.hpwl(),
+                        r.area(), r.legal(), core::to_string(r.fallback),
+                        r.ok()});
+  }
+
+  /// Record a raw row (legalizer-only comparisons, perf-driven flows, ...).
+  void add_run(const std::string& circuit, const std::string& flow,
+               std::uint64_t seed, double wall_seconds, double hpwl,
+               double area, bool legal) {
+    runs_.push_back(
+        Run{circuit, flow, seed, wall_seconds, hpwl, area, legal, "none",
+            legal});
+  }
+
+  /// Record a raw timed row (micro-kernels, batch wall times, ...).
+  void add_timing(const std::string& circuit, const std::string& what,
+                  double wall_seconds) {
+    runs_.push_back(Run{circuit, what, 0, wall_seconds, 0.0, 0.0, true,
+                        "none", true});
+  }
+
+  /// Scalar summary metric (speedups, geomean ratios, ...). Informational:
+  /// the regression gate only checks per-run rows.
+  void add_metric(const std::string& name, double value) {
+    metrics_.emplace_back(name, value);
+  }
+
+  /// Write BENCH_<bench>.json. Returns false (with a warning on stderr)
+  /// when the file cannot be written; benches still exit 0 in that case.
+  bool write() const {
+    std::string dir;
+    if (const char* d = std::getenv("APLACE_BENCH_JSON_DIR");
+        d != nullptr && d[0] != '\0') {
+      dir = std::string(d) + "/";
+    }
+    const std::string path = dir + "BENCH_" + bench_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return false;
+    }
+    out << "{\n"
+        << "  \"schema\": \"aplace-bench-v1\",\n"
+        << "  \"bench\": \"" << escaped(bench_) << "\",\n"
+        << "  \"threads\": " << base::ThreadPool::global().num_threads()
+        << ",\n"
+        << "  \"quick\": " << (quick_mode() ? "true" : "false") << ",\n"
+        << "  \"runs\": [";
+    for (std::size_t i = 0; i < runs_.size(); ++i) {
+      const Run& r = runs_[i];
+      out << (i ? ",\n    " : "\n    ") << "{\"circuit\": \""
+          << escaped(r.circuit) << "\", \"flow\": \"" << escaped(r.flow)
+          << "\", \"seed\": " << r.seed << ", \"wall_seconds\": "
+          << fmt(r.wall_seconds) << ", \"hpwl\": " << fmt(r.hpwl)
+          << ", \"area\": " << fmt(r.area) << ", \"legal\": "
+          << (r.legal ? "true" : "false") << ", \"fallback\": \""
+          << escaped(r.fallback) << "\", \"ok\": " << (r.ok ? "true" : "false")
+          << "}";
+    }
+    out << "\n  ],\n  \"metrics\": {";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      out << (i ? ",\n    " : "\n    ") << "\"" << escaped(metrics_[i].first)
+          << "\": " << fmt(metrics_[i].second);
+    }
+    out << "\n  }\n}\n";
+    return static_cast<bool>(out);
+  }
+
+ private:
+  struct Run {
+    std::string circuit;
+    std::string flow;
+    std::uint64_t seed;
+    double wall_seconds;
+    double hpwl;
+    double area;
+    bool legal;
+    std::string fallback;
+    bool ok;
+  };
+
+  static std::string escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  static std::string fmt(double v) {
+    if (!std::isfinite(v)) return "null";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    return buf;
+  }
+
+  std::string bench_;
+  std::vector<Run> runs_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
 
 }  // namespace aplace::bench

@@ -10,6 +10,7 @@ int main() {
   std::printf("%-8s | %16s | %16s | %7s %7s\n", "", "with (a/h)",
               "without (a/h)", "dA", "dHPWL");
 
+  bench::JsonReport json("fig2_area_term");
   std::vector<double> with_a, with_h, wo_a, wo_h;
   for (const char* name : {"CC-OTA", "Comp1", "Comp2", "CM-OTA1", "VGA",
                            "VCO2"}) {
@@ -21,6 +22,8 @@ int main() {
 
     const core::FlowResult rw = core::run_eplace_a(tc.circuit, with);
     const core::FlowResult ro = core::run_eplace_a(tc.circuit, without);
+    json.add_flow(name, "eplace-a", with.gp.seed, rw);
+    json.add_flow(name, "eplace-a-noarea", without.gp.seed, ro);
     std::printf("%-8s | %7.1f %7.1f | %7.1f %7.1f | %+6.1f%% %+6.1f%%\n",
                 name, rw.area(), rw.hpwl(), ro.area(), ro.hpwl(),
                 100 * (ro.area() / rw.area() - 1),
@@ -35,5 +38,10 @@ int main() {
               "HPWL %+.1f%%  (paper: >20%% on both)\n",
               100 * (aplace::bench::geomean_ratio(wo_a, with_a) - 1),
               100 * (aplace::bench::geomean_ratio(wo_h, with_h) - 1));
+  json.add_metric("area_increase_without_term",
+                  aplace::bench::geomean_ratio(wo_a, with_a) - 1);
+  json.add_metric("hpwl_increase_without_term",
+                  aplace::bench::geomean_ratio(wo_h, with_h) - 1);
+  json.write();
   return 0;
 }

@@ -11,6 +11,8 @@ int main() {
   const netlist::Circuit& c = tc.circuit;
 
   std::printf("series, param, area(um^2), hpwl(um)\n");
+  bench::JsonReport json("fig5_tradeoff");
+  char label[64];
 
   // SA: sweep the area-vs-wirelength cost weight.
   for (double aw : {0.2, 0.35, 0.5, 0.65, 0.8}) {
@@ -19,6 +21,8 @@ int main() {
     if (!bench::quick_mode()) so.sa.cooling = 0.997;  // keep the sweep sane
     so.sa.area_weight = aw;
     const core::FlowResult r = core::run_sa(c, so);
+    std::snprintf(label, sizeof label, "sa[aw=%.2f]", aw);
+    json.add_flow("CM-OTA1", label, so.sa.seed, r);
     std::printf("SA, aw=%.2f, %.1f, %.1f\n", aw, r.area(), r.hpwl());
     std::fflush(stdout);
   }
@@ -28,6 +32,8 @@ int main() {
     core::PriorWorkOptions po;
     po.gp.utilization = util;
     const core::FlowResult r = core::run_prior_work(c, po);
+    std::snprintf(label, sizeof label, "prior-work[util=%.2f]", util);
+    json.add_flow("CM-OTA1", label, 0, r);
     std::printf("prior[11], util=%.2f, %.1f, %.1f\n", util, r.area(),
                 r.hpwl());
     std::fflush(stdout);
@@ -39,9 +45,12 @@ int main() {
     eo.gp.eta_rel = eta;
     eo.dp.mu = 0.5 + eta;
     const core::FlowResult r = core::run_eplace_a(c, eo);
+    std::snprintf(label, sizeof label, "eplace-a[eta=%.2f]", eta);
+    json.add_flow("CM-OTA1", label, eo.gp.seed, r);
     std::printf("ePlace-A, eta=%.2f, %.1f, %.1f\n", eta, r.area(), r.hpwl());
     std::fflush(stdout);
   }
+  json.write();
 
   std::printf(
       "\nExpected shape (paper Fig. 5): ePlace-A points dominate — closest\n"

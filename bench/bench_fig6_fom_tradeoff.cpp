@@ -15,12 +15,19 @@ int main() {
                                       bench::paper_train_options());
 
   std::printf("series, param, area(um^2), fom\n");
+  bench::JsonReport json("fig6_fom_tradeoff");
+  char label[64];
 
   // Perf-driven SA: sweep the GNN weight alpha.
   for (double alpha : {0.3, 0.8, 1.5, 2.5}) {
     core::SaFlowOptions sp;
     sp.sa = bench::paper_sa_perf_options();
     const core::PerfFlowResult r = core::run_sa_perf(c, *ctx, sp, alpha);
+    std::snprintf(label, sizeof label, "sa-perf[alpha=%.1f]", alpha);
+    json.add_run("CM-OTA1", label, sp.sa.seed, r.flow.total_seconds,
+                 r.flow.hpwl(), r.flow.area(), r.flow.legal());
+    std::snprintf(label, sizeof label, "fom_sa_perf_alpha%.1f", alpha);
+    json.add_metric(label, r.perf.fom);
     std::printf("perf-SA, alpha=%.1f, %.1f, %.3f\n", alpha, r.flow.area(),
                 r.perf.fom);
     std::fflush(stdout);
@@ -31,6 +38,11 @@ int main() {
     core::PriorWorkOptions po;
     po.gp.extra_rel = rel;
     const core::PerfFlowResult r = core::run_prior_work_perf(c, *ctx, po);
+    std::snprintf(label, sizeof label, "prior-work-perf[rel=%.2f]", rel);
+    json.add_run("CM-OTA1", label, 0, r.flow.total_seconds, r.flow.hpwl(),
+                 r.flow.area(), r.flow.legal());
+    std::snprintf(label, sizeof label, "fom_prior_perf_rel%.2f", rel);
+    json.add_metric(label, r.perf.fom);
     std::printf("Perf*[11], rel=%.2f, %.1f, %.3f\n", rel, r.flow.area(),
                 r.perf.fom);
     std::fflush(stdout);
@@ -41,10 +53,16 @@ int main() {
     core::EPlaceAOptions eo = bench::paper_eplace_options();
     eo.gp.extra_rel = rel;
     const core::PerfFlowResult r = core::run_eplace_ap(c, *ctx, eo);
+    std::snprintf(label, sizeof label, "eplace-ap[rel=%.2f]", rel);
+    json.add_run("CM-OTA1", label, 0, r.flow.total_seconds, r.flow.hpwl(),
+                 r.flow.area(), r.flow.legal());
+    std::snprintf(label, sizeof label, "fom_eplace_ap_rel%.2f", rel);
+    json.add_metric(label, r.perf.fom);
     std::printf("ePlace-AP, rel=%.2f, %.1f, %.3f\n", rel, r.flow.area(),
                 r.perf.fom);
     std::fflush(stdout);
   }
+  json.write();
 
   std::printf(
       "\nExpected shape (paper Fig. 6): ePlace-AP near the upper-left —\n"

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "bench_common.hpp"
 #include "circuits/testcases.hpp"
 #include "density/electro.hpp"
 #include "gnn/graph.hpp"
@@ -174,6 +175,7 @@ BENCHMARK(BM_GnnForwardBackward);
 // in a second or two.
 void print_spectral_table() {
   using clock = std::chrono::steady_clock;
+  bench::JsonReport json("micro_kernels");
   std::printf("==== spectral Poisson solve: dense basis vs. FFT ====\n");
   std::printf("%8s %14s %14s %10s\n", "bins", "naive (ms)", "fft (ms)",
               "speedup");
@@ -206,7 +208,12 @@ void print_spectral_table() {
 
     std::printf("%5zux%zu %14.3f %14.3f %9.1fx\n", bins, bins, naive_ms,
                 fft_ms, naive_ms / fft_ms);
+    char label[32];
+    std::snprintf(label, sizeof label, "%zux%zu", bins, bins);
+    json.add_timing(label, "spectral-naive", naive_ms / 1e3);
+    json.add_timing(label, "spectral-fft", fft_ms / 1e3);
   }
+  json.write();
 }
 
 }  // namespace

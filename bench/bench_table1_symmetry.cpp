@@ -8,6 +8,7 @@ int main() {
   using namespace aplace;
   bench::header("Table I: soft vs hard symmetry constraints in GP");
   std::printf("%-8s | %18s | %18s\n", "", "Soft (a/h/t)", "Hard (a/h/t)");
+  bench::JsonReport json("table1_symmetry");
 
   // Paper uses CC-OTA, Comp2, VCO2.
   for (const char* name : {"CC-OTA", "Comp2", "VCO2"}) {
@@ -19,12 +20,15 @@ int main() {
 
     const core::FlowResult rs = core::run_eplace_a(tc.circuit, soft);
     const core::FlowResult rh = core::run_eplace_a(tc.circuit, hard);
+    json.add_flow(name, "eplace-a-soft", soft.gp.seed, rs);
+    json.add_flow(name, "eplace-a-hard", hard.gp.seed, rh);
     std::printf("%-8s | %6.1f %6.1f %5.2f | %6.1f %6.1f %5.2f%s\n", name,
                 rs.area(), rs.hpwl(), rs.total_seconds, rh.area(), rh.hpwl(),
                 rh.total_seconds,
                 (rs.legal() && rh.legal()) ? "" : "  [ILLEGAL]");
     std::fflush(stdout);
   }
+  json.write();
   std::printf(
       "\nPaper reference (soft | hard, area/HPWL/runtime):\n"
       "CC-OTA   | 100.3   31.4 0.22 | 117.5   34.3 0.28\n"

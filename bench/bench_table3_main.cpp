@@ -36,6 +36,7 @@ int main() {
               "Area", "HPWL", "Time(s)", "Area", "HPWL", "Time(s)", "Area",
               "HPWL", "Time(s)");
 
+  bench::JsonReport json("table3_main");
   std::vector<double> sa_a, sa_h, sa_t, pw_a, pw_h, pw_t, ep_a, ep_h, ep_t;
   for (const std::string& name : circuits::testcase_names()) {
     circuits::TestCase tc = circuits::make_testcase(name);
@@ -44,10 +45,13 @@ int main() {
     core::SaFlowOptions so;
     so.sa = bench::paper_sa_options();
     const core::FlowResult sa = core::run_sa(c, so);
-    const core::FlowResult pw =
-        core::run_prior_work(c, bench::paper_prior_options());
-    const core::FlowResult ep =
-        core::run_eplace_a(c, bench::paper_eplace_options());
+    const core::PriorWorkOptions po = bench::paper_prior_options();
+    const core::FlowResult pw = core::run_prior_work(c, po);
+    const core::EPlaceAOptions eo = bench::paper_eplace_options();
+    const core::FlowResult ep = core::run_eplace_a(c, eo);
+    json.add_flow(name, "sa", so.sa.seed, sa);
+    json.add_flow(name, "prior-work", 0, pw);
+    json.add_flow(name, "eplace-a", eo.gp.seed, ep);
 
     std::printf(
         "%-8s | %8.1f %8.1f %8.2f | %8.1f %8.1f %8.2f | %8.1f %8.1f %8.2f%s\n",
@@ -81,5 +85,11 @@ int main() {
                 name.c_str(), r.sa_a, r.sa_h, r.sa_t, r.pw_a, r.pw_h, r.pw_t,
                 r.ep_a, r.ep_h, r.ep_t);
   }
+  json.add_metric("sa_vs_eplace_area", bench::geomean_ratio(sa_a, ep_a));
+  json.add_metric("sa_vs_eplace_hpwl", bench::geomean_ratio(sa_h, ep_h));
+  json.add_metric("sa_vs_eplace_runtime", bench::geomean_ratio(sa_t, ep_t));
+  json.add_metric("prior_vs_eplace_area", bench::geomean_ratio(pw_a, ep_a));
+  json.add_metric("prior_vs_eplace_hpwl", bench::geomean_ratio(pw_h, ep_h));
+  json.write();
   return 0;
 }

@@ -20,6 +20,7 @@ int main() {
   std::printf("%-8s | %6s %6s %6s | %6s %6s %6s\n", "Design", "Area", "HPWL",
               "t(s)", "Area", "HPWL", "t(s)");
 
+  bench::JsonReport json("table4_detailed");
   // Paper uses VCO1, Comp1, SCF.
   for (const char* name : {"VCO1", "Comp1", "SCF"}) {
     circuits::TestCase tc = circuits::make_testcase(name);
@@ -42,11 +43,15 @@ int main() {
     const netlist::Evaluator ev(c);
     const netlist::QualityReport q2 = ev.evaluate(two.placement);
     const netlist::QualityReport qi = ev.evaluate(ilp.placement);
+    json.add_run(name, "dp-two-stage-lp", 0, t_two, q2.hpwl, q2.area,
+                 q2.legal());
+    json.add_run(name, "dp-ilp", 0, t_ilp, qi.hpwl, qi.area, qi.legal());
     std::printf("%-8s | %6.1f %6.1f %6.2f | %6.1f %6.1f %6.2f%s\n", name,
                 q2.area, q2.hpwl, t_two, qi.area, qi.hpwl, t_ilp,
                 (q2.legal() && qi.legal()) ? "" : "  [ILLEGAL]");
     std::fflush(stdout);
   }
+  json.write();
   std::printf(
       "\nPaper reference ([11] | ePlace-A, area/HPWL/runtime):\n"
       "VCO1     | 315.7 188.1 0.95 | 315.7 181.7 1.07\n"

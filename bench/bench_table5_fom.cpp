@@ -12,6 +12,7 @@ int main() {
   std::printf("%-8s | %5s %5s | %6s %6s | %6s %6s\n", "Design", "Conv",
               "Perf", "Conv", "Perf*", "Conv", "Perf");
 
+  bench::JsonReport json("table5_fom");
   double sum[6] = {0, 0, 0, 0, 0, 0};
   std::size_t count = 0;
   for (const std::string& name : circuits::testcase_names()) {
@@ -25,28 +26,35 @@ int main() {
     // Conventional flows, evaluated by the same routed surrogate.
     core::SaFlowOptions so;
     so.sa = bench::paper_sa_options();
-    const double sa_conv =
-        evaluate_routed(*ctx, core::run_sa(c, so).placement).fom;
-    const double pw_conv =
-        evaluate_routed(*ctx,
-                        core::run_prior_work(c, bench::paper_prior_options())
-                            .placement)
-            .fom;
-    const double ep_conv =
-        evaluate_routed(
-            *ctx,
-            core::run_eplace_a(c, bench::paper_eplace_options()).placement)
-            .fom;
+    const core::FlowResult sa_flow = core::run_sa(c, so);
+    const double sa_conv = evaluate_routed(*ctx, sa_flow.placement).fom;
+    const core::FlowResult pw_flow =
+        core::run_prior_work(c, bench::paper_prior_options());
+    const double pw_conv = evaluate_routed(*ctx, pw_flow.placement).fom;
+    const core::FlowResult ep_flow =
+        core::run_eplace_a(c, bench::paper_eplace_options());
+    const double ep_conv = evaluate_routed(*ctx, ep_flow.placement).fom;
+    json.add_flow(name, "sa", so.sa.seed, sa_flow);
+    json.add_flow(name, "prior-work", 0, pw_flow);
+    json.add_flow(name, "eplace-a", 0, ep_flow);
 
     // Performance-driven variants.
     core::SaFlowOptions sp;
     sp.sa = bench::paper_sa_perf_options();
-    const double sa_perf = core::run_sa_perf(c, *ctx, sp, 1.0).perf.fom;
-    const double pw_perf =
-        core::run_prior_work_perf(c, *ctx, bench::paper_prior_options())
-            .perf.fom;
-    const double ep_perf =
-        core::run_eplace_ap(c, *ctx, bench::paper_eplace_options()).perf.fom;
+    const core::PerfFlowResult sa_pr = core::run_sa_perf(c, *ctx, sp, 1.0);
+    const double sa_perf = sa_pr.perf.fom;
+    const core::PerfFlowResult pw_pr =
+        core::run_prior_work_perf(c, *ctx, bench::paper_prior_options());
+    const double pw_perf = pw_pr.perf.fom;
+    const core::PerfFlowResult ep_pr =
+        core::run_eplace_ap(c, *ctx, bench::paper_eplace_options());
+    const double ep_perf = ep_pr.perf.fom;
+    json.add_run(name, "sa-perf", sp.sa.seed, sa_pr.flow.total_seconds,
+                 sa_pr.flow.hpwl(), sa_pr.flow.area(), sa_pr.flow.legal());
+    json.add_run(name, "prior-work-perf", 0, pw_pr.flow.total_seconds,
+                 pw_pr.flow.hpwl(), pw_pr.flow.area(), pw_pr.flow.legal());
+    json.add_run(name, "eplace-ap", 0, ep_pr.flow.total_seconds,
+                 ep_pr.flow.hpwl(), ep_pr.flow.area(), ep_pr.flow.legal());
 
     std::printf("%-8s | %5.2f %5.2f | %6.2f %6.2f | %6.2f %6.2f\n",
                 name.c_str(), sa_conv, sa_perf, pw_conv, pw_perf, ep_conv,
@@ -60,6 +68,14 @@ int main() {
   std::printf("%-8s | %5.2f %5.2f | %6.2f %6.2f | %6.2f %6.2f\n", "Avg.",
               sum[0] / count, sum[1] / count, sum[2] / count, sum[3] / count,
               sum[4] / count, sum[5] / count);
+  const double n = static_cast<double>(count);
+  json.add_metric("avg_fom_sa_conv", sum[0] / n);
+  json.add_metric("avg_fom_sa_perf", sum[1] / n);
+  json.add_metric("avg_fom_prior_conv", sum[2] / n);
+  json.add_metric("avg_fom_prior_perf", sum[3] / n);
+  json.add_metric("avg_fom_eplace_conv", sum[4] / n);
+  json.add_metric("avg_fom_eplace_perf", sum[5] / n);
+  json.write();
   std::printf(
       "\nPaper reference averages: SA 0.81/0.87, prior 0.81/0.88, "
       "ePlace 0.81/0.90.\nExpected shape: performance-driven > conventional "

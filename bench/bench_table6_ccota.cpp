@@ -20,6 +20,14 @@ int main() {
   const core::PerfFlowResult ap =
       core::run_eplace_ap(c, *ctx, bench::paper_eplace_options());
 
+  bench::JsonReport json("table6_ccota");
+  json.add_flow("CC-OTA", "eplace-a", 0, conv);
+  json.add_run("CC-OTA", "eplace-ap", 0, ap.flow.total_seconds,
+               ap.flow.hpwl(), ap.flow.area(), ap.flow.legal());
+  json.add_metric("fom_eplace_a", pc.fom);
+  json.add_metric("fom_eplace_ap", ap.perf.fom);
+  json.write();
+
   std::printf("%-12s | %10s | %12s | %12s\n", "Metric", "Spec",
               "ePlace-A", "ePlace-AP");
   for (std::size_t m = 0; m < pc.metrics.size(); ++m) {

@@ -14,6 +14,7 @@ int main() {
               "Area", "HPWL", "t(s)", "Area", "HPWL", "t(s)", "Area", "HPWL",
               "t(s)");
 
+  bench::JsonReport json("table7_perf");
   std::vector<double> sa_a, sa_h, sa_t, pw_a, pw_h, pw_t, ep_a, ep_h, ep_t;
   for (const std::string& name : circuits::testcase_names()) {
     circuits::TestCase tc = circuits::make_testcase(name);
@@ -30,6 +31,12 @@ int main() {
         core::run_prior_work_perf(c, *ctx, bench::paper_prior_options());
     const core::PerfFlowResult ep =
         core::run_eplace_ap(c, *ctx, bench::paper_eplace_options());
+    json.add_run(name, "sa-perf", sp.sa.seed, sa.flow.total_seconds,
+                 sa.flow.hpwl(), sa.flow.area(), sa.flow.legal());
+    json.add_run(name, "prior-work-perf", 0, pw.flow.total_seconds,
+                 pw.flow.hpwl(), pw.flow.area(), pw.flow.legal());
+    json.add_run(name, "eplace-ap", 0, ep.flow.total_seconds,
+                 ep.flow.hpwl(), ep.flow.area(), ep.flow.legal());
 
     std::printf(
         "%-8s | %7.1f %7.1f %6.1f | %7.1f %7.1f %6.1f | %7.1f %7.1f %6.1f\n",
@@ -55,5 +62,14 @@ int main() {
               bench::geomean_ratio(pw_a, ep_a),
               bench::geomean_ratio(pw_h, ep_h),
               bench::geomean_ratio(pw_t, ep_t));
+  json.add_metric("sa_vs_eplace_ap_area", bench::geomean_ratio(sa_a, ep_a));
+  json.add_metric("sa_vs_eplace_ap_hpwl", bench::geomean_ratio(sa_h, ep_h));
+  json.add_metric("sa_vs_eplace_ap_runtime",
+                  bench::geomean_ratio(sa_t, ep_t));
+  json.add_metric("prior_vs_eplace_ap_area",
+                  bench::geomean_ratio(pw_a, ep_a));
+  json.add_metric("prior_vs_eplace_ap_hpwl",
+                  bench::geomean_ratio(pw_h, ep_h));
+  json.write();
   return 0;
 }

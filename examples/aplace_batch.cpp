@@ -1,0 +1,151 @@
+// aplace_batch — place many circuits in one shot on the shared thread pool.
+//
+//   aplace_batch [--circuits A,B,C] [--flows eplace-a,prior,sa]
+//                [--threads N] [--budget SECONDS] [--seed N]
+//                [--sequential] [--fast]
+//
+// Every {circuit x flow} pair becomes one batch job; core::run_batch fans
+// them out over the pool under a single shared Deadline and reports a
+// FlowResult per job even when some jobs fail. Defaults: all built-in
+// paper testcases, the eplace-a flow, hardware thread count, no budget.
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/thread_pool.hpp"
+#include "circuits/testcases.hpp"
+#include "core/batch.hpp"
+#include "io/netlist_io.hpp"
+
+namespace {
+
+using namespace aplace;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: aplace_batch [--circuits A,B,...] "
+               "[--flows eplace-a,prior,sa]\n"
+               "                    [--threads N] [--budget SECONDS] "
+               "[--seed N]\n"
+               "                    [--sequential] [--fast]\n"
+               "Circuits are built-in testcase names or .acirc files.\n");
+  return 2;
+}
+
+std::vector<std::string> split_list(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    const std::size_t end = comma == std::string::npos ? s.size() : comma;
+    if (end > start) out.push_back(s.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+bool is_builtin(const std::string& ref) {
+  for (const std::string& n : circuits::testcase_names()) {
+    if (n == ref) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::map<std::string, std::string> flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) return usage();
+    key = key.substr(2);
+    if (key == "sequential" || key == "fast") {
+      flags[key] = "1";
+    } else if (i + 1 < argc) {
+      flags[key] = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+
+  try {
+    std::vector<std::string> names =
+        flags.contains("circuits") ? split_list(flags.at("circuits"))
+                                   : circuits::testcase_names();
+    const std::vector<std::string> flow_names =
+        flags.contains("flows") ? split_list(flags.at("flows"))
+                                : std::vector<std::string>{"eplace-a"};
+    const bool fast = flags.contains("fast");
+    const std::uint64_t seed =
+        flags.contains("seed") ? std::stoull(flags.at("seed")) : 3;
+
+    if (flags.contains("threads")) {
+      base::ThreadPool::set_global_threads(
+          static_cast<unsigned>(std::stoul(flags.at("threads"))));
+    }
+
+    // Loaded circuits must outlive run_batch; BatchJob holds pointers.
+    std::vector<std::unique_ptr<netlist::Circuit>> circuits;
+    std::vector<core::BatchJob> jobs;
+    for (const std::string& ref : names) {
+      circuits.push_back(std::make_unique<netlist::Circuit>(
+          is_builtin(ref) ? circuits::make_testcase(ref).circuit
+                          : io::read_circuit(ref)));
+      for (const std::string& f : flow_names) {
+        core::BatchJob j;
+        j.circuit = circuits.back().get();
+        j.label = circuits.back()->name() + "/" + f;
+        if (f == "eplace-a") {
+          j.flow = core::FlowKind::EPlaceA;
+          j.eplace.gp.seed = seed;
+          if (fast) {
+            j.eplace.candidates = 1;
+            j.eplace.gp.num_starts = 1;
+          }
+        } else if (f == "prior") {
+          j.flow = core::FlowKind::PriorWork;
+          j.prior.gp.seed = seed;
+        } else if (f == "sa") {
+          j.flow = core::FlowKind::Sa;
+          j.sa.sa.seed = seed;
+          if (fast) j.sa.sa.max_moves = 20000;
+        } else {
+          std::fprintf(stderr, "unknown flow '%s'\n", f.c_str());
+          return usage();
+        }
+        jobs.push_back(std::move(j));
+      }
+    }
+    if (jobs.empty()) return usage();
+
+    core::BatchOptions opts;
+    if (flags.contains("budget")) {
+      opts.time_budget_seconds = std::stod(flags.at("budget"));
+    }
+    opts.parallel = !flags.contains("sequential");
+
+    const core::BatchReport report = core::run_batch(jobs, opts);
+
+    std::printf("%-22s %10s %10s %7s %8s %s\n", "job", "area", "hpwl",
+                "legal", "time(s)", "status");
+    for (const core::BatchItem& item : report.items) {
+      const core::FlowResult& r = item.result;
+      std::printf("%-22s %10.1f %10.1f %7s %8.2f %s%s\n", item.label.c_str(),
+                  r.area(), r.hpwl(), r.legal() ? "yes" : "NO",
+                  item.wall_seconds, r.ok() ? "ok" : "FAILED",
+                  r.deadline_hit ? " (deadline)" : "");
+    }
+    std::printf("\n%zu jobs, %zu ok, %zu failed; %u threads, %.2f s wall\n",
+                report.items.size(), report.num_ok, report.num_failed(),
+                base::ThreadPool::global().num_threads(),
+                report.wall_seconds);
+    return report.num_failed() == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

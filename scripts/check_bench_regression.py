@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Gate CI on the machine-readable bench output (BENCH_*.json).
+
+Compares a directory of freshly produced bench JSON files against a
+committed baseline directory. Runs are matched by (bench, circuit, flow);
+for each matched pair the checker fails when:
+
+  * wall time regresses by more than --time-tol (default 15%) beyond an
+    absolute slack (--time-slack, default 0.1 s, which keeps millisecond-
+    scale runs from tripping the gate on scheduler noise);
+  * HPWL or area regresses by more than --quality-tol (default 2%, to
+    absorb cross-compiler floating-point differences);
+  * a run that was legal in the baseline is illegal now;
+  * a run that was ok in the baseline is not ok now;
+  * a baseline run is missing from the current results.
+
+New runs (present now, absent from the baseline) are reported but do not
+fail the gate, so adding a bench doesn't require a lockstep baseline
+update. Exit status: 0 clean, 1 regressions found, 2 usage/IO error.
+
+Usage:
+  check_bench_regression.py --baseline ci/bench-baseline --current out/
+  check_bench_regression.py --baseline ... --current ... --time-tol 0.2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+SCHEMA = "aplace-bench-v1"
+
+
+def load_runs(directory: Path) -> dict[tuple[str, str, str], dict]:
+    """Map (bench, circuit, flow) -> run record for every BENCH_*.json."""
+    runs: dict[tuple[str, str, str], dict] = {}
+    files = sorted(directory.glob("BENCH_*.json"))
+    if not files:
+        raise FileNotFoundError(f"no BENCH_*.json files in {directory}")
+    for path in files:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+        if doc.get("schema") != SCHEMA:
+            raise ValueError(f"{path}: unexpected schema {doc.get('schema')!r}")
+        bench = doc["bench"]
+        for run in doc.get("runs", []):
+            key = (bench, run["circuit"], run["flow"])
+            if key in runs:
+                raise ValueError(f"{path}: duplicate run {key}")
+            runs[key] = run
+    return runs
+
+
+def check(
+    baseline: dict[tuple[str, str, str], dict],
+    current: dict[tuple[str, str, str], dict],
+    time_tol: float,
+    time_slack: float,
+    quality_tol: float,
+) -> list[str]:
+    failures: list[str] = []
+    for key, base in sorted(baseline.items()):
+        name = "/".join(key)
+        cur = current.get(key)
+        if cur is None:
+            failures.append(f"{name}: run missing from current results")
+            continue
+
+        bt, ct = base.get("wall_seconds"), cur.get("wall_seconds")
+        if bt is not None and ct is not None:
+            limit = bt * (1.0 + time_tol) + time_slack
+            if ct > limit:
+                failures.append(
+                    f"{name}: wall time {ct:.3f}s > {limit:.3f}s "
+                    f"(baseline {bt:.3f}s, tol {time_tol:.0%} + {time_slack}s)"
+                )
+
+        for metric in ("hpwl", "area"):
+            bv, cv = base.get(metric), cur.get(metric)
+            # Timing-only rows carry 0 quality; skip them.
+            if not bv or cv is None:
+                continue
+            if cv > bv * (1.0 + quality_tol):
+                failures.append(
+                    f"{name}: {metric} {cv:.4g} worse than baseline "
+                    f"{bv:.4g} (+{(cv / bv - 1):.1%}, tol {quality_tol:.0%})"
+                )
+
+        if base.get("legal") and not cur.get("legal"):
+            failures.append(f"{name}: was legal in baseline, now illegal")
+        if base.get("ok") and not cur.get("ok"):
+            failures.append(f"{name}: was ok in baseline, now failed")
+
+    for key in sorted(set(current) - set(baseline)):
+        print(f"note: new run not in baseline: {'/'.join(key)}")
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True, type=Path)
+    parser.add_argument("--current", required=True, type=Path)
+    parser.add_argument("--time-tol", type=float, default=0.15,
+                        help="relative wall-time tolerance (default 0.15)")
+    parser.add_argument("--time-slack", type=float, default=0.1,
+                        help="absolute wall-time slack in seconds "
+                        "(default 0.1)")
+    parser.add_argument("--quality-tol", type=float, default=0.02,
+                        help="relative HPWL/area tolerance (default 0.02)")
+    args = parser.parse_args()
+
+    try:
+        baseline = load_runs(args.baseline)
+        current = load_runs(args.current)
+    except (OSError, ValueError, KeyError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+
+    failures = check(baseline, current, args.time_tol, args.time_slack,
+                     args.quality_tol)
+    print(f"checked {len(baseline)} baseline runs against "
+          f"{len(current)} current runs")
+    if failures:
+        print(f"\n{len(failures)} regression(s):")
+        for f in failures:
+            print(f"  FAIL {f}")
+        return 1
+    print("no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,132 @@
+#include "base/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <utility>
+
+#include "base/check.hpp"
+
+namespace aplace::base {
+
+ThreadPool::ThreadPool(unsigned threads) : threads_(std::max(threads, 1u)) {
+  workers_.reserve(threads_ - 1);
+  for (unsigned i = 0; i + 1 < threads_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+bool ThreadPool::run_one(std::unique_lock<std::mutex>& lock) {
+  if (queue_.empty()) return false;
+  Task task = std::move(queue_.front());
+  queue_.pop_front();
+  lock.unlock();
+  std::exception_ptr err;
+  try {
+    task.fn();
+  } catch (...) {
+    err = std::current_exception();
+  }
+  lock.lock();
+  TaskGroup& g = *task.group;
+  if (err && !g.first_error_) g.first_error_ = err;
+  if (--g.pending_ == 0) g.done_cv_.notify_all();
+  return true;
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (run_one(lock)) continue;
+    if (stop_) return;
+    work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+  }
+}
+
+void ThreadPool::TaskGroup::run(std::function<void()> fn) {
+  if (pool_.threads_ <= 1) {
+    // Serial pool: execute immediately, capturing errors exactly like the
+    // threaded path so wait() behaves identically.
+    try {
+      fn();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(pool_.mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(pool_.mu_);
+    ++pending_;
+    pool_.queue_.push_back(Task{std::move(fn), this});
+  }
+  pool_.work_cv_.notify_one();
+}
+
+void ThreadPool::TaskGroup::wait() {
+  std::unique_lock<std::mutex> lock(pool_.mu_);
+  while (pending_ > 0) {
+    // Help: run queued tasks (ours or anyone's) instead of blocking, so a
+    // task that spawns a nested group can never deadlock the pool.
+    if (pool_.run_one(lock)) continue;
+    done_cv_.wait(lock, [this] { return pending_ == 0 || !pool_.queue_.empty(); });
+  }
+  if (first_error_) {
+    std::exception_ptr err = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::TaskGroup::wait_nothrow() noexcept {
+  std::unique_lock<std::mutex> lock(pool_.mu_);
+  while (pending_ > 0) {
+    if (pool_.run_one(lock)) continue;
+    done_cv_.wait(lock, [this] { return pending_ == 0 || !pool_.queue_.empty(); });
+  }
+  // An un-waited error is dropped: the destructor must not throw.
+  first_error_ = nullptr;
+}
+
+namespace {
+
+std::mutex g_global_mu;
+std::unique_ptr<ThreadPool> g_global_pool;  // NOLINT: guarded singleton
+
+}  // namespace
+
+unsigned ThreadPool::default_threads() {
+  if (const char* env = std::getenv("APLACE_THREADS");
+      env != nullptr && env[0] != '\0') {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<unsigned>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool& ThreadPool::global() {
+  std::lock_guard<std::mutex> lock(g_global_mu);
+  if (!g_global_pool) {
+    g_global_pool = std::make_unique<ThreadPool>(default_threads());
+  }
+  return *g_global_pool;
+}
+
+void ThreadPool::set_global_threads(unsigned threads) {
+  APLACE_CHECK_MSG(threads >= 1, "thread pool needs at least one thread");
+  std::lock_guard<std::mutex> lock(g_global_mu);
+  if (g_global_pool && g_global_pool->num_threads() == threads) return;
+  g_global_pool = std::make_unique<ThreadPool>(threads);
+}
+
+}  // namespace aplace::base

@@ -1,0 +1,99 @@
+#include "core/batch.hpp"
+
+#include <chrono>
+#include <optional>
+#include <utility>
+
+#include "base/thread_pool.hpp"
+
+namespace aplace::core {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+FlowResult dispatch(const BatchJob& job, const Deadline& deadline) {
+  switch (job.flow) {
+    case FlowKind::EPlaceA: {
+      EPlaceAOptions o = job.eplace;
+      o.deadline = deadline;
+      return run_eplace_a(*job.circuit, std::move(o));
+    }
+    case FlowKind::PriorWork: {
+      PriorWorkOptions o = job.prior;
+      o.deadline = deadline;
+      return run_prior_work(*job.circuit, std::move(o));
+    }
+    case FlowKind::Sa: {
+      SaFlowOptions o = job.sa;
+      o.deadline = deadline;
+      return run_sa(*job.circuit, std::move(o));
+    }
+  }
+  return run_eplace_a(*job.circuit, job.eplace);  // unreachable
+}
+
+}  // namespace
+
+BatchReport run_batch(std::span<const BatchJob> jobs,
+                      const BatchOptions& opts) {
+  for (const BatchJob& job : jobs) {
+    APLACE_CHECK_MSG(job.circuit != nullptr, "batch job without a circuit");
+  }
+  const Deadline deadline = opts.time_budget_seconds > 0
+                                ? Deadline::after_seconds(opts.time_budget_seconds)
+                                : Deadline{};
+
+  const auto batch_t0 = Clock::now();
+  std::vector<std::optional<BatchItem>> slots(jobs.size());
+  auto run_job = [&](std::size_t i) {
+    const BatchJob& job = jobs[i];
+    std::string label = job.label.empty()
+                            ? job.circuit->name() + "/" + to_string(job.flow)
+                            : job.label;
+    const auto t0 = Clock::now();
+    FlowResult result = [&]() -> FlowResult {
+      try {
+        return dispatch(job, deadline);
+      } catch (const std::exception& e) {
+        // The flows convert their own failures to statuses; this catches
+        // anything that still escapes (e.g. a CheckError on malformed
+        // options) so one bad job cannot take the batch down.
+        FlowResult r{netlist::Placement(*job.circuit), {}, 0, 0, 0};
+        r.status = aplace::Status::internal(std::string("batch job threw: ") +
+                                            e.what())
+                       .add_context("batch job '" + label + "'");
+        return r;
+      }
+    }();
+    const double wall = seconds_since(t0);
+    slots[i] = BatchItem{i, std::move(label), job.flow, std::move(result), wall};
+  };
+
+  if (opts.parallel && jobs.size() > 1) {
+    base::ThreadPool& pool = base::ThreadPool::global();
+    base::ThreadPool::TaskGroup group(pool);
+    for (std::size_t i = 1; i < jobs.size(); ++i) {
+      group.run([&run_job, i] { run_job(i); });
+    }
+    run_job(0);
+    group.wait();
+  } else {
+    for (std::size_t i = 0; i < jobs.size(); ++i) run_job(i);
+  }
+
+  BatchReport report;
+  report.items.reserve(jobs.size());
+  for (std::optional<BatchItem>& slot : slots) {
+    APLACE_CHECK(slot.has_value());
+    report.num_ok += slot->result.ok() ? 1 : 0;
+    report.items.push_back(std::move(*slot));
+  }
+  report.wall_seconds = seconds_since(batch_t0);
+  return report;
+}
+
+}  // namespace aplace::core

@@ -1,0 +1,83 @@
+#pragma once
+// Batch placement driver: run many {circuit x flow} jobs concurrently on
+// the shared thread pool under one wall-clock deadline.
+//
+// This is the serving-path entry point the ROADMAP asks for: a caller with
+// a queue of placement requests (different circuits, different flows,
+// different option sets) submits them all at once; the driver fans them out
+// as pool tasks, every job honors the one shared Deadline, and a
+// FlowResult is collected for every job even when individual jobs fail
+// (the flows never crash — PR 2's contract — and any escaped exception is
+// converted to an Internal status here as a second line of defense).
+//
+// Jobs may freely nest onto the same pool: a job's candidate fan-out and
+// hot-loop parallel_for calls help-run on the waiting threads, so a batch
+// of few big jobs and a batch of many small jobs both saturate the pool.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/flow.hpp"
+
+namespace aplace::core {
+
+enum class FlowKind : std::uint8_t { EPlaceA, PriorWork, Sa };
+
+inline const char* to_string(FlowKind f) {
+  switch (f) {
+    case FlowKind::EPlaceA: return "eplace-a";
+    case FlowKind::PriorWork: return "prior-work";
+    case FlowKind::Sa: return "sa";
+  }
+  return "?";
+}
+
+/// One unit of batch work. Only the options matching `flow` are used. The
+/// circuit must stay alive until run_batch returns.
+struct BatchJob {
+  const netlist::Circuit* circuit = nullptr;
+  FlowKind flow = FlowKind::EPlaceA;
+  EPlaceAOptions eplace{};
+  PriorWorkOptions prior{};
+  SaFlowOptions sa{};
+  std::string label;  ///< defaults to "<circuit>/<flow>" when empty
+};
+
+struct BatchItem {
+  std::size_t index = 0;  ///< position in the submitted job list
+  std::string label;
+  FlowKind flow = FlowKind::EPlaceA;
+  FlowResult result;
+  double wall_seconds = 0;  ///< this job's own wall time
+};
+
+struct BatchOptions {
+  /// Shared wall-clock budget for the *whole batch*; 0 = unlimited. Every
+  /// job sees the same Deadline, so a batch near its budget degrades jobs
+  /// (cheaper fallbacks) instead of overrunning.
+  double time_budget_seconds = 0;
+  /// false: run the jobs one after another on the calling thread (useful
+  /// as a speedup baseline and for debugging). Job *results* are identical
+  /// either way when no deadline is set.
+  bool parallel = true;
+};
+
+struct BatchReport {
+  std::vector<BatchItem> items;  ///< in job order, one per submitted job
+  double wall_seconds = 0;       ///< whole-batch wall time
+  std::size_t num_ok = 0;        ///< jobs whose FlowResult status is Ok
+
+  [[nodiscard]] std::size_t num_failed() const {
+    return items.size() - num_ok;
+  }
+};
+
+/// Run every job and collect every result. Jobs with a null circuit are
+/// rejected up front (CheckError) — everything else, including solver
+/// failures and expired budgets, comes back as a structured FlowResult.
+[[nodiscard]] BatchReport run_batch(std::span<const BatchJob> jobs,
+                                    const BatchOptions& opts = {});
+
+}  // namespace aplace::core

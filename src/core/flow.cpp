@@ -3,9 +3,13 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "base/thread_pool.hpp"
+#include "numeric/rng.hpp"
 
 namespace aplace::core {
 namespace {
@@ -16,7 +20,10 @@ double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
-Deadline make_deadline(double budget_seconds) {
+// A limited externally shared deadline (batch driver) takes precedence over
+// the per-flow seconds budget.
+Deadline make_deadline(const Deadline& shared, double budget_seconds) {
+  if (shared.limited()) return shared;
   return budget_seconds > 0 ? Deadline::after_seconds(budget_seconds)
                             : Deadline{};
 }
@@ -226,22 +233,18 @@ LegalizeOutcome legalize_chain(const netlist::Circuit& circuit,
 FlowResult run_eplace_a(const netlist::Circuit& circuit, EPlaceAOptions opts) {
   return run_guarded("ePlace-A", circuit, [&]() -> FlowResult {
     APLACE_CHECK(opts.candidates >= 1);
-    const Deadline deadline = make_deadline(opts.time_budget_seconds);
-    FlowResult best{netlist::Placement(circuit), {}, 0, 0, 0};
-    best.status = aplace::Status::internal("no candidate was evaluated");
-    double best_score = std::numeric_limits<double>::infinity();
-    double scale_area = 1.0, scale_hpwl = 1.0;
-    bool have_ok = false, have_scales = false;
+    const Deadline deadline =
+        make_deadline(opts.deadline, opts.time_budget_seconds);
+    const std::size_t num_cands = static_cast<std::size_t>(opts.candidates);
 
-    for (int k = 0; k < opts.candidates; ++k) {
-      // Later candidates are optional work; the first one runs even on an
-      // expired budget so the flow still ends with a (degraded) answer.
-      if (k > 0 && deadline.expired()) {
-        best.deadline_hit = true;
-        break;
-      }
+    // Each candidate runs the full GP + legalization pipeline on its own
+    // RNG stream split from the master seed: candidate k's stream does not
+    // depend on how many candidates run (the old additive derivation,
+    // seed + 48*k, aliased across runs and across the GP's internal
+    // multi-start streams).
+    auto run_candidate = [&](std::size_t k) -> FlowResult {
       gp::EPlaceGpOptions gopts = opts.gp;
-      gopts.seed = opts.gp.seed + 48ULL * static_cast<std::uint64_t>(k);
+      gopts.seed = numeric::split_seed(opts.gp.seed, k);
       gopts.deadline = deadline;
 
       const auto t0 = Clock::now();
@@ -263,11 +266,50 @@ FlowResult run_eplace_a(const netlist::Circuit& circuit, EPlaceAOptions opts) {
       cand.gp_diverged = gpr.diverged || opts.inject.poison_gp ||
                          !numeric::all_finite(gpr.positions);
       cand.deadline_hit = gpr.deadline_hit || deadline.expired();
+      return cand;
+    };
 
-      // Accumulate runtime across candidates (they run sequentially).
-      cand.gp_seconds += best.gp_seconds;
-      cand.dp_seconds += best.dp_seconds;
-      cand.total_seconds += best.total_seconds;
+    std::vector<std::optional<FlowResult>> cands(num_cands);
+    base::ThreadPool& pool = base::ThreadPool::global();
+    if (pool.num_threads() > 1 && num_cands > 1) {
+      // Concurrent candidates; each still honors the shared deadline
+      // internally. Failures inside a task surface through the group and
+      // are converted to a structured status by run_guarded.
+      base::ThreadPool::TaskGroup group(pool);
+      for (std::size_t k = 1; k < num_cands; ++k) {
+        group.run([&, k] { cands[k] = run_candidate(k); });
+      }
+      cands[0] = run_candidate(0);
+      group.wait();
+    } else {
+      for (std::size_t k = 0; k < num_cands; ++k) {
+        // Later candidates are optional work; the first one runs even on an
+        // expired budget so the flow still ends with a (degraded) answer.
+        if (k > 0 && deadline.expired()) break;
+        cands[k] = run_candidate(k);
+      }
+    }
+
+    // Ordered best-of reduction (candidate index order): identical result
+    // regardless of which thread finished first. Quality scales come from
+    // the first legal candidate, as in the sequential original.
+    FlowResult best{netlist::Placement(circuit), {}, 0, 0, 0};
+    best.status = aplace::Status::internal("no candidate was evaluated");
+    double best_score = std::numeric_limits<double>::infinity();
+    double scale_area = 1.0, scale_hpwl = 1.0;
+    bool have_ok = false, have_scales = false, skipped = false;
+    double gp_total = 0, dp_total = 0;
+    bool any_deadline_hit = false;
+
+    for (std::optional<FlowResult>& cand_opt : cands) {
+      if (!cand_opt.has_value()) {
+        skipped = true;  // sequential path ran out of budget
+        continue;
+      }
+      FlowResult& cand = *cand_opt;
+      gp_total += cand.gp_seconds;
+      dp_total += cand.dp_seconds;
+      any_deadline_hit |= cand.deadline_hit;
 
       if (cand.ok()) {
         if (!have_scales) {
@@ -281,18 +323,16 @@ FlowResult run_eplace_a(const netlist::Circuit& circuit, EPlaceAOptions opts) {
           best_score = score;
           best = std::move(cand);
           have_ok = true;
-          continue;
         }
       } else if (!have_ok) {
         // No legal candidate yet: keep the structured failure.
         best = std::move(cand);
-        continue;
       }
-      best.gp_seconds = cand.gp_seconds;
-      best.dp_seconds = cand.dp_seconds;
-      best.total_seconds = cand.total_seconds;
-      best.deadline_hit |= cand.deadline_hit;
     }
+    best.gp_seconds = gp_total;  // summed across candidates
+    best.dp_seconds = dp_total;
+    best.total_seconds = gp_total + dp_total;
+    best.deadline_hit = any_deadline_hit || skipped;
     return best;
   });
 }
@@ -300,7 +340,8 @@ FlowResult run_eplace_a(const netlist::Circuit& circuit, EPlaceAOptions opts) {
 FlowResult run_prior_work(const netlist::Circuit& circuit,
                           PriorWorkOptions opts) {
   return run_guarded("prior-work", circuit, [&]() -> FlowResult {
-    const Deadline deadline = make_deadline(opts.time_budget_seconds);
+    const Deadline deadline =
+        make_deadline(opts.deadline, opts.time_budget_seconds);
     gp::NtuGpOptions gopts = opts.gp;
     gopts.deadline = deadline;
 
@@ -334,7 +375,8 @@ FlowResult run_prior_work(const netlist::Circuit& circuit,
 
 FlowResult run_sa(const netlist::Circuit& circuit, SaFlowOptions opts) {
   return run_guarded("SA", circuit, [&]() -> FlowResult {
-    const Deadline deadline = make_deadline(opts.time_budget_seconds);
+    const Deadline deadline =
+        make_deadline(opts.deadline, opts.time_budget_seconds);
     sa::SaOptions sopts = opts.sa;
     sopts.deadline = deadline;
 

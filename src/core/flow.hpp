@@ -89,11 +89,17 @@ struct EPlaceAOptions {
   gp::EPlaceGpOptions gp;
   legal::IlpOptions dp;
   /// Independent GP+DP candidates (different GP seed groups); the best
-  /// placement by normalized area+wirelength is kept.
+  /// placement by normalized area+wirelength is kept. Candidates run
+  /// concurrently on the global thread pool, each on an RNG stream split
+  /// from gp.seed, with an ordered best-of reduction — the chosen result is
+  /// identical for every thread count.
   int candidates = 2;
   /// Wall-clock budget for the whole flow; 0 = unlimited. On expiry the
   /// remaining stages degrade (cheaper fallbacks) instead of overrunning.
   double time_budget_seconds = 0;
+  /// Externally shared deadline (the batch driver hands one Deadline to
+  /// every job). When limited it takes precedence over time_budget_seconds.
+  Deadline deadline;
   FaultInjection inject;
 };
 
@@ -101,12 +107,14 @@ struct PriorWorkOptions {
   gp::NtuGpOptions gp;
   legal::TwoStageOptions dp;
   double time_budget_seconds = 0;  ///< 0 = unlimited
+  Deadline deadline;  ///< shared external deadline; overrides the budget
   FaultInjection inject;
 };
 
 struct SaFlowOptions {
   sa::SaOptions sa;
   double time_budget_seconds = 0;  ///< 0 = unlimited
+  Deadline deadline;  ///< shared external deadline; overrides the budget
   FaultInjection inject;
 };
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numbers>
 
+#include "base/thread_pool.hpp"
+
 namespace aplace::density {
 
 ElectroDensity::ElectroDensity(const netlist::Circuit& circuit,
@@ -36,6 +38,15 @@ ElectroDensity::ElectroDensity(const netlist::Circuit& circuit,
     info.charge = d.area();
     devices_.push_back(info);
   }
+  // Per-chunk partials for the parallel splat (one chunk on the paper-scale
+  // circuits, i.e. no extra memory and the direct serial path below).
+  const std::size_t chunks =
+      base::ThreadPool::chunk_count(devices_.size(), kDeviceGrain);
+  if (chunks > 1) {
+    rho_part_.assign(chunks, numeric::Matrix(ny, nx));
+    occ_part_.assign(chunks, numeric::Matrix(ny, nx));
+    energy_part_.assign(chunks, 0.0);
+  }
 }
 
 geom::Point ElectroDensity::clamped_center(const geom::Point& c,
@@ -55,18 +66,49 @@ double ElectroDensity::value_and_grad(std::span<const double> v,
   APLACE_DCHECK(v.size() == 2 * n && grad.size() == v.size());
 
   // --- charge density -------------------------------------------------------
-  rho_.fill(0.0);
-  occupancy_.fill(0.0);  // true footprint area
-  for (std::size_t i = 0; i < n; ++i) {
-    const DeviceInfo& d = devices_[i];
-    // Clamp the lookup position into the region: a device dragged outside
-    // by the wirelength pull still deposits charge into the boundary bins
-    // (and below, samples the field there), so its Neumann mirror image
-    // produces the force that pulls it back inside.
-    const geom::Point c = clamped_center({v[i], v[n + i]}, d);
-    grid_.splat(geom::Rect::centered(c, d.w, d.h), d.charge, rho_);
-    grid_.splat(geom::Rect::centered(c, d.real_w, d.real_h), d.charge,
-                occupancy_);
+  // Clamp the lookup position into the region: a device dragged outside
+  // by the wirelength pull still deposits charge into the boundary bins
+  // (and below, samples the field there), so its Neumann mirror image
+  // produces the force that pulls it back inside.
+  auto splat_range = [&](std::size_t lo, std::size_t hi, numeric::Matrix& rho,
+                         numeric::Matrix& occ) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const DeviceInfo& d = devices_[i];
+      const geom::Point c = clamped_center({v[i], v[n + i]}, d);
+      grid_.splat(geom::Rect::centered(c, d.w, d.h), d.charge, rho);
+      grid_.splat(geom::Rect::centered(c, d.real_w, d.real_h), d.charge, occ);
+    }
+  };
+  const std::size_t chunks = base::ThreadPool::chunk_count(n, kDeviceGrain);
+  base::ThreadPool& pool = base::ThreadPool::global();
+  if (chunks <= 1) {
+    rho_.fill(0.0);
+    occupancy_.fill(0.0);  // true footprint area
+    splat_range(0, n, rho_, occupancy_);
+  } else {
+    // Each fixed chunk of devices accumulates into its own partial; the
+    // partials are then summed bin-wise in chunk order, so the result does
+    // not depend on which thread ran which chunk.
+    pool.parallel_for(0, chunks, 1, [&](std::size_t c0, std::size_t c1) {
+      for (std::size_t c = c0; c < c1; ++c) {
+        rho_part_[c].fill(0.0);
+        occ_part_[c].fill(0.0);
+        splat_range(c * kDeviceGrain, std::min(n, (c + 1) * kDeviceGrain),
+                    rho_part_[c], occ_part_[c]);
+      }
+    });
+    const std::size_t bins = rho_.data().size();
+    pool.parallel_for(0, bins, 8192, [&](std::size_t b0, std::size_t b1) {
+      for (std::size_t b = b0; b < b1; ++b) {
+        double r = 0, o = 0;
+        for (std::size_t c = 0; c < chunks; ++c) {
+          r += rho_part_[c].data()[b];
+          o += occ_part_[c].data()[b];
+        }
+        rho_.data()[b] = r;
+        occupancy_.data()[b] = o;
+      }
+    });
   }
   // Convert charge per bin into density (charge / bin area).
   for (double& x : rho_.data()) x /= grid_.bin_area();
@@ -116,30 +158,45 @@ double ElectroDensity::value_and_grad(std::span<const double> v,
   icxsy2d_inplace(ey_, basis_x_, basis_y_);
 
   // --- energy and per-device forces ----------------------------------------
-  double energy = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    const DeviceInfo& d = devices_[i];
-    const geom::Point c = clamped_center({v[i], v[n + i]}, d);
-    const geom::Rect rect = geom::Rect::centered(c, d.w, d.h);
-    const auto [cx0, cx1] = grid_.x_range(rect.xlo(), rect.xhi());
-    const auto [cy0, cy1] = grid_.y_range(rect.ylo(), rect.yhi());
-    double psi_acc = 0, ex_acc = 0, ey_acc = 0, area_acc = 0;
-    for (std::size_t r = cy0; r <= cy1; ++r) {
-      for (std::size_t cc = cx0; cc <= cx1; ++cc) {
-        const double ov = grid_.bin_rect(r, cc).overlap_area(rect);
-        if (ov <= 0) continue;
-        psi_acc += ov * psi_(r, cc);
-        ex_acc += ov * ex_(r, cc);
-        ey_acc += ov * ey_(r, cc);
-        area_acc += ov;
+  // Gradient entries are disjoint per device; the energy sum keeps one
+  // partial per fixed chunk and reduces them in chunk order (bit-identical
+  // for any thread count).
+  auto force_range = [&](std::size_t lo, std::size_t hi) {
+    double energy_acc = 0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      const DeviceInfo& d = devices_[i];
+      const geom::Point c = clamped_center({v[i], v[n + i]}, d);
+      const geom::Rect rect = geom::Rect::centered(c, d.w, d.h);
+      const auto [cx0, cx1] = grid_.x_range(rect.xlo(), rect.xhi());
+      const auto [cy0, cy1] = grid_.y_range(rect.ylo(), rect.yhi());
+      double psi_acc = 0, ex_acc = 0, ey_acc = 0, area_acc = 0;
+      for (std::size_t r = cy0; r <= cy1; ++r) {
+        for (std::size_t cc = cx0; cc <= cx1; ++cc) {
+          const double ov = grid_.bin_rect(r, cc).overlap_area(rect);
+          if (ov <= 0) continue;
+          psi_acc += ov * psi_(r, cc);
+          ex_acc += ov * ex_(r, cc);
+          ey_acc += ov * ey_(r, cc);
+          area_acc += ov;
+        }
       }
+      if (area_acc <= 0) continue;  // region degenerate beyond clamping
+      const double q_over_a = d.charge / area_acc;
+      energy_acc += 0.5 * q_over_a * psi_acc;
+      grad[i] += scale * (-q_over_a * ex_acc);
+      grad[n + i] += scale * (-q_over_a * ey_acc);
     }
-    if (area_acc <= 0) continue;  // region degenerate beyond clamping
-    const double q_over_a = d.charge / area_acc;
-    energy += 0.5 * q_over_a * psi_acc;
-    grad[i] += scale * (-q_over_a * ex_acc);
-    grad[n + i] += scale * (-q_over_a * ey_acc);
-  }
+    return energy_acc;
+  };
+  if (chunks <= 1) return force_range(0, n);
+  pool.parallel_for(0, chunks, 1, [&](std::size_t c0, std::size_t c1) {
+    for (std::size_t c = c0; c < c1; ++c) {
+      energy_part_[c] =
+          force_range(c * kDeviceGrain, std::min(n, (c + 1) * kDeviceGrain));
+    }
+  });
+  double energy = 0;
+  for (std::size_t c = 0; c < chunks; ++c) energy += energy_part_[c];
   return energy;
 }
 

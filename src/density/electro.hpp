@@ -36,6 +36,11 @@ class ElectroDensity {
   /// footprint has escaped the region are evaluated at the nearest
   /// in-region position, so they always feel a restoring density force.
   /// Allocation-free after construction.
+  ///
+  /// Circuits with more devices than the parallel grain run the charge
+  /// accumulation and the force loop on the global thread pool. The device
+  /// range is cut into fixed chunks (per-chunk density partials summed in
+  /// chunk order), so results are bit-identical for every thread count.
   double value_and_grad(std::span<const double> v, std::span<double> grad,
                         double scale);
 
@@ -72,6 +77,14 @@ class ElectroDensity {
   // heap allocation after construction (the Nesterov hot loop).
   numeric::Matrix rho_, psi_, ex_, ey_, occupancy_;
   double overflow_ = 1.0;
+
+  // Parallel decomposition: devices are cut into fixed chunks of
+  // kDeviceGrain (independent of thread count). Each chunk splats into its
+  // own density/occupancy partial; the partials are summed in chunk order.
+  // Small circuits have exactly one chunk and take the direct serial path.
+  static constexpr std::size_t kDeviceGrain = 256;
+  std::vector<numeric::Matrix> rho_part_, occ_part_;
+  std::vector<double> energy_part_;
 };
 
 }  // namespace aplace::density

@@ -63,7 +63,11 @@ GpResult EPlaceGlobalPlacer::run() {
       any_deadline_hit = true;
       break;
     }
-    GpResult r = run_single(opts_.seed + 8ULL * static_cast<std::uint64_t>(k));
+    // Stream-split rather than additive (seed + stride*k) derivation: start
+    // k must be independent of the start count and must not collide with
+    // the candidate-level streams the flow splits from the same master.
+    GpResult r =
+        run_single(numeric::split_seed(opts_.seed, static_cast<std::uint64_t>(k)));
     any_deadline_hit |= r.deadline_hit;
     const std::size_t n = circuit_->num_devices();
     netlist::Placement pl(*circuit_);

@@ -1,11 +1,37 @@
 #pragma once
 // Deterministic RNG wrapper. All stochastic components (SA, GNN init,
 // dataset generation) take an explicit Rng so experiments are reproducible.
+//
+// Stream splitting: parallel multi-start (GP candidates, SA chains, batch
+// jobs) must give every task an *independent* stream derived from one
+// master seed. Deriving streams additively (seed + k * stride) aliases:
+// candidate k of one run collides with candidate k' of a run whose master
+// seed differs by a multiple of the stride, and nested derivations (start j
+// inside candidate k) land on each other's streams. split_seed() instead
+// pushes (master, stream) through SplitMix64, a full-avalanche bijective
+// mixer, so distinct (master, stream) pairs map to effectively uncorrelated
+// mt19937_64 seeds and stream k is independent of how many streams exist.
 
 #include <cstdint>
 #include <random>
 
 namespace aplace::numeric {
+
+/// SplitMix64 finalizer (Vigna / Steele et al.): bijective on uint64 with
+/// full avalanche — every input bit affects every output bit.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Seed for independent stream `stream` of master seed `master`. Safe to
+/// nest: split_seed(split_seed(m, a), b) is again an independent stream.
+[[nodiscard]] constexpr std::uint64_t split_seed(std::uint64_t master,
+                                                 std::uint64_t stream) {
+  return splitmix64(splitmix64(master) ^ splitmix64(~stream));
+}
 
 class Rng {
  public:

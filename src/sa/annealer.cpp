@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
+#include <utility>
+
+#include "base/thread_pool.hpp"
 
 namespace aplace::sa {
 namespace {
@@ -109,7 +113,55 @@ netlist::Placement SaPlacer::sample_random(numeric::Rng& rng) {
 }
 
 SaResult SaPlacer::place() {
-  numeric::Rng rng(opts_.seed);
+  const int chains = std::max(opts_.num_chains, 1);
+  if (chains == 1) return run_chain(numeric::split_seed(opts_.seed, 0));
+
+  // Multi-chain: each chain anneals on its own placer instance (a chain
+  // mutates island and orientation state) with an RNG stream split from the
+  // master seed, then the best final cost wins with ties broken by the
+  // lowest chain index — an ordered reduction, so the outcome is identical
+  // for every thread count.
+  std::vector<std::optional<SaResult>> results(
+      static_cast<std::size_t>(chains));
+  auto run_one = [&](int c) {
+    SaOptions chain_opts = opts_;
+    chain_opts.num_chains = 1;
+    SaPlacer chain(*circuit_, std::move(chain_opts));
+    results[static_cast<std::size_t>(c)] =
+        chain.run_chain(numeric::split_seed(opts_.seed, static_cast<std::uint64_t>(c)));
+  };
+  if (opts_.extra_cost) {
+    // A caller-supplied cost callback (the GNN in perf-driven SA) is not
+    // guaranteed thread-safe; keep the chains sequential but still split.
+    for (int c = 0; c < chains; ++c) run_one(c);
+  } else {
+    base::ThreadPool& pool = base::ThreadPool::global();
+    base::ThreadPool::TaskGroup group(pool);
+    for (int c = 1; c < chains; ++c) {
+      group.run([&run_one, c] { run_one(c); });
+    }
+    run_one(0);
+    group.wait();
+  }
+
+  std::optional<SaResult> best;
+  long moves_evaluated = 0, moves_accepted = 0;
+  bool deadline_hit = false;
+  for (std::optional<SaResult>& r : results) {
+    APLACE_CHECK(r.has_value());
+    moves_evaluated += r->moves_evaluated;
+    moves_accepted += r->moves_accepted;
+    deadline_hit |= r->deadline_hit;
+    if (!best || r->cost < best->cost) best = std::move(r);
+  }
+  best->moves_evaluated = moves_evaluated;
+  best->moves_accepted = moves_accepted;
+  best->deadline_hit = deadline_hit;
+  return std::move(*best);
+}
+
+SaResult SaPlacer::run_chain(std::uint64_t chain_seed) {
+  numeric::Rng rng(chain_seed);
   const std::size_t nb = num_blocks();
   SequencePair sp(nb);
   sp.shuffle(rng);

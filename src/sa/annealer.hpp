@@ -31,6 +31,13 @@ struct SaOptions {
   /// is returned when it expires (the initial packing when it already was).
   Deadline deadline;
   std::uint64_t seed = 1;
+  /// Independent annealing chains, each on its own RNG stream split from
+  /// `seed` (chain c is independent of the chain count). Chains run
+  /// concurrently on the global thread pool — except when `extra_cost` is
+  /// set, which may not be thread-safe, so chains then run sequentially —
+  /// and the best chain by final cost wins (ties: lowest chain index), so
+  /// the result is identical for every thread count.
+  int num_chains = 1;
 
   double area_weight = 0.38;      ///< vs. (1 - area_weight) wirelength
   double constraint_weight = 8.0; ///< alignment / ordering penalty weight
@@ -52,7 +59,8 @@ class SaPlacer {
  public:
   SaPlacer(const netlist::Circuit& circuit, SaOptions options);
 
-  /// Run annealing from a shuffled initial state; returns the best found.
+  /// Run `num_chains` independent annealing chains from shuffled initial
+  /// states; returns the best result found (see SaOptions::num_chains).
   [[nodiscard]] SaResult place();
 
   /// One random legal state (shuffled sequence pair, random flips and island
@@ -67,6 +75,10 @@ class SaPlacer {
     geom::Point offset;    ///< center offset from block lower-left (for
                            ///< single blocks; islands recompute on the fly)
   };
+
+  /// One annealing chain seeded with `chain_seed` (mutates this placer's
+  /// island/orientation state; multi-chain runs build one placer per chain).
+  [[nodiscard]] SaResult run_chain(std::uint64_t chain_seed);
 
   void realize(const SequencePair::Packing& pk,
                netlist::Placement& pl) const;

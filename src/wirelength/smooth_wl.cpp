@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "base/thread_pool.hpp"
+
 namespace aplace::wirelength {
 namespace {
 
@@ -111,39 +113,74 @@ double lse_extent(const std::vector<double>& coords, double gamma,
   return f_max - f_min;
 }
 
+}  // namespace
+
 template <class ExtentFn>
-double accumulate_wl(std::span<const double> v, std::span<double> grad,
-                     std::size_t n, double gamma, ExtentFn&& extent,
-                     const auto& nets) {
-  double total = 0;
-  std::vector<double> coords, dcoord;
-  for (const auto& np : nets) {
-    gather(v, 0, np.x, coords);
-    total += np.weight * extent(coords, gamma, dcoord);
-    for (std::size_t i = 0; i < np.x.size(); ++i) {
-      grad[np.x[i].first] += np.weight * dcoord[i];
+double SmoothWirelength::accumulate(std::span<const double> v,
+                                    std::span<double> grad,
+                                    ExtentFn&& extent) const {
+  const std::size_t n = n_;
+  // One chunk of nets, accumulated into `g` (either the caller's gradient
+  // directly, or a per-chunk partial on the parallel path).
+  auto run_range = [&](std::size_t lo, std::size_t hi, std::span<double> g) {
+    double total = 0;
+    std::vector<double> coords, dcoord;
+    for (std::size_t ni = lo; ni < hi; ++ni) {
+      const NetPins& np = nets_[ni];
+      gather(v, 0, np.x, coords);
+      total += np.weight * extent(coords, gamma_, dcoord);
+      for (std::size_t i = 0; i < np.x.size(); ++i) {
+        g[np.x[i].first] += np.weight * dcoord[i];
+      }
+      gather(v, n, np.y, coords);
+      total += np.weight * extent(coords, gamma_, dcoord);
+      for (std::size_t i = 0; i < np.y.size(); ++i) {
+        g[n + np.y[i].first] += np.weight * dcoord[i];
+      }
     }
-    gather(v, n, np.y, coords);
-    total += np.weight * extent(coords, gamma, dcoord);
-    for (std::size_t i = 0; i < np.y.size(); ++i) {
-      grad[n + np.y[i].first] += np.weight * dcoord[i];
-    }
+    return total;
+  };
+
+  const std::size_t chunks =
+      base::ThreadPool::chunk_count(nets_.size(), kNetGrain);
+  if (chunks <= 1) return run_range(0, nets_.size(), grad);
+
+  if (grad_part_.size() != chunks) {
+    grad_part_.assign(chunks, std::vector<double>());
+    total_part_.assign(chunks, 0.0);
   }
+  base::ThreadPool& pool = base::ThreadPool::global();
+  pool.parallel_for(0, chunks, 1, [&](std::size_t c0, std::size_t c1) {
+    for (std::size_t c = c0; c < c1; ++c) {
+      grad_part_[c].assign(2 * n, 0.0);
+      total_part_[c] = run_range(
+          c * kNetGrain, std::min(nets_.size(), (c + 1) * kNetGrain),
+          grad_part_[c]);
+    }
+  });
+  // Reduce gradients device-wise, chunks in fixed order per entry.
+  pool.parallel_for(0, 2 * n, 4096, [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      double g = 0;
+      for (std::size_t c = 0; c < chunks; ++c) g += grad_part_[c][i];
+      grad[i] += g;
+    }
+  });
+  double total = 0;
+  for (std::size_t c = 0; c < chunks; ++c) total += total_part_[c];
   return total;
 }
-
-}  // namespace
 
 double WaWirelength::value_and_grad(std::span<const double> v,
                                     std::span<double> grad) const {
   APLACE_DCHECK(v.size() == 2 * num_devices() && grad.size() == v.size());
-  return accumulate_wl(v, grad, num_devices(), gamma_, wa_extent, nets());
+  return accumulate(v, grad, wa_extent);
 }
 
 double LseWirelength::value_and_grad(std::span<const double> v,
                                      std::span<double> grad) const {
   APLACE_DCHECK(v.size() == 2 * num_devices() && grad.size() == v.size());
-  return accumulate_wl(v, grad, num_devices(), gamma_, lse_extent, nets());
+  return accumulate(v, grad, lse_extent);
 }
 
 }  // namespace aplace::wirelength

@@ -53,11 +53,31 @@ class SmoothWirelength {
   [[nodiscard]] const std::vector<NetPins>& nets() const { return nets_; }
   [[nodiscard]] std::size_t num_devices() const { return n_; }
 
+  /// Run `extent` over every net, accumulating the weighted total and the
+  /// gradient into `grad`. Nets are cut into fixed chunks of kNetGrain
+  /// (independent of thread count); chunks beyond the first run on the
+  /// global pool with private gradient partials that are reduced in chunk
+  /// order, so the result is bit-identical for any pool size. One-chunk
+  /// circuits take the direct serial path with no scratch.
+  /// `extent(coords, gamma, dcoord)` returns the smoothed extent of one
+  /// coordinate set and writes its gradient to dcoord.
+  template <class ExtentFn>
+  double accumulate(std::span<const double> v, std::span<double> grad,
+                    ExtentFn&& extent) const;
+
   double gamma_ = 1.0;
 
  private:
+  static constexpr std::size_t kNetGrain = 128;
+
   std::size_t n_;
   std::vector<NetPins> nets_;
+
+  // Per-chunk scratch for the parallel path (empty until first used; each
+  // instance is driven by one placement flow at a time, so `mutable` here
+  // is safe).
+  mutable std::vector<std::vector<double>> grad_part_;
+  mutable std::vector<double> total_part_;
 };
 
 class WaWirelength final : public SmoothWirelength {

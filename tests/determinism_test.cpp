@@ -1,0 +1,144 @@
+// Thread-count determinism of the placement flows. The parallelism layers
+// (candidate fan-out, multi-chain SA, density/wirelength hot loops) are
+// designed so a fixed seed gives bit-identical quality for ANY pool size:
+// chunk boundaries depend only on range size + grain, reductions happen in
+// chunk order, and every concurrent unit draws from its own split RNG
+// stream. These tests pin that contract at 1, 2, and 8 threads.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "base/thread_pool.hpp"
+#include "circuits/testcases.hpp"
+#include "core/batch.hpp"
+#include "core/flow.hpp"
+#include "sa/annealer.hpp"
+
+namespace {
+
+using namespace aplace;
+
+constexpr unsigned kThreadCounts[] = {1, 2, 8};
+
+// Restore the default global pool afterwards so other tests (and test
+// order) are unaffected.
+class DeterminismTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    base::ThreadPool::set_global_threads(base::ThreadPool::default_threads());
+  }
+};
+
+void expect_same_quality(const netlist::QualityReport& a,
+                         const netlist::QualityReport& b,
+                         const char* what, unsigned threads) {
+  EXPECT_EQ(a.hpwl, b.hpwl) << what << " at " << threads << " threads";
+  EXPECT_EQ(a.area, b.area) << what << " at " << threads << " threads";
+  EXPECT_EQ(a.overlap_area, b.overlap_area)
+      << what << " at " << threads << " threads";
+}
+
+TEST_F(DeterminismTest, EPlaceAIdenticalAcrossThreadCounts) {
+  circuits::TestCase tc = circuits::make_testcase("CC-OTA");
+  core::EPlaceAOptions opts;
+  opts.candidates = 3;  // exercise the concurrent candidate fan-out
+  opts.gp.seed = 11;
+
+  std::vector<core::FlowResult> results;
+  for (unsigned threads : kThreadCounts) {
+    base::ThreadPool::set_global_threads(threads);
+    results.push_back(core::run_eplace_a(tc.circuit, opts));
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    expect_same_quality(results[0].quality, results[i].quality, "eplace-a",
+                        kThreadCounts[i]);
+    EXPECT_EQ(results[0].fallback, results[i].fallback);
+  }
+}
+
+TEST_F(DeterminismTest, MultiChainSaIdenticalAcrossThreadCounts) {
+  circuits::TestCase tc = circuits::make_testcase("Comp1");
+  core::SaFlowOptions opts;
+  opts.sa.seed = 7;
+  opts.sa.num_chains = 3;  // exercise the concurrent chain fan-out
+  opts.sa.max_moves = 4000;
+
+  std::vector<core::FlowResult> results;
+  for (unsigned threads : kThreadCounts) {
+    base::ThreadPool::set_global_threads(threads);
+    results.push_back(core::run_sa(tc.circuit, opts));
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    expect_same_quality(results[0].quality, results[i].quality, "sa",
+                        kThreadCounts[i]);
+  }
+}
+
+TEST_F(DeterminismTest, PriorWorkIdenticalAcrossThreadCounts) {
+  circuits::TestCase tc = circuits::make_testcase("CM-OTA1");
+  core::PriorWorkOptions opts;
+  opts.gp.seed = 5;
+
+  std::vector<core::FlowResult> results;
+  for (unsigned threads : kThreadCounts) {
+    base::ThreadPool::set_global_threads(threads);
+    results.push_back(core::run_prior_work(tc.circuit, opts));
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    expect_same_quality(results[0].quality, results[i].quality, "prior-work",
+                        kThreadCounts[i]);
+  }
+}
+
+TEST_F(DeterminismTest, MultiChainSaBeatsOrMatchesSingleChain) {
+  // Multi-chain is a best-of reduction over independent streams: its cost
+  // can only improve on the best single chain it contains (chain 0 uses
+  // stream 0, the same stream a 1-chain run uses).
+  circuits::TestCase tc = circuits::make_testcase("Adder");
+  sa::SaOptions one;
+  one.seed = 13;
+  one.max_moves = 3000;
+  sa::SaOptions three = one;
+  three.num_chains = 3;
+
+  const sa::SaResult r1 = sa::SaPlacer(tc.circuit, one).place();
+  const sa::SaResult r3 = sa::SaPlacer(tc.circuit, three).place();
+  EXPECT_LE(r3.cost, r1.cost);
+}
+
+TEST_F(DeterminismTest, BatchResultsIdenticalSequentialVsParallel) {
+  circuits::TestCase a = circuits::make_testcase("Adder");
+  circuits::TestCase b = circuits::make_testcase("CC-OTA");
+  std::vector<core::BatchJob> jobs;
+  for (const netlist::Circuit* c : {&a.circuit, &b.circuit}) {
+    core::BatchJob ep;
+    ep.circuit = c;
+    ep.flow = core::FlowKind::EPlaceA;
+    ep.eplace.candidates = 2;
+    jobs.push_back(ep);
+    core::BatchJob sa_job;
+    sa_job.circuit = c;
+    sa_job.flow = core::FlowKind::Sa;
+    sa_job.sa.sa.max_moves = 2000;
+    jobs.push_back(sa_job);
+  }
+
+  base::ThreadPool::set_global_threads(1);
+  core::BatchOptions seq;
+  seq.parallel = false;
+  const core::BatchReport r1 = core::run_batch(jobs, seq);
+
+  base::ThreadPool::set_global_threads(8);
+  const core::BatchReport r8 = core::run_batch(jobs, {});
+
+  ASSERT_EQ(r1.items.size(), r8.items.size());
+  for (std::size_t i = 0; i < r1.items.size(); ++i) {
+    expect_same_quality(r1.items[i].result.quality,
+                        r8.items[i].result.quality, "batch", 8);
+    EXPECT_EQ(r1.items[i].result.ok(), r8.items[i].result.ok());
+  }
+  EXPECT_EQ(r1.num_ok, r1.items.size());
+}
+
+}  // namespace
