@@ -23,6 +23,7 @@
 #include "circuits/testcases.hpp"
 #include "core/flow.hpp"
 #include "core/perf_flow.hpp"
+#include "gp/objective.hpp"
 
 namespace aplace::bench {
 
@@ -98,6 +99,30 @@ inline void header(const std::string& title) {
   std::printf("\n==== %s ====\n", title.c_str());
 }
 
+/// Human-readable per-term objective breakdown of one analytical GP run
+/// (from the TermTrace the flows thread through FlowResult::gp_trace).
+inline void print_term_trace(const std::string& label,
+                             const gp::TermTrace& trace) {
+  if (trace.empty()) {
+    std::printf("%s: no per-term trace recorded\n", label.c_str());
+    return;
+  }
+  std::printf("---- %s: per-term objective breakdown ----\n", label.c_str());
+  std::printf("%-16s %-10s %8s %12s %8s %14s %12s\n", "term", "cost", "evals",
+              "seconds", "time%", "last value", "last weight");
+  const double total = trace.total_seconds();
+  for (const auto& t : trace.terms) {
+    std::printf("%-16s %-10s %8llu %12.6f %7.1f%% %14.5g %12.5g\n",
+                t.name.c_str(), gp::to_string(t.cost),
+                static_cast<unsigned long long>(t.evals), t.seconds,
+                total > 0 ? 100.0 * t.seconds / total : 0.0, t.value,
+                t.weight);
+  }
+  std::printf("%-16s %-10s %8s %12.6f %7.1f%%  (%zu samples, stride %d)\n",
+              "total", "", "", total, 100.0, trace.samples.size(),
+              trace.sample_stride);
+}
+
 /// Geometric mean of ratios a_i / b_i.
 inline double geomean_ratio(const std::vector<double>& a,
                             const std::vector<double>& b) {
@@ -151,6 +176,15 @@ class JsonReport {
     metrics_.emplace_back(name, value);
   }
 
+  /// Record the per-term objective trace of one analytical GP run; emitted
+  /// under the additive top-level "term_traces" key (the regression gate
+  /// only reads "runs", so this is observability-only).
+  void add_term_trace(const std::string& circuit, const std::string& flow,
+                      const gp::TermTrace& trace) {
+    if (trace.empty()) return;
+    traces_.push_back(TraceRow{circuit, flow, trace});
+  }
+
   /// Write BENCH_<bench>.json. Returns false (with a warning on stderr)
   /// when the file cannot be written; benches still exit 0 in that case.
   bool write() const {
@@ -183,6 +217,25 @@ class JsonReport {
           << escaped(r.fallback) << "\", \"ok\": " << (r.ok ? "true" : "false")
           << "}";
     }
+    out << "\n  ],\n  \"term_traces\": [";
+    for (std::size_t i = 0; i < traces_.size(); ++i) {
+      const TraceRow& tr = traces_[i];
+      out << (i ? ",\n    " : "\n    ") << "{\"circuit\": \""
+          << escaped(tr.circuit) << "\", \"flow\": \"" << escaped(tr.flow)
+          << "\", \"samples\": " << tr.trace.samples.size()
+          << ", \"sample_stride\": " << tr.trace.sample_stride
+          << ", \"terms\": [";
+      for (std::size_t j = 0; j < tr.trace.terms.size(); ++j) {
+        const gp::TermStats& t = tr.trace.terms[j];
+        out << (j ? ", " : "") << "{\"name\": \"" << escaped(t.name)
+            << "\", \"cost\": \"" << gp::to_string(t.cost)
+            << "\", \"evals\": " << t.evals << ", \"seconds\": "
+            << fmt(t.seconds) << ", \"value\": " << fmt(t.value)
+            << ", \"grad_norm\": " << fmt(t.grad_norm) << ", \"weight\": "
+            << fmt(t.weight) << "}";
+      }
+      out << "]}";
+    }
     out << "\n  ],\n  \"metrics\": {";
     for (std::size_t i = 0; i < metrics_.size(); ++i) {
       out << (i ? ",\n    " : "\n    ") << "\"" << escaped(metrics_[i].first)
@@ -205,6 +258,12 @@ class JsonReport {
     bool ok;
   };
 
+  struct TraceRow {
+    std::string circuit;
+    std::string flow;
+    gp::TermTrace trace;
+  };
+
   static std::string escaped(const std::string& s) {
     std::string out;
     out.reserve(s.size());
@@ -224,6 +283,7 @@ class JsonReport {
 
   std::string bench_;
   std::vector<Run> runs_;
+  std::vector<TraceRow> traces_;
   std::vector<std::pair<std::string, double>> metrics_;
 };
 

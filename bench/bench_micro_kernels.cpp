@@ -169,6 +169,26 @@ void BM_GnnForwardBackward(benchmark::State& state) {
 }
 BENCHMARK(BM_GnnForwardBackward);
 
+// Per-term objective breakdown of both analytical placers on one circuit:
+// where the gradient time goes (spectral solve vs. wirelength vs. penalty
+// terms) and what each term's weight/value ended at. The trace rows land in
+// BENCH_micro_kernels.json under "term_traces".
+void print_gp_term_breakdown(bench::JsonReport& json) {
+  const std::string circuit = "CC-OTA";
+  circuits::TestCase tc = circuits::make_testcase(circuit);
+  std::printf("\n==== analytical placers: objective-term breakdown ====\n");
+
+  const core::FlowResult ep =
+      core::run_eplace_a(tc.circuit, bench::paper_eplace_options());
+  bench::print_term_trace("ePlace-A (" + circuit + ")", ep.gp_trace);
+  json.add_term_trace(circuit, "eplace-a", ep.gp_trace);
+
+  const core::FlowResult pw =
+      core::run_prior_work(tc.circuit, bench::paper_prior_options());
+  bench::print_term_trace("prior-work (" + circuit + ")", pw.gp_trace);
+  json.add_term_trace(circuit, "prior-work", pw.gp_trace);
+}
+
 // Quick-mode before/after table: times the full 2D spectral solve on the
 // dense-basis (before) and FFT (after) paths without the google-benchmark
 // harness, so `APLACE_QUICK=1 ./bench_micro_kernels` prints the comparison
@@ -213,6 +233,7 @@ void print_spectral_table() {
     json.add_timing(label, "spectral-naive", naive_ms / 1e3);
     json.add_timing(label, "spectral-fft", fft_ms / 1e3);
   }
+  print_gp_term_breakdown(json);
   json.write();
 }
 

@@ -266,6 +266,7 @@ FlowResult run_eplace_a(const netlist::Circuit& circuit, EPlaceAOptions opts) {
       cand.gp_diverged = gpr.diverged || opts.inject.poison_gp ||
                          !numeric::all_finite(gpr.positions);
       cand.deadline_hit = gpr.deadline_hit || deadline.expired();
+      cand.gp_trace = std::move(gpr.trace);
       return cand;
     };
 
@@ -300,6 +301,11 @@ FlowResult run_eplace_a(const netlist::Circuit& circuit, EPlaceAOptions opts) {
     bool have_ok = false, have_scales = false, skipped = false;
     double gp_total = 0, dp_total = 0;
     bool any_deadline_hit = false;
+    // Candidate traces are folded after the reduction: the winner keeps its
+    // weights/samples, eval counts and seconds sum over every candidate.
+    std::vector<gp::TermTrace> traces;
+    traces.reserve(cands.size());
+    std::size_t best_trace = 0;
 
     for (std::optional<FlowResult>& cand_opt : cands) {
       if (!cand_opt.has_value()) {
@@ -310,6 +316,7 @@ FlowResult run_eplace_a(const netlist::Circuit& circuit, EPlaceAOptions opts) {
       gp_total += cand.gp_seconds;
       dp_total += cand.dp_seconds;
       any_deadline_hit |= cand.deadline_hit;
+      traces.push_back(std::move(cand.gp_trace));
 
       if (cand.ok()) {
         if (!have_scales) {
@@ -322,11 +329,19 @@ FlowResult run_eplace_a(const netlist::Circuit& circuit, EPlaceAOptions opts) {
         if (!have_ok || score < best_score) {
           best_score = score;
           best = std::move(cand);
+          best_trace = traces.size() - 1;
           have_ok = true;
         }
       } else if (!have_ok) {
         // No legal candidate yet: keep the structured failure.
         best = std::move(cand);
+        best_trace = traces.size() - 1;
+      }
+    }
+    if (!traces.empty()) {
+      best.gp_trace = std::move(traces[best_trace]);
+      for (std::size_t i = 0; i < traces.size(); ++i) {
+        if (i != best_trace) best.gp_trace.merge_counts(traces[i]);
       }
     }
     best.gp_seconds = gp_total;  // summed across candidates
@@ -369,6 +384,7 @@ FlowResult run_prior_work(const netlist::Circuit& circuit,
     out.gp_diverged = gpr.diverged || opts.inject.poison_gp ||
                       !numeric::all_finite(gpr.positions);
     out.deadline_hit = gpr.deadline_hit || deadline.expired();
+    out.gp_trace = std::move(gpr.trace);
     return out;
   });
 }

@@ -76,6 +76,10 @@ struct FlowResult {
   FallbackLevel fallback = FallbackLevel::None;
   bool gp_diverged = false;   ///< GP watchdog tripped; hand-off was rescued
   bool deadline_hit = false;  ///< some stage was truncated by the budget
+  /// Per-objective-term observability from the global placer (eval counts
+  /// and seconds aggregated over every candidate; weights and convergence
+  /// samples from the winning candidate). Empty for the SA flow.
+  gp::TermTrace gp_trace;
 
   [[nodiscard]] double area() const { return quality.area; }
   [[nodiscard]] double hpwl() const { return quality.hpwl; }

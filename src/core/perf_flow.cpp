@@ -4,7 +4,9 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <utility>
 
+#include "gnn/phi_term.hpp"
 #include "numeric/rng.hpp"
 #include "sa/annealer.hpp"
 
@@ -146,18 +148,10 @@ PerfFlowResult run_eplace_ap(const netlist::Circuit& circuit, PerfContext& ctx,
 
     const auto t0 = Clock::now();
     gp::EPlaceGlobalPlacer placer(circuit, gopts);
-    numeric::Matrix x_grad;
     if (k > 0) {
-      placer.set_extra_term(
-          [&](std::span<const double> v, std::span<double> grad) {
-            const numeric::Matrix x = ctx.graph.features(v);
-            const double phi =
-                ctx.net.phi_and_input_grad(ctx.graph.adjacency(), x, x_grad);
-            ctx.graph.accumulate_position_grad(x_grad, grad);
-            return phi;
-          });
+      placer.set_extra_term(std::make_shared<gnn::PhiTerm>(ctx.graph, ctx.net));
     }
-    const gp::GpResult gpr = placer.run();
+    gp::GpResult gpr = placer.run();
     const double gp_s = seconds_since(t0);
 
     const auto t1 = Clock::now();
@@ -173,6 +167,7 @@ PerfFlowResult run_eplace_ap(const netlist::Circuit& circuit, PerfContext& ctx,
     PerfFlowResult cand{
         FlowResult{std::move(dpr.placement), {}, 0, 0, 0}, {}};
     cand.flow.quality = eval.evaluate(cand.flow.placement);
+    cand.flow.gp_trace = std::move(gpr.trace);
     if (k == 0) {
       scale_area = std::max(cand.flow.quality.area, 1e-9);
       scale_hpwl = std::max(cand.flow.quality.hpwl, 1e-9);
@@ -184,7 +179,12 @@ PerfFlowResult run_eplace_ap(const netlist::Circuit& circuit, PerfContext& ctx,
                          2.0 * gnn_phi(ctx, cand.flow.placement);
     if (score < best_score) {
       best_score = score;
-      best = std::move(cand);
+      std::swap(best, cand);
+    }
+    if (k > 0) {
+      // Fold the losing candidate's per-term counters into the winner's
+      // trace (winner keeps its weights and convergence samples).
+      best.flow.gp_trace.merge_counts(cand.flow.gp_trace);
     }
   }
   best.flow.gp_seconds = acc_gp;
@@ -198,16 +198,8 @@ PerfFlowResult run_prior_work_perf(const netlist::Circuit& circuit,
                                    PerfContext& ctx, PriorWorkOptions opts) {
   const auto t0 = Clock::now();
   gp::PriorAnalyticalGlobalPlacer placer(circuit, opts.gp);
-  numeric::Matrix x_grad;
-  placer.set_extra_term(
-      [&](std::span<const double> v, std::span<double> grad) {
-        const numeric::Matrix x = ctx.graph.features(v);
-        const double phi =
-            ctx.net.phi_and_input_grad(ctx.graph.adjacency(), x, x_grad);
-        ctx.graph.accumulate_position_grad(x_grad, grad);
-        return phi;
-      });
-  const gp::GpResult gpr = placer.run();
+  placer.set_extra_term(std::make_shared<gnn::PhiTerm>(ctx.graph, ctx.net));
+  gp::GpResult gpr = placer.run();
   const double gp_s = seconds_since(t0);
 
   const auto t1 = Clock::now();
@@ -220,6 +212,7 @@ PerfFlowResult run_prior_work_perf(const netlist::Circuit& circuit,
   PerfFlowResult out{
       FlowResult{std::move(dpr.placement), {}, gp_s, dp_s, gp_s + dp_s}, {}};
   out.flow.quality = netlist::Evaluator(circuit).evaluate(out.flow.placement);
+  out.flow.gp_trace = std::move(gpr.trace);
   out.perf = evaluate_routed(ctx, out.flow.placement);
   return out;
 }

@@ -40,13 +40,20 @@ double bell_derivative(double d, double w, double wb) {
 BellDensity::BellDensity(const netlist::Circuit& circuit,
                          const geom::Rect& region, std::size_t nx,
                          std::size_t ny, double target_density)
-    : circuit_(&circuit), grid_(region, nx, ny), target_(target_density) {
+    : circuit_(&circuit),
+      grid_(region, nx, ny),
+      target_(target_density),
+      dmat_(ny, nx),
+      occ_(ny, nx),
+      resid_(ny, nx) {
   APLACE_CHECK(circuit.finalized());
   for (const netlist::Device& d : circuit.devices()) {
     dev_w_.push_back(d.width);
     dev_h_.push_back(d.height);
     dev_area_.push_back(d.area());
   }
+  norm_.assign(dev_w_.size(), 0.0);
+  support_.resize(dev_w_.size());
 }
 
 double BellDensity::value_and_grad(std::span<const double> v,
@@ -56,17 +63,15 @@ double BellDensity::value_and_grad(std::span<const double> v,
   const std::size_t nx = grid_.nx(), ny = grid_.ny();
   const double wb = grid_.bin_w(), hb = grid_.bin_h();
 
-  // Smoothed density D and true occupancy (for overflow).
-  numeric::Matrix dmat(ny, nx);
-  numeric::Matrix occ(ny, nx);
-  std::vector<double> norm(n, 0.0);  // c_i normalizers
-
-  // Per-device support ranges and contributions. Two passes: first to get
+  // Smoothed density D and true occupancy (for overflow); member scratch
+  // keeps the hot loop allocation-free. Two passes per device: first to get
   // the normalizers, second (after D is known) for the gradient.
-  struct Support {
-    std::size_t cx0, cx1, cy0, cy1;
-  };
-  std::vector<Support> support(n);
+  numeric::Matrix& dmat = dmat_;
+  numeric::Matrix& occ = occ_;
+  std::vector<double>& norm = norm_;
+  std::vector<Support>& support = support_;
+  dmat.fill(0.0);
+  occ.fill(0.0);
 
   for (std::size_t i = 0; i < n; ++i) {
     const double x = v[i], y = v[n + i];
@@ -110,7 +115,7 @@ double BellDensity::value_and_grad(std::span<const double> v,
   // under-filled bins are fine for analog (area is minimized separately).
   const double expected = cap;
   double value = 0;
-  numeric::Matrix resid(ny, nx);
+  numeric::Matrix& resid = resid_;
   for (std::size_t r = 0; r < ny; ++r) {
     for (std::size_t c = 0; c < nx; ++c) {
       const double e = std::max(0.0, dmat(r, c) - expected);

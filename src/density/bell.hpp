@@ -13,6 +13,7 @@
 
 #include "density/bin_grid.hpp"
 #include "netlist/circuit.hpp"
+#include "numeric/matrix.hpp"
 
 namespace aplace::density {
 
@@ -37,11 +38,20 @@ class BellDensity {
   [[nodiscard]] double overflow() const { return overflow_; }
 
  private:
+  /// Per-device bell support range on the bin grid.
+  struct Support {
+    std::size_t cx0, cx1, cy0, cy1;
+  };
+
   const netlist::Circuit* circuit_;
   BinGrid grid_;
   double target_;
   std::vector<double> dev_w_, dev_h_, dev_area_;
   double overflow_ = 1.0;
+  // Evaluation scratch, hoisted so the CG hot loop stays allocation-free.
+  numeric::Matrix dmat_, occ_, resid_;
+  std::vector<double> norm_;
+  std::vector<Support> support_;
 };
 
 }  // namespace aplace::density

@@ -26,13 +26,6 @@ EPlaceGpOptions normalized(EPlaceGpOptions opts) {
   return opts;
 }
 
-// Mean absolute value over a vector (gradient magnitude proxy).
-double mean_abs(const numeric::Vec& g) {
-  double s = 0;
-  for (double x : g) s += std::abs(x);
-  return s / static_cast<double>(std::max<std::size_t>(g.size(), 1));
-}
-
 }  // namespace
 
 EPlaceGlobalPlacer::EPlaceGlobalPlacer(const netlist::Circuit& circuit,
@@ -49,7 +42,80 @@ EPlaceGlobalPlacer::EPlaceGlobalPlacer(const netlist::Circuit& circuit,
       dens_(circuit, region_, opts_.bins, opts_.bins, opts_.target_density),
       pen_(circuit) {}
 
+void EPlaceGlobalPlacer::set_extra_term(ExtraTerm term) {
+  extra_ = std::make_shared<FunctionTerm>("extra", std::move(term));
+}
+
+void EPlaceGlobalPlacer::set_extra_term(std::shared_ptr<ObjectiveTerm> term) {
+  extra_ = std::move(term);
+}
+
+void EPlaceGlobalPlacer::build_objective() {
+  objective_ =
+      std::make_unique<CompositeObjective>(2 * circuit_->num_devices());
+  CompositeObjective& obj = *objective_;
+  // Registration order IS the accumulation order; keep wirelength first
+  // (the calibration reference) and the extra term last.
+  obj.add_term(std::make_shared<SmoothWirelengthTerm>(wl_, "wirelength"));
+  obj.add_term(std::make_shared<ElectroDensityTerm>(dens_));
+  obj.add_term(std::make_shared<PenaltyTerm>(pen_, PenaltyTerm::Kind::Symmetry));
+  obj.add_term(
+      std::make_shared<PenaltyTerm>(pen_, PenaltyTerm::Kind::CommonCentroid));
+  // The area term stays registered (visible in traces) even when disabled
+  // by eta_rel <= 0 — the Fig. 2 ablation flips `enabled`, nothing else.
+  obj.add_term(std::make_shared<SmoothAreaTerm>(area_), 0.0,
+               opts_.eta_rel > 0);
+  obj.add_term(std::make_shared<PenaltyTerm>(pen_, PenaltyTerm::Kind::Alignment));
+  obj.add_term(std::make_shared<PenaltyTerm>(pen_, PenaltyTerm::Kind::Ordering));
+  obj.add_term(std::make_shared<PenaltyTerm>(pen_, region_));
+  if (extra_) obj.add_term(extra_);
+
+  scheduler_ = std::make_unique<WeightScheduler>(obj);
+  using Rule = WeightScheduler::Rule;
+  scheduler_->set_rule("wirelength",
+                       {.init = Rule::Init::Fixed, .rel = 1.0});
+  // Density growth is self-adaptive (exponent computed per iteration in the
+  // solver callback), so its rule carries no static growth factor.
+  scheduler_->set_rule("density", {.init = Rule::Init::RelToRefGrad,
+                                   .rel = opts_.lambda_rel});
+  scheduler_->set_rule("symmetry", {.init = Rule::Init::RelToRefGrad,
+                                    .rel = opts_.tau_rel,
+                                    .growth = opts_.tau_growth});
+  scheduler_->set_rule("common-centroid", {.init = Rule::Init::TiedTo,
+                                           .rel = opts_.tau_rel,
+                                           .tied_to = "symmetry",
+                                           .tied_rel = opts_.tau_rel,
+                                           .growth = opts_.tau_growth});
+  scheduler_->set_rule("area", {.init = Rule::Init::RelToRefGrad,
+                                .rel = opts_.eta_rel});
+  // Alignment/ordering share the symmetry scale heuristic: their gradients
+  // are position-scale residuals like Sym's.
+  scheduler_->set_rule("alignment", {.init = Rule::Init::TiedTo,
+                                     .rel = opts_.align_rel,
+                                     .tied_to = "symmetry",
+                                     .tied_rel = opts_.tau_rel,
+                                     .growth = opts_.tau_growth});
+  scheduler_->set_rule("ordering", {.init = Rule::Init::TiedTo,
+                                    .rel = opts_.order_rel,
+                                    .tied_to = "symmetry",
+                                    .tied_rel = opts_.tau_rel,
+                                    .growth = opts_.tau_growth});
+  // Boundary hinge: strong enough to dominate the wirelength pull within a
+  // fraction of a bin of escaping the region.
+  scheduler_->set_rule("boundary", {.init = Rule::Init::RefOverScale,
+                                    .rel = opts_.boundary_rel,
+                                    .scale_div = dens_.grid().bin_w()});
+  if (extra_) {
+    // Calibrate the extra (GNN) term against the wirelength gradient so its
+    // forces are comparable regardless of model scale.
+    scheduler_->set_rule(std::string(extra_->name()),
+                         {.init = Rule::Init::RelToRefGrad,
+                          .rel = opts_.extra_rel});
+  }
+}
+
 GpResult EPlaceGlobalPlacer::run() {
+  build_objective();
   // Multi-start: Nesterov trajectories from clustered inits are sensitive
   // to the initial jitter, so run a few deterministic seeds and keep the
   // best hand-off state. Each start is a few hundred cheap iterations; the
@@ -81,7 +147,7 @@ GpResult EPlaceGlobalPlacer::run() {
                    4.0 * pl.total_overlap_area();
     if (extra_) {
       numeric::Vec tmp(2 * n, 0.0);
-      const double phi = extra_(r.positions, tmp);
+      const double phi = extra_->value_and_grad(r.positions, tmp, 1.0);
       score *= 1.0 + phi;
     }
     if (score < best_score) {
@@ -90,6 +156,9 @@ GpResult EPlaceGlobalPlacer::run() {
     }
   }
   best.deadline_hit |= any_deadline_hit;
+  // The trace accumulates over every start; the samples belong to whichever
+  // start ran last, the counters to the whole run.
+  best.trace = objective_->trace();
   return best;
 }
 
@@ -118,62 +187,20 @@ GpResult EPlaceGlobalPlacer::run_single(std::uint64_t seed) {
   wl_.set_gamma(gamma);
   area_.set_gamma(gamma);
 
-  numeric::Vec g_wl(2 * n, 0.0), g_dens(2 * n, 0.0), g_sym(2 * n, 0.0),
-      g_area(2 * n, 0.0);
-  wl_.value_and_grad(v, g_wl);
-  dens_.value_and_grad(v, g_dens, 1.0);
-  pen_.symmetry(v, g_sym, 1.0);
-  area_.value_and_grad(v, g_area, 1.0);
-  const double mw = std::max(mean_abs(g_wl), 1e-12);
-  auto rel_weight = [&](double rel, const numeric::Vec& g) {
-    const double mg = mean_abs(g);
-    return mg > 1e-12 ? rel * mw / mg : rel;
-  };
-
-  double lambda = rel_weight(opts_.lambda_rel, g_dens);
-  double tau = rel_weight(opts_.tau_rel, g_sym);
-  const double eta =
-      opts_.eta_rel > 0 ? rel_weight(opts_.eta_rel, g_area) : 0.0;
-  // Alignment/ordering/boundary share the symmetry scale heuristic: their
-  // gradients are position-scale residuals like Sym's.
-  double align_w = tau * opts_.align_rel / std::max(opts_.tau_rel, 1e-12);
-  double order_w = tau * opts_.order_rel / std::max(opts_.tau_rel, 1e-12);
-  // Boundary hinge: strong enough to dominate the wirelength pull within a
-  // fraction of a bin of escaping the region.
-  const double bound_w = opts_.boundary_rel * mw / bin_w;
+  CompositeObjective& obj = *objective_;
+  const double mw = scheduler_->calibrate(v, "wirelength");
   if (opts_.hard_symmetry) {
-    tau *= 50.0;
-    align_w *= 4.0;
-    order_w *= 4.0;
+    // Rigid symmetry: 50x weight held flat (no growth), stiffer
+    // alignment/ordering, plus projection onto the symmetric set.
+    obj.scale_weight("symmetry", 50.0);
+    obj.scale_weight("common-centroid", 50.0);
+    obj.scale_weight("alignment", 4.0);
+    obj.scale_weight("ordering", 4.0);
     pen_.project_symmetry(v);
   }
 
-  // Calibrate the extra (GNN) term against the wirelength gradient so its
-  // forces are comparable regardless of model scale.
-  double extra_scale = 1.0;
-  if (extra_) {
-    numeric::Vec g_extra(2 * n, 0.0);
-    extra_(v, g_extra);
-    extra_scale = rel_weight(opts_.extra_rel, g_extra);
-  }
-
-  // --- assemble the gradient oracle -----------------------------------------
-  numeric::Vec g_tmp(2 * n);
-  auto gradient = [&](std::span<const double> vv, std::span<double> grad) {
-    std::fill(grad.begin(), grad.end(), 0.0);
-    wl_.value_and_grad(vv, grad);
-    dens_.value_and_grad(vv, grad, lambda);
-    pen_.symmetry(vv, grad, tau);
-    pen_.common_centroid(vv, grad, tau);
-    if (eta > 0) area_.value_and_grad(vv, grad, eta);
-    pen_.alignment(vv, grad, align_w);
-    pen_.ordering(vv, grad, order_w);
-    pen_.boundary(vv, grad, bound_w, region_);
-    if (extra_) {
-      std::fill(g_tmp.begin(), g_tmp.end(), 0.0);
-      extra_(vv, g_tmp);
-      numeric::axpy(extra_scale, g_tmp, grad);
-    }
+  auto gradient = [&obj](std::span<const double> vv, std::span<double> grad) {
+    obj.value_and_grad(vv, grad);
   };
 
   GpResult result;
@@ -217,12 +244,10 @@ GpResult EPlaceGlobalPlacer::run_single(std::uint64_t seed) {
         const double rel = (hpwl - last_hpwl) / std::max(last_hpwl, 1e-9);
         last_hpwl = hpwl;
         const double exponent = std::clamp(1.0 - rel / 0.01, -3.0, 1.0);
-        lambda *= std::pow(opts_.lambda_growth, exponent);
-        if (!opts_.hard_symmetry) {
-          tau *= opts_.tau_growth;
-          align_w *= opts_.tau_growth;
-          order_w *= opts_.tau_growth;
-        }
+        scheduler_->advance("density",
+                            std::pow(opts_.lambda_growth, exponent));
+        if (!opts_.hard_symmetry) scheduler_->advance();
+        obj.sample(st.iter);
         // A minimum iteration count lets wirelength/area optimization act
         // even when the initial state is accidentally overlap-free.
         return st.iter < opts_.min_iters || overflow >= opts_.stop_overflow;
@@ -239,8 +264,8 @@ GpResult EPlaceGlobalPlacer::run_single(std::uint64_t seed) {
   // low-overflow iterate becomes the hand-off to the detailed placer, whose
   // pair directions are only reliable when residual overlap is small.
   if (!opts_.deadline.expired()) {
-    numeric::Vec g0(2 * n, 0.0);
-    dens_.value_and_grad(v, g0, 1.0);  // refresh overflow at the restart
+    // Refresh overflow at the restart point (best_v, not the last iterate).
+    obj.probe_grad_magnitude(obj.index_of("density"), v);
     double best2_score = std::numeric_limits<double>::infinity();
     numeric::Vec best2_v = v;
     const double gate2 = 0.16;
@@ -248,6 +273,7 @@ GpResult EPlaceGlobalPlacer::run_single(std::uint64_t seed) {
     n2.max_iters = opts_.max_iters / 2;
     const numeric::NesterovSolver spread(n2);
     numeric::NesterovInfo sinfo;
+    const int phase1_iters = result.iterations;
     result.iterations += spread.minimize(
         v, gradient,
         [&](const numeric::NesterovState& st, std::span<const double> vv) {
@@ -263,7 +289,9 @@ GpResult EPlaceGlobalPlacer::run_single(std::uint64_t seed) {
           gamma = bin_w * (0.5 + 8.0 * std::clamp(overflow, 0.0, 1.0));
           wl_.set_gamma(gamma);
           area_.set_gamma(gamma);
-          lambda *= opts_.lambda_growth;  // monotone ramp: legality first
+          // Monotone density ramp: legality first.
+          scheduler_->advance("density", opts_.lambda_growth);
+          obj.sample(phase1_iters + st.iter);
           return st.iter < 10 || overflow >= opts_.stop_overflow;
         },
         &sinfo);

@@ -2,20 +2,23 @@
 // ePlace-A global placement (paper Sec. IV-A).
 //
 // Minimizes  W(v) + lambda*N(v) + tau*Sym(v) + eta*Area(v)  (+ alignment,
-// ordering and boundary penalties) with Nesterov's method, where W is the
-// WA-smoothed wirelength, N the electrostatic potential energy and Area the
-// smoothed bounding-box area WA_x * WA_y. Penalty weights are calibrated
-// from the initial gradient magnitudes and annealed: lambda and tau grow
-// multiplicatively, the smoothing gamma shrinks as density overflow falls.
+// ordering and boundary penalties) with Nesterov's method. The objective is
+// assembled declaratively as a gp::CompositeObjective — one ObjectiveTerm
+// per summand — and the penalty weights are calibrated from the initial
+// gradient magnitudes and annealed by a gp::WeightScheduler: lambda and tau
+// grow multiplicatively, the smoothing gamma shrinks as density overflow
+// falls. Per-term eval counts, wall time and convergence samples come back
+// in GpResult::trace.
 //
-// The performance-driven variant (ePlace-AP) plugs an extra gradient term —
-// alpha * dPhi/dv from the GNN — via set_extra_term().
+// The performance-driven variant (ePlace-AP) plugs the GNN term in as one
+// more ObjectiveTerm via set_extra_term().
 
 #include <functional>
 #include <memory>
 
-#include "base/deadline.hpp"
 #include "density/electro.hpp"
+#include "gp/gp_options.hpp"
+#include "gp/objective.hpp"
 #include "gp/penalties.hpp"
 #include "netlist/circuit.hpp"
 #include "numeric/nesterov.hpp"
@@ -26,41 +29,26 @@ namespace aplace::gp {
 
 enum class WlSmoothing : std::uint8_t { WeightedAverage, LogSumExp };
 
-struct EPlaceGpOptions {
-  std::size_t bins = 32;          ///< density bins per side
+struct EPlaceGpOptions : GpCommonOptions {
   /// Round `bins` up to the next power of two so the electrostatic Poisson
   /// solve takes the O(n log n) FFT path instead of the O(n^2) dense-basis
   /// fallback. Disable only to exercise the fallback deliberately.
   bool pow2_bins = true;
-  double utilization = 0.55;      ///< region side = sqrt(total area / util)
-  double target_density = 0.85;   ///< bin capacity fraction
-  double stop_overflow = 0.18;    ///< stop when density overflow drops below
-                                  ///< (the ILP DP removes the residual)
   int max_iters = 600;
-  int min_iters = 60;             ///< run at least this many iterations
+  int min_iters = 60;  ///< run at least this many iterations
 
-  double lambda_rel = 0.06;   ///< initial density weight (vs. WL gradient)
+  double lambda_rel = 0.06;  ///< initial density weight (vs. WL gradient)
   double lambda_growth = 1.05;
-  double tau_rel = 0.04;      ///< initial symmetry weight
-  double tau_growth = 1.04;
-  double eta_rel = 0.55;      ///< area-term weight; 0 disables (Fig. 2)
-  double align_rel = 0.08;
-  double order_rel = 0.08;
-  double boundary_rel = 2.0;
-  double extra_rel = 2.0;  ///< extra-term (GNN) weight vs. WL gradient
+  double eta_rel = 0.55;  ///< area-term weight; 0 disables (Fig. 2)
 
   /// Table I variant: emulate hard symmetry by a rigid (50x, non-ramped)
   /// symmetry weight plus per-callback projection onto the symmetric set.
   bool hard_symmetry = false;
 
-  std::uint64_t seed = 3;  ///< initial-spread jitter
-  int num_starts = 3;      ///< multi-start trajectories (best kept)
+  int num_starts = 3;  ///< multi-start trajectories (best kept)
   /// Wirelength smoothing function. ePlace-A uses WA (paper Eq. 2); the
   /// LSE option exists for the smoothing ablation bench.
   WlSmoothing smoothing = WlSmoothing::WeightedAverage;
-  /// Wall-clock budget shared with the rest of the flow: checked between
-  /// multi-start trajectories, between phases, and inside the solver.
-  Deadline deadline;
 };
 
 struct GpResult {
@@ -72,6 +60,9 @@ struct GpResult {
   /// hold the last healthy iterate, not a converged solution.
   bool diverged = false;
   bool deadline_hit = false;  ///< truncated by the wall-clock budget
+  /// Per-term observability accumulated over the whole run (all starts):
+  /// eval counts, wall seconds, final weights, convergence samples.
+  TermTrace trace;
 };
 
 class EPlaceGlobalPlacer {
@@ -82,13 +73,20 @@ class EPlaceGlobalPlacer {
   EPlaceGlobalPlacer(const netlist::Circuit& circuit, EPlaceGpOptions opts);
 
   /// Extra objective term (returns its value, accumulates its gradient).
-  void set_extra_term(ExtraTerm term) { extra_ = std::move(term); }
+  /// Legacy functor hook; wrapped into a FunctionTerm named "extra".
+  void set_extra_term(ExtraTerm term);
+  /// First-class extra term (e.g. gnn::PhiTerm). Must precede run().
+  void set_extra_term(std::shared_ptr<ObjectiveTerm> term);
 
   [[nodiscard]] const geom::Rect& region() const { return region_; }
 
   [[nodiscard]] GpResult run();
 
  private:
+  /// Build the composite objective + scheduler mirroring opts_ (term order
+  /// fixed: wirelength, density, symmetry, common-centroid, area,
+  /// alignment, ordering, boundary, extra).
+  void build_objective();
   [[nodiscard]] GpResult run_single(std::uint64_t seed);
 
   const netlist::Circuit* circuit_;
@@ -99,7 +97,9 @@ class EPlaceGlobalPlacer {
   wirelength::WaAreaTerm area_;
   density::ElectroDensity dens_;
   ConstraintPenalties pen_;
-  ExtraTerm extra_;
+  std::shared_ptr<ObjectiveTerm> extra_;
+  std::unique_ptr<CompositeObjective> objective_;
+  std::unique_ptr<WeightScheduler> scheduler_;
 };
 
 }  // namespace aplace::gp

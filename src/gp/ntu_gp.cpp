@@ -6,15 +6,6 @@
 #include "numeric/rng.hpp"
 
 namespace aplace::gp {
-namespace {
-
-double mean_abs(const numeric::Vec& g) {
-  double s = 0;
-  for (double x : g) s += std::abs(x);
-  return s / static_cast<double>(std::max<std::size_t>(g.size(), 1));
-}
-
-}  // namespace
 
 PriorAnalyticalGlobalPlacer::PriorAnalyticalGlobalPlacer(
     const netlist::Circuit& circuit, NtuGpOptions opts)
@@ -29,7 +20,67 @@ PriorAnalyticalGlobalPlacer::PriorAnalyticalGlobalPlacer(
       dens_(circuit, region_, opts.bins, opts.bins, opts.target_density),
       pen_(circuit) {}
 
+void PriorAnalyticalGlobalPlacer::set_extra_term(ExtraTerm term) {
+  extra_ = std::make_shared<FunctionTerm>("extra", std::move(term));
+}
+
+void PriorAnalyticalGlobalPlacer::set_extra_term(
+    std::shared_ptr<ObjectiveTerm> term) {
+  extra_ = std::move(term);
+}
+
+void PriorAnalyticalGlobalPlacer::build_objective() {
+  objective_ =
+      std::make_unique<CompositeObjective>(2 * circuit_->num_devices());
+  CompositeObjective& obj = *objective_;
+  // Same term families as ePlace-A minus the area term, with the bell
+  // density kernel; registration order is the accumulation order.
+  obj.add_term(std::make_shared<SmoothWirelengthTerm>(wl_, "wirelength"));
+  obj.add_term(std::make_shared<BellDensityTerm>(dens_));
+  obj.add_term(std::make_shared<PenaltyTerm>(pen_, PenaltyTerm::Kind::Symmetry));
+  obj.add_term(
+      std::make_shared<PenaltyTerm>(pen_, PenaltyTerm::Kind::CommonCentroid));
+  obj.add_term(std::make_shared<PenaltyTerm>(pen_, PenaltyTerm::Kind::Alignment));
+  obj.add_term(std::make_shared<PenaltyTerm>(pen_, PenaltyTerm::Kind::Ordering));
+  obj.add_term(std::make_shared<PenaltyTerm>(pen_, region_));
+  if (extra_) obj.add_term(extra_);
+
+  scheduler_ = std::make_unique<WeightScheduler>(obj);
+  using Rule = WeightScheduler::Rule;
+  scheduler_->set_rule("wirelength", {.init = Rule::Init::Fixed, .rel = 1.0});
+  scheduler_->set_rule("density", {.init = Rule::Init::RelToRefGrad,
+                                   .rel = opts_.beta_rel,
+                                   .growth = opts_.beta_growth});
+  scheduler_->set_rule("symmetry", {.init = Rule::Init::RelToRefGrad,
+                                    .rel = opts_.tau_rel,
+                                    .growth = opts_.tau_growth});
+  scheduler_->set_rule("common-centroid", {.init = Rule::Init::TiedTo,
+                                           .rel = opts_.tau_rel,
+                                           .tied_to = "symmetry",
+                                           .tied_rel = opts_.tau_rel,
+                                           .growth = opts_.tau_growth});
+  scheduler_->set_rule("alignment", {.init = Rule::Init::TiedTo,
+                                     .rel = opts_.align_rel,
+                                     .tied_to = "symmetry",
+                                     .tied_rel = opts_.tau_rel,
+                                     .growth = opts_.tau_growth});
+  scheduler_->set_rule("ordering", {.init = Rule::Init::TiedTo,
+                                    .rel = opts_.order_rel,
+                                    .tied_to = "symmetry",
+                                    .tied_rel = opts_.tau_rel,
+                                    .growth = opts_.tau_growth});
+  scheduler_->set_rule("boundary", {.init = Rule::Init::RefOverScale,
+                                    .rel = opts_.boundary_rel,
+                                    .scale_div = dens_.grid().bin_w()});
+  if (extra_) {
+    scheduler_->set_rule(std::string(extra_->name()),
+                         {.init = Rule::Init::RelToRefGrad,
+                          .rel = opts_.extra_rel});
+  }
+}
+
 GpResult PriorAnalyticalGlobalPlacer::run() {
+  build_objective();
   const std::size_t n = circuit_->num_devices();
   numeric::Vec v(2 * n);
 
@@ -48,20 +99,8 @@ GpResult PriorAnalyticalGlobalPlacer::run() {
   double gamma = bin_w * 8.0;
   wl_.set_gamma(gamma);
 
-  numeric::Vec g_wl(2 * n, 0.0), g_dens(2 * n, 0.0), g_sym(2 * n, 0.0);
-  wl_.value_and_grad(v, g_wl);
-  dens_.value_and_grad(v, g_dens, 1.0);
-  pen_.symmetry(v, g_sym, 1.0);
-  const double mw = std::max(mean_abs(g_wl), 1e-12);
-  auto rel_weight = [&](double rel, const numeric::Vec& g) {
-    const double mg = mean_abs(g);
-    return mg > 1e-12 ? rel * mw / mg : rel;
-  };
-  double beta = rel_weight(opts_.beta_rel, g_dens);
-  double tau = rel_weight(opts_.tau_rel, g_sym);
-  double align_w = tau * opts_.align_rel / std::max(opts_.tau_rel, 1e-12);
-  double order_w = tau * opts_.order_rel / std::max(opts_.tau_rel, 1e-12);
-  const double bound_w = 2.0 * mw / bin_w;
+  CompositeObjective& obj = *objective_;
+  scheduler_->calibrate(v, "wirelength");
 
   GpResult result;
   numeric::CgOptions copts;
@@ -70,29 +109,8 @@ GpResult PriorAnalyticalGlobalPlacer::run() {
   copts.deadline = opts_.deadline;
   const numeric::CgSolver cg(copts);
 
-  double extra_scale = 1.0;
-  if (extra_) {
-    numeric::Vec g_extra(2 * n, 0.0);
-    extra_(v, g_extra);
-    extra_scale = rel_weight(opts_.extra_rel, g_extra);
-  }
-
-  numeric::Vec g_tmp(2 * n);
-  auto objective = [&](std::span<const double> vv, std::span<double> grad) {
-    std::fill(grad.begin(), grad.end(), 0.0);
-    double f = wl_.value_and_grad(vv, grad);
-    f += beta * dens_.value_and_grad(vv, grad, beta);
-    f += tau * pen_.symmetry(vv, grad, tau);
-    f += tau * pen_.common_centroid(vv, grad, tau);
-    f += align_w * pen_.alignment(vv, grad, align_w);
-    f += order_w * pen_.ordering(vv, grad, order_w);
-    f += bound_w * pen_.boundary(vv, grad, bound_w, region_);
-    if (extra_) {
-      std::fill(g_tmp.begin(), g_tmp.end(), 0.0);
-      f += extra_scale * extra_(vv, g_tmp);
-      numeric::axpy(extra_scale, g_tmp, grad);
-    }
-    return f;
+  auto objective = [&obj](std::span<const double> vv, std::span<double> grad) {
+    return obj.value_and_grad(vv, grad);
   };
 
   for (int outer = 0; outer < opts_.outer_iters; ++outer) {
@@ -109,16 +127,14 @@ GpResult PriorAnalyticalGlobalPlacer::run() {
                     &cinfo);
     result.diverged |= cinfo.diverged;
     result.deadline_hit |= cinfo.deadline_hit;
+    obj.sample(outer);
     // v was rolled back to the last healthy iterate; doubling the density
     // weight and continuing from a poisoned trajectory rarely helps, so
     // hand off what we have.
     if (cinfo.diverged || cinfo.deadline_hit) break;
     const double overflow = dens_.overflow();
     if (outer >= 1 && overflow < opts_.stop_overflow) break;
-    beta *= 2.0;  // NTUplace3-style outer ramp
-    tau *= 1.5;
-    align_w *= 1.5;
-    order_w *= 1.5;
+    scheduler_->advance();  // NTUplace3-style outer ramp
     gamma = bin_w * (0.5 + 8.0 * std::clamp(overflow, 0.0, 1.0));
     wl_.set_gamma(gamma);
   }
@@ -126,6 +142,7 @@ GpResult PriorAnalyticalGlobalPlacer::run() {
   result.overflow = dens_.overflow();
   result.hpwl = wl_.exact_hpwl(v);
   result.positions = std::move(v);
+  result.trace = obj.trace();
   return result;
 }
 

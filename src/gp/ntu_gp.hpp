@@ -9,12 +9,17 @@
 //   (3) conjugate-gradient solver with a bell-shaped density penalty and an
 //       outer loop that doubles the density weight (NTUplace3 style) instead
 //       of the Nesterov + electrostatics machinery.
+//
+// Like ePlace-A the objective is a gp::CompositeObjective; only the term
+// choices and the WeightScheduler growth rules differ.
 
 #include <functional>
+#include <memory>
 
-#include "base/deadline.hpp"
 #include "density/bell.hpp"
 #include "gp/eplace_gp.hpp"  // GpResult
+#include "gp/gp_options.hpp"
+#include "gp/objective.hpp"
 #include "gp/penalties.hpp"
 #include "netlist/circuit.hpp"
 #include "numeric/cg.hpp"
@@ -22,21 +27,18 @@
 
 namespace aplace::gp {
 
-struct NtuGpOptions {
-  std::size_t bins = 32;
-  double utilization = 0.55;
-  double target_density = 0.85;
-  double stop_overflow = 0.07;
-  int outer_iters = 10;   ///< density-weight doublings
-  int inner_iters = 60;   ///< CG iterations per outer round
-  double beta_rel = 0.03; ///< initial density weight vs. WL gradient
-  double tau_rel = 0.04;  ///< symmetry weight
-  double align_rel = 0.08;
-  double order_rel = 0.08;
-  double extra_rel = 2.0;  ///< extra-term (GNN) weight vs. WL gradient
-  std::uint64_t seed = 3;
-  /// Wall-clock budget: checked between outer rounds and inside CG.
-  Deadline deadline;
+struct NtuGpOptions : GpCommonOptions {
+  NtuGpOptions() {
+    // The outer loop iterates all the way down to DP hand-off quality, and
+    // ramps much harder per round than ePlace-A does per iteration.
+    stop_overflow = 0.07;
+    tau_growth = 1.5;
+  }
+
+  int outer_iters = 10;    ///< density-weight doublings
+  int inner_iters = 60;    ///< CG iterations per outer round
+  double beta_rel = 0.03;  ///< initial density weight vs. WL gradient
+  double beta_growth = 2.0;  ///< density ramp per outer round
 };
 
 class PriorAnalyticalGlobalPlacer {
@@ -48,21 +50,27 @@ class PriorAnalyticalGlobalPlacer {
                               NtuGpOptions opts);
 
   /// Used by the Perf* extension (paper Table V): adds alpha * Phi to the
-  /// objective via its value and gradient.
-  void set_extra_term(ExtraTerm term) { extra_ = std::move(term); }
+  /// objective via its value and gradient. Legacy functor hook.
+  void set_extra_term(ExtraTerm term);
+  /// First-class extra term (e.g. gnn::PhiTerm). Must precede run().
+  void set_extra_term(std::shared_ptr<ObjectiveTerm> term);
 
   [[nodiscard]] const geom::Rect& region() const { return region_; }
 
   [[nodiscard]] GpResult run();
 
  private:
+  void build_objective();
+
   const netlist::Circuit* circuit_;
   NtuGpOptions opts_;
   geom::Rect region_;
   wirelength::LseWirelength wl_;
   density::BellDensity dens_;
   ConstraintPenalties pen_;
-  ExtraTerm extra_;
+  std::shared_ptr<ObjectiveTerm> extra_;
+  std::unique_ptr<CompositeObjective> objective_;
+  std::unique_ptr<WeightScheduler> scheduler_;
 };
 
 }  // namespace aplace::gp

@@ -155,6 +155,21 @@ aplace::Status validate(const Circuit& c) {
   const auto& groups = c.constraints().symmetry_groups;
   for (std::size_t gi = 0; gi < groups.size(); ++gi) {
     const SymmetryGroup& g = groups[gi];
+    // Degenerate groups produce an identically-zero penalty gradient (the
+    // optimal axis tracks whatever the group does), so the placer would
+    // silently ignore them; reject them up front instead.
+    if (g.pairs.empty() && g.self_symmetric.empty()) {
+      out.add() << "symmetry group " << gi
+                << " is empty (no pairs, no self-symmetric devices)";
+      continue;
+    }
+    if (g.pairs.empty() && g.self_symmetric.size() == 1) {
+      out.add() << "symmetry group " << gi
+                << " contains only the single self-symmetric device '"
+                << dev_name(g.self_symmetric.front())
+                << "'; its mirror axis is unconstrained and the symmetry "
+                << "penalty is identically zero";
+    }
     auto claim = [&](DeviceId id) {
       if (!dev_ok(id)) {
         out.add() << "symmetry group " << gi

@@ -63,12 +63,11 @@ WaAreaTerm::WaAreaTerm(const netlist::Circuit& circuit)
 double WaAreaTerm::value_and_grad(std::span<const double> v,
                                   std::span<double> grad, double scale) const {
   APLACE_DCHECK(v.size() == 2 * n_ && grad.size() == v.size());
-  std::vector<double> dx, dy;
-  const double wx = wa_edge_extent(v.subspan(0, n_), half_w_, gamma_, dx);
-  const double wy = wa_edge_extent(v.subspan(n_, n_), half_h_, gamma_, dy);
+  const double wx = wa_edge_extent(v.subspan(0, n_), half_w_, gamma_, dx_);
+  const double wy = wa_edge_extent(v.subspan(n_, n_), half_h_, gamma_, dy_);
   for (std::size_t i = 0; i < n_; ++i) {
-    grad[i] += scale * dx[i] * wy;
-    grad[n_ + i] += scale * wx * dy[i];
+    grad[i] += scale * dx_[i] * wy;
+    grad[n_ + i] += scale * wx * dy_[i];
   }
   return wx * wy;
 }

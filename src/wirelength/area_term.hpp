@@ -33,6 +33,9 @@ class WaAreaTerm {
  private:
   std::size_t n_;
   std::vector<double> half_w_, half_h_;
+  // Per-axis edge-derivative scratch, hoisted so the optimizer hot loop
+  // stays allocation-free (assign() below reuses the capacity).
+  mutable std::vector<double> dx_, dy_;
   double gamma_ = 1.0;
 };
 

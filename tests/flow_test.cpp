@@ -79,6 +79,35 @@ TEST(FlowTest, RuntimesAreRecorded) {
   EXPECT_GE(r.total_seconds, r.gp_seconds + r.dp_seconds - 1e-9);
 }
 
+TEST(FlowTest, AnalyticalFlowsCarryPerTermTraces) {
+  // Both analytical placers run through CompositeObjective, so every
+  // FlowResult must surface the per-term instrumentation; SA has no
+  // gradient terms and stays empty.
+  circuits::TestCase tc = circuits::make_testcase("Adder");
+  EPlaceAOptions eopts;
+  eopts.candidates = 2;  // exercise candidate trace aggregation too
+  const FlowResult ep = run_eplace_a(tc.circuit, eopts);
+  ASSERT_FALSE(ep.gp_trace.empty());
+  for (const char* term : {"wirelength", "density", "boundary"}) {
+    const gp::TermStats* st = ep.gp_trace.find(term);
+    ASSERT_NE(st, nullptr) << term;
+    EXPECT_GT(st->evals, 0u) << term;
+  }
+  EXPECT_GT(ep.gp_trace.total_seconds(), 0.0);
+  EXPECT_FALSE(ep.gp_trace.samples.empty());
+
+  const FlowResult pw = run_prior_work(tc.circuit);
+  ASSERT_FALSE(pw.gp_trace.empty());
+  EXPECT_NE(pw.gp_trace.find("wirelength"), nullptr);
+  EXPECT_NE(pw.gp_trace.find("density"), nullptr);
+  EXPECT_FALSE(pw.gp_trace.samples.empty());
+
+  SaFlowOptions sopts;
+  sopts.sa.max_moves = 5000;
+  const FlowResult sa = run_sa(tc.circuit, sopts);
+  EXPECT_TRUE(sa.gp_trace.empty());
+}
+
 // --- robustness: fallback chain, budgets, structured errors ---------------
 
 TEST(FlowRobustnessTest, ForcedInfeasiblePrimaryRecoversViaFallback) {

@@ -6,6 +6,7 @@
 #include "netlist/circuit.hpp"
 #include "netlist/evaluator.hpp"
 #include "netlist/placement.hpp"
+#include "netlist/validate.hpp"
 #include "test_util.hpp"
 
 namespace aplace::netlist {
@@ -114,6 +115,39 @@ TEST(CircuitTest, FinalizeRejectsMismatchedSymmetryFootprints) {
   g.pairs.emplace_back(a, b);
   c.add_symmetry_group(g);
   EXPECT_THROW(c.finalize(), CheckError);
+}
+
+TEST(CircuitTest, RejectsEmptySymmetryGroup) {
+  Circuit c;
+  c.add_device("A", DeviceType::Nmos, 2, 2);
+  EXPECT_THROW(c.add_symmetry_group(SymmetryGroup{}), CheckError);
+}
+
+TEST(ValidateTest, RejectsSingleSelfSymmetricOnlyGroup) {
+  // A group holding one self-symmetric device and no pairs slips past
+  // construction (it is non-empty) but its penalty is identically zero:
+  // the optimal mirror axis simply tracks the device. The validator must
+  // flag it instead of letting the placer silently ignore the constraint.
+  Circuit c;
+  const DeviceId s = c.add_device("S", DeviceType::Nmos, 4, 2);
+  const DeviceId a = c.add_device("A", DeviceType::Nmos, 2, 2);
+  c.add_net("n", {c.add_center_pin(s, "p"), c.add_center_pin(a, "p")});
+  SymmetryGroup g;
+  g.axis = Axis::Vertical;
+  g.self_symmetric.push_back(s);
+  c.add_symmetry_group(std::move(g));
+  c.finalize();
+
+  const aplace::Status st = validate(c);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), aplace::StatusCode::InvalidInput);
+  EXPECT_NE(st.message().find("'S'"), std::string::npos) << st.to_string();
+}
+
+TEST(ValidateTest, AcceptsSelfSymmetricDeviceAlongsidePairs) {
+  // The same self-symmetric device is fine once a pair pins the axis.
+  const Circuit c = test::constrained_circuit();
+  EXPECT_TRUE(validate(c).ok());
 }
 
 TEST(CircuitTest, MutationAfterFinalizeRejected) {
