@@ -146,12 +146,14 @@ class JsonReport {
  public:
   explicit JsonReport(std::string bench) : bench_(std::move(bench)) {}
 
-  /// Record one placement-flow run.
+  /// Record one placement-flow run. SA flows carry a nonzero moves/sec
+  /// throughput, emitted as an extra "moves_per_sec" key (rate-gated by the
+  /// regression checker; 0 = not an SA run, key omitted).
   void add_flow(const std::string& circuit, const std::string& flow,
                 std::uint64_t seed, const core::FlowResult& r) {
     runs_.push_back(Run{circuit, flow, seed, r.total_seconds, r.hpwl(),
                         r.area(), r.legal(), core::to_string(r.fallback),
-                        r.ok()});
+                        r.ok(), r.sa_moves_per_second});
   }
 
   /// Record a raw row (legalizer-only comparisons, perf-driven flows, ...).
@@ -160,14 +162,22 @@ class JsonReport {
                double area, bool legal) {
     runs_.push_back(
         Run{circuit, flow, seed, wall_seconds, hpwl, area, legal, "none",
-            legal});
+            legal, 0.0});
+  }
+
+  /// Record an SA kernel row: quality plus a moves/sec throughput rate.
+  void add_sa_run(const std::string& circuit, const std::string& flow,
+                  std::uint64_t seed, double wall_seconds, double hpwl,
+                  double area, bool legal, double moves_per_sec) {
+    runs_.push_back(Run{circuit, flow, seed, wall_seconds, hpwl, area, legal,
+                        "none", legal, moves_per_sec});
   }
 
   /// Record a raw timed row (micro-kernels, batch wall times, ...).
   void add_timing(const std::string& circuit, const std::string& what,
                   double wall_seconds) {
     runs_.push_back(Run{circuit, what, 0, wall_seconds, 0.0, 0.0, true,
-                        "none", true});
+                        "none", true, 0.0});
   }
 
   /// Scalar summary metric (speedups, geomean ratios, ...). Informational:
@@ -214,8 +224,11 @@ class JsonReport {
           << fmt(r.wall_seconds) << ", \"hpwl\": " << fmt(r.hpwl)
           << ", \"area\": " << fmt(r.area) << ", \"legal\": "
           << (r.legal ? "true" : "false") << ", \"fallback\": \""
-          << escaped(r.fallback) << "\", \"ok\": " << (r.ok ? "true" : "false")
-          << "}";
+          << escaped(r.fallback) << "\", \"ok\": " << (r.ok ? "true" : "false");
+      if (r.moves_per_sec > 0) {
+        out << ", \"moves_per_sec\": " << fmt(r.moves_per_sec);
+      }
+      out << "}";
     }
     out << "\n  ],\n  \"term_traces\": [";
     for (std::size_t i = 0; i < traces_.size(); ++i) {
@@ -256,6 +269,7 @@ class JsonReport {
     bool legal;
     std::string fallback;
     bool ok;
+    double moves_per_sec;  ///< SA throughput; 0 = not an SA row (omitted)
   };
 
   struct TraceRow {

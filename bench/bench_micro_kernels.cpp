@@ -15,8 +15,10 @@
 #include "density/electro.hpp"
 #include "gnn/graph.hpp"
 #include "gnn/model.hpp"
+#include "netlist/evaluator.hpp"
 #include "numeric/rng.hpp"
 #include "numeric/spectral.hpp"
+#include "sa/annealer.hpp"
 #include "sa/sequence_pair.hpp"
 #include "solver/lp.hpp"
 #include "wirelength/smooth_wl.hpp"
@@ -154,6 +156,22 @@ void BM_SequencePairPack(benchmark::State& state) {
 }
 BENCHMARK(BM_SequencePairPack)->Arg(10)->Arg(30)->Arg(60);
 
+void BM_SequencePairPackNaive(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  sa::SequencePair sp(n);
+  numeric::Rng rng(1);
+  sp.shuffle(rng);
+  std::vector<double> w(n), h(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] = rng.uniform(1, 4);
+    h[i] = rng.uniform(1, 4);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sp.pack_naive(w, h));
+  }
+}
+BENCHMARK(BM_SequencePairPackNaive)->Arg(10)->Arg(30)->Arg(60);
+
 void BM_GnnForwardBackward(benchmark::State& state) {
   circuits::TestCase tc = circuits::make_testcase("CM-OTA2");
   gnn::CircuitGraph graph(tc.circuit, 15.0);
@@ -187,6 +205,111 @@ void print_gp_term_breakdown(bench::JsonReport& json) {
       core::run_prior_work(tc.circuit, bench::paper_prior_options());
   bench::print_term_trace("prior-work (" + circuit + ")", pw.gp_trace);
   json.add_term_trace(circuit, "prior-work", pw.gp_trace);
+}
+
+// Quick-mode SA kernel table: the full-recompute annealer vs. the
+// incremental engine on the largest paper circuit at an identical move
+// budget, plus the naive-vs-LCS packing kernel on its own. The SA rows
+// carry moves_per_sec, which the regression gate rate-checks, so a change
+// that silently destroys annealing throughput fails CI.
+void print_sa_kernel_table(bench::JsonReport& json) {
+  using clock = std::chrono::steady_clock;
+
+  std::string largest;
+  std::size_t most = 0;
+  for (const std::string& name : circuits::testcase_names()) {
+    const std::size_t n = circuits::make_testcase(name).circuit.num_devices();
+    if (n > most) {
+      most = n;
+      largest = name;
+    }
+  }
+  circuits::TestCase tc = circuits::make_testcase(largest);
+  const netlist::Evaluator eval(tc.circuit);
+  std::printf(
+      "\n==== SA cost engine: full recompute vs incremental (%s, %zu devices) "
+      "====\n",
+      largest.c_str(), most);
+  std::printf("%-22s %12s %12s %12s %10s %7s\n", "engine", "anneal (s)",
+              "moves/sec", "hpwl", "area", "legal");
+
+  sa::SaOptions base = bench::paper_sa_options();
+  base.seed = 1;
+  // Fixed move budget: throughput comparisons are meaningless if the two
+  // engines anneal different move counts, and the quick default (20k moves,
+  // tens of ms) is timer-noise dominated.
+  base.max_moves = bench::quick_mode() ? 150000 : 400000;
+  const auto run_engine = [&](const char* flow, bool incremental) {
+    sa::SaOptions o = base;
+    o.incremental = incremental;
+    // The "before" side reproduces the seed kernel: naive O(n^2) pack plus
+    // full cost recompute per move.
+    o.naive_pack = !incremental;
+    // Best of three: the anneal is deterministic for a fixed seed, so reps
+    // agree on every metric except wall time; max moves/sec is the run
+    // least disturbed by machine load.
+    sa::SaResult r = sa::SaPlacer(tc.circuit, o).place();
+    for (int rep = 1; rep < 3; ++rep) {
+      sa::SaResult again = sa::SaPlacer(tc.circuit, o).place();
+      if (again.moves_per_second > r.moves_per_second) r = std::move(again);
+    }
+    const netlist::QualityReport q = eval.evaluate(r.placement);
+    std::printf("%-22s %12.3f %12.0f %12.2f %10.2f %7s\n", flow,
+                r.anneal_seconds, r.moves_per_second, q.hpwl, q.area,
+                q.legal(1e-6) ? "yes" : "NO");
+    json.add_sa_run(largest, flow, base.seed, r.anneal_seconds, q.hpwl,
+                    q.area, q.legal(1e-6), r.moves_per_second);
+    // Per-move evaluation latency as its own timed row.
+    json.add_timing(largest,
+                    incremental ? "sa-move-eval-incremental"
+                                : "sa-move-eval-full",
+                    r.moves_evaluated > 0
+                        ? r.anneal_seconds /
+                              static_cast<double>(r.moves_evaluated)
+                        : 0.0);
+    return r;
+  };
+  const sa::SaResult full = run_engine("sa-anneal-full", false);
+  const sa::SaResult inc = run_engine("sa-anneal-incremental", true);
+  if (full.moves_per_second > 0) {
+    const double speedup = inc.moves_per_second / full.moves_per_second;
+    std::printf("incremental speedup: %.1fx, net evals/move: %.0f%% of full\n",
+                speedup, 100.0 * inc.eval_stats.net_eval_ratio());
+    json.add_metric("sa_incremental_speedup", speedup);
+    json.add_metric("sa_net_eval_ratio", inc.eval_stats.net_eval_ratio());
+  }
+
+  // Packing kernel alone, naive longest-path vs. Tang-Wong LCS.
+  std::printf("\n%-10s %14s %14s %10s\n", "blocks", "naive (us)", "lcs (us)",
+              "speedup");
+  for (const std::size_t n : {30u, 120u, 480u}) {
+    sa::SequencePair sp(n);
+    numeric::Rng rng(3);
+    sp.shuffle(rng);
+    std::vector<double> w(n), h(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      w[i] = rng.uniform(1, 4);
+      h[i] = rng.uniform(1, 4);
+    }
+    sa::SequencePair::Packing pk;
+    const int reps = n >= 480 ? 200 : 2000;
+    auto t0 = clock::now();
+    for (int i = 0; i < reps; ++i) pk = sp.pack_naive(w, h);
+    const double naive_us =
+        std::chrono::duration<double, std::micro>(clock::now() - t0).count() /
+        reps;
+    t0 = clock::now();
+    for (int i = 0; i < reps; ++i) sp.pack_into(w, h, pk);
+    const double lcs_us =
+        std::chrono::duration<double, std::micro>(clock::now() - t0).count() /
+        reps;
+    std::printf("%-10zu %14.2f %14.2f %9.1fx\n", n, naive_us, lcs_us,
+                naive_us / lcs_us);
+    char label[32];
+    std::snprintf(label, sizeof label, "n=%zu", n);
+    json.add_timing(label, "seqpair-pack-naive", naive_us / 1e6);
+    json.add_timing(label, "seqpair-pack-lcs", lcs_us / 1e6);
+  }
 }
 
 // Quick-mode before/after table: times the full 2D spectral solve on the
@@ -233,6 +356,7 @@ void print_spectral_table() {
     json.add_timing(label, "spectral-naive", naive_ms / 1e3);
     json.add_timing(label, "spectral-fft", fft_ms / 1e3);
   }
+  print_sa_kernel_table(json);
   print_gp_term_breakdown(json);
   json.write();
 }

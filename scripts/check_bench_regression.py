@@ -10,6 +10,9 @@ for each matched pair the checker fails when:
     scale runs from tripping the gate on scheduler noise);
   * HPWL or area regresses by more than --quality-tol (default 2%, to
     absorb cross-compiler floating-point differences);
+  * a throughput rate (moves_per_sec on SA rows; higher is better) drops
+    by more than --rate-tol (default 35%; rates are noisier than end-to-end
+    wall times on shared CI runners);
   * a run that was legal in the baseline is illegal now;
   * a run that was ok in the baseline is not ok now;
   * a baseline run is missing from the current results.
@@ -59,6 +62,7 @@ def check(
     time_tol: float,
     time_slack: float,
     quality_tol: float,
+    rate_tol: float,
 ) -> list[str]:
     failures: list[str] = []
     for key, base in sorted(baseline.items()):
@@ -88,6 +92,15 @@ def check(
                     f"{bv:.4g} (+{(cv / bv - 1):.1%}, tol {quality_tol:.0%})"
                 )
 
+        br, cr = base.get("moves_per_sec"), cur.get("moves_per_sec")
+        if br and cr is not None:
+            floor = br * (1.0 - rate_tol)
+            if cr < floor:
+                failures.append(
+                    f"{name}: moves_per_sec {cr:.0f} < {floor:.0f} "
+                    f"(baseline {br:.0f}, tol {rate_tol:.0%})"
+                )
+
         if base.get("legal") and not cur.get("legal"):
             failures.append(f"{name}: was legal in baseline, now illegal")
         if base.get("ok") and not cur.get("ok"):
@@ -109,6 +122,9 @@ def main() -> int:
                         "(default 0.1)")
     parser.add_argument("--quality-tol", type=float, default=0.02,
                         help="relative HPWL/area tolerance (default 0.02)")
+    parser.add_argument("--rate-tol", type=float, default=0.35,
+                        help="relative throughput-rate tolerance; rates are "
+                        "higher-is-better (default 0.35)")
     args = parser.parse_args()
 
     try:
@@ -119,7 +135,7 @@ def main() -> int:
         return 2
 
     failures = check(baseline, current, args.time_tol, args.time_slack,
-                     args.quality_tol)
+                     args.quality_tol, args.rate_tol)
     print(f"checked {len(baseline)} baseline runs against "
           f"{len(current)} current runs")
     if failures:

@@ -404,6 +404,8 @@ FlowResult run_sa(const netlist::Circuit& circuit, SaFlowOptions opts) {
     FlowResult out =
         assemble_result(circuit, std::move(sar.placement), 0.0, sa_s);
     out.deadline_hit = sar.deadline_hit;
+    out.sa_moves_per_second = sar.moves_per_second;
+    out.sa_net_eval_ratio = sar.eval_stats.net_eval_ratio();
     if (out.quality.legal(1e-6) && !opts.inject.fail_primary_dp) {
       return out;
     }
@@ -431,6 +433,8 @@ FlowResult run_sa(const netlist::Circuit& circuit, SaFlowOptions opts) {
     repaired.status = std::move(leg.status);
     repaired.fallback = leg.level;
     repaired.deadline_hit = out.deadline_hit || deadline.expired();
+    repaired.sa_moves_per_second = out.sa_moves_per_second;
+    repaired.sa_net_eval_ratio = out.sa_net_eval_ratio;
     return repaired;
   });
 }

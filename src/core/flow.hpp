@@ -80,6 +80,11 @@ struct FlowResult {
   /// and seconds aggregated over every candidate; weights and convergence
   /// samples from the winning candidate). Empty for the SA flow.
   gp::TermTrace gp_trace;
+  /// SA-flow throughput observability (0 for the analytical flows):
+  /// annealer moves per second, and the fraction of nets the incremental
+  /// evaluator actually re-evaluated per move (1.0 would mean no caching).
+  double sa_moves_per_second = 0;
+  double sa_net_eval_ratio = 0;
 
   [[nodiscard]] double area() const { return quality.area; }
   [[nodiscard]] double hpwl() const { return quality.hpwl; }

@@ -231,6 +231,8 @@ PerfFlowResult run_sa_perf(const netlist::Circuit& circuit, PerfContext& ctx,
   PerfFlowResult out{FlowResult{std::move(sar.placement), {}, 0, 0, total},
                      {}};
   out.flow.quality = netlist::Evaluator(circuit).evaluate(out.flow.placement);
+  out.flow.sa_moves_per_second = sar.moves_per_second;
+  out.flow.sa_net_eval_ratio = sar.eval_stats.net_eval_ratio();
   out.perf = evaluate_routed(ctx, out.flow.placement);
   return out;
 }

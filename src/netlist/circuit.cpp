@@ -161,7 +161,33 @@ void Circuit::finalize() {
                      "pin '" << p.name << "' left unconnected; every pin "
                              "must be on a net before finalize()");
   }
+  build_device_net_adjacency();
   finalized_ = true;
+}
+
+void Circuit::build_device_net_adjacency() {
+  const std::size_t n = devices_.size();
+  device_net_offset_.assign(n + 1, 0);
+  device_nets_.clear();
+  // Pins are grouped per device already; nets_of must be deduplicated, so
+  // collect per device with a net-indexed stamp array.
+  std::vector<std::size_t> stamp(nets_.size(), static_cast<std::size_t>(-1));
+  for (std::size_t d = 0; d < n; ++d) {
+    for (PinId pid : devices_[d].pins) {
+      const NetId net = pins_[pid.index()].net;
+      if (stamp[net.index()] != d) {
+        stamp[net.index()] = d;
+        device_nets_.push_back(net);
+      }
+    }
+    device_net_offset_[d + 1] = device_nets_.size();
+    // Ascending net order keeps dirty-net iteration deterministic and
+    // cache-friendly regardless of pin declaration order.
+    std::sort(device_nets_.begin() +
+                  static_cast<std::ptrdiff_t>(device_net_offset_[d]),
+              device_nets_.end(),
+              [](NetId a, NetId b) { return a.index() < b.index(); });
+  }
 }
 
 DeviceId Circuit::find_device(const std::string& name) const {

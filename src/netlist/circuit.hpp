@@ -7,6 +7,7 @@
 // real devices) and freezes the structure; placers then only vary positions
 // via the Placement class.
 
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -76,6 +77,16 @@ class Circuit {
   /// Sum of device footprints.
   [[nodiscard]] double total_device_area() const;
 
+  /// Nets incident to a device (deduplicated: a device with several pins on
+  /// one net lists it once), in ascending net order. Built by finalize();
+  /// the backbone of incremental (dirty-net) cost evaluation.
+  [[nodiscard]] std::span<const NetId> nets_of(DeviceId id) const {
+    APLACE_DCHECK(finalized_ && id.index() < devices_.size());
+    return {device_nets_.data() + device_net_offset_[id.index()],
+            device_net_offset_[id.index() + 1] -
+                device_net_offset_[id.index()]};
+  }
+
   /// Devices participating in any symmetry group, in group order.
   [[nodiscard]] std::vector<DeviceId> symmetric_devices() const;
 
@@ -84,10 +95,15 @@ class Circuit {
     APLACE_CHECK_MSG(!finalized_, "circuit '" << name_ << "' is finalized");
   }
 
+  void build_device_net_adjacency();
+
   std::string name_;
   std::vector<Device> devices_;
   std::vector<Pin> pins_;
   std::vector<Net> nets_;
+  // CSR device -> incident nets (deduped), filled by finalize().
+  std::vector<std::size_t> device_net_offset_;
+  std::vector<NetId> device_nets_;
   ConstraintSet constraints_;
   std::unordered_map<std::string, DeviceId> device_by_name_;
   std::unordered_map<std::string, NetId> net_by_name_;

@@ -39,6 +39,9 @@ class Placement {
   [[nodiscard]] const std::vector<geom::Point>& positions() const {
     return positions_;
   }
+  [[nodiscard]] const std::vector<geom::Orientation>& orientations() const {
+    return orientations_;
+  }
   void set_positions(std::vector<geom::Point> p);
 
   // ---- geometry queries ----------------------------------------------------

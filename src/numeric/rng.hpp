@@ -33,24 +33,50 @@ namespace aplace::numeric {
   return splitmix64(splitmix64(master) ^ splitmix64(~stream));
 }
 
+// The uniform/uniform_int/bernoulli transforms below are hand-rolled
+// instead of going through std::uniform_*_distribution for two reasons:
+//   * the std distributions are the hottest non-algorithmic cost of the SA
+//     move loop — libstdc++'s bounded-int path performs two 64-bit
+//     divisions per draw, which is more than the incremental cost engine
+//     spends evaluating a typical move;
+//   * their output is implementation-defined, so streams (and therefore
+//     every seeded experiment) would differ across standard libraries.
+//     The transforms here pin the exact draw sequence to the mt19937_64
+//     output alone.
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0xA11A0C5EED) : engine_(seed) {}
 
-  /// Uniform double in [lo, hi).
+  /// Uniform double in [lo, hi): top 53 bits of one engine draw, scaled.
   [[nodiscard]] double uniform(double lo = 0.0, double hi = 1.0) {
-    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+    const double u =
+        static_cast<double>(engine_() >> 11) * 0x1.0p-53;  // [0, 1)
+    return lo + (hi - lo) * u;
   }
-  /// Uniform integer in [lo, hi] inclusive.
+  /// Uniform integer in [lo, hi] inclusive. Lemire's nearly divisionless
+  /// bounded draw: one 64x64->128 multiply, rejection only in the biased
+  /// sliver (a division is needed at most once per rare rejection).
   [[nodiscard]] int uniform_int(int lo, int hi) {
-    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+    const std::uint64_t range =
+        static_cast<std::uint64_t>(static_cast<std::int64_t>(hi) -
+                                   static_cast<std::int64_t>(lo)) +
+        1;
+    unsigned __int128 m =
+        static_cast<unsigned __int128>(engine_()) * range;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < range) [[unlikely]] {
+      const std::uint64_t threshold = (0 - range) % range;
+      while (low < threshold) {
+        m = static_cast<unsigned __int128>(engine_()) * range;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return lo + static_cast<int>(static_cast<std::uint64_t>(m >> 64));
   }
   [[nodiscard]] double normal(double mean = 0.0, double stddev = 1.0) {
     return std::normal_distribution<double>(mean, stddev)(engine_);
   }
-  [[nodiscard]] bool bernoulli(double p = 0.5) {
-    return std::bernoulli_distribution(p)(engine_);
-  }
+  [[nodiscard]] bool bernoulli(double p = 0.5) { return uniform() < p; }
 
   [[nodiscard]] std::mt19937_64& engine() { return engine_; }
 

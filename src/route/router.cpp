@@ -12,7 +12,12 @@ struct RoutingGrid {
   geom::Rect region;
   double pitch;
   std::size_t nx, ny;
-  // Usage of horizontal edges (node -> node+1 in x) and vertical edges.
+  // Usage of horizontal edges ((cx,cy) -> (cx+1,cy)) and vertical edges
+  // ((cx,cy) -> (cx,cy+1)). An nx-by-ny node grid has (nx-1)*ny horizontal
+  // and nx*(ny-1) vertical edges — the arrays used to be allocated nx*ny
+  // each, silently over-sized and indexed by source-node id, so the last
+  // column's "horizontal" slots (and last row's vertical ones) were dead
+  // weight that also hid any indexing bug from ASan.
   std::vector<double> h_use, v_use;
 
   RoutingGrid(const geom::Rect& r, double p)
@@ -20,10 +25,20 @@ struct RoutingGrid {
         pitch(p),
         nx(static_cast<std::size_t>(std::ceil(r.width() / p)) + 1),
         ny(static_cast<std::size_t>(std::ceil(r.height() / p)) + 1),
-        h_use(nx * ny, 0.0),
-        v_use(nx * ny, 0.0) {}
+        h_use((nx - 1) * ny, 0.0),
+        v_use(nx * (ny - 1), 0.0) {}
 
   [[nodiscard]] std::size_t idx(std::size_t cx, std::size_t cy) const {
+    return cy * nx + cx;
+  }
+  /// Horizontal edge (cx,cy) -> (cx+1,cy); requires cx < nx-1.
+  [[nodiscard]] std::size_t h_idx(std::size_t cx, std::size_t cy) const {
+    APLACE_DCHECK(cx + 1 < nx && cy < ny);
+    return cy * (nx - 1) + cx;
+  }
+  /// Vertical edge (cx,cy) -> (cx,cy+1); requires cy < ny-1.
+  [[nodiscard]] std::size_t v_idx(std::size_t cx, std::size_t cy) const {
+    APLACE_DCHECK(cx < nx && cy + 1 < ny);
     return cy * nx + cx;
   }
   [[nodiscard]] geom::Point node(std::size_t cx, std::size_t cy) const {
@@ -82,10 +97,10 @@ std::vector<std::size_t> astar(const RoutingGrid& g, std::size_t src,
         open.push({cost + hx(nid), cost, nid});
       }
     };
-    if (cx + 1 < g.nx) relax(g.idx(cx + 1, cy), g.h_use[g.idx(cx, cy)]);
-    if (cx > 0) relax(g.idx(cx - 1, cy), g.h_use[g.idx(cx - 1, cy)]);
-    if (cy + 1 < g.ny) relax(g.idx(cx, cy + 1), g.v_use[g.idx(cx, cy)]);
-    if (cy > 0) relax(g.idx(cx, cy - 1), g.v_use[g.idx(cx, cy - 1)]);
+    if (cx + 1 < g.nx) relax(g.idx(cx + 1, cy), g.h_use[g.h_idx(cx, cy)]);
+    if (cx > 0) relax(g.idx(cx - 1, cy), g.h_use[g.h_idx(cx - 1, cy)]);
+    if (cy + 1 < g.ny) relax(g.idx(cx, cy + 1), g.v_use[g.v_idx(cx, cy)]);
+    if (cy > 0) relax(g.idx(cx, cy - 1), g.v_use[g.v_idx(cx, cy - 1)]);
   }
 
   std::vector<std::size_t> path;
@@ -102,8 +117,15 @@ void commit_path(RoutingGrid& g, const std::vector<std::size_t>& path) {
   for (std::size_t k = 0; k + 1 < path.size(); ++k) {
     const std::size_t a = std::min(path[k], path[k + 1]);
     const std::size_t b = std::max(path[k], path[k + 1]);
-    if (b == a + 1) g.h_use[a] += 1.0;  // horizontal edge from a
-    else g.v_use[a] += 1.0;             // vertical edge from a
+    const std::size_t ax = a % g.nx, ay = a / g.nx;
+    if (b == a + g.nx) {
+      g.v_use[g.v_idx(ax, ay)] += 1.0;
+    } else {
+      // Adjacent-node invariant from A*: same row, one column apart. On an
+      // nx==1 grid every step is vertical and handled above.
+      APLACE_DCHECK(b == a + 1 && b / g.nx == ay);
+      g.h_use[g.h_idx(ax, ay)] += 1.0;
+    }
   }
 }
 

@@ -1,6 +1,7 @@
 #include "sa/annealer.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <optional>
@@ -10,11 +11,41 @@
 
 namespace aplace::sa {
 namespace {
+
 constexpr std::size_t kNoBlock = static_cast<std::size_t>(-1);
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
+std::size_t draw_index(numeric::Rng& rng, std::size_t count) {
+  return static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<int>(count) - 1));
+}
+
+// Draw an index != i with a bounded, deterministic number of redraws, then
+// fall back to the cyclic successor. Degenerate i == j draws used to burn
+// an entry from the per-temperature move budget (and from the T0
+// calibration pool), silently biasing the move mix on small circuits.
+std::size_t draw_distinct(numeric::Rng& rng, std::size_t i,
+                          std::size_t count) {
+  APLACE_DCHECK(count >= 2);
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const std::size_t j = draw_index(rng, count);
+    if (j != i) return j;
+  }
+  return (i + 1) % count;
+}
+
+}  // namespace
+
 SaPlacer::SaPlacer(const netlist::Circuit& circuit, SaOptions options)
-    : circuit_(&circuit), opts_(std::move(options)), eval_(circuit) {
+    : circuit_(&circuit),
+      opts_(std::move(options)),
+      eval_(circuit),
+      engine_(circuit) {
   APLACE_CHECK(circuit.finalized());
 
   const std::size_t n = circuit.num_devices();
@@ -46,22 +77,59 @@ SaPlacer::SaPlacer(const netlist::Circuit& circuit, SaOptions options)
     block_h_[b] = d.height;
     single_block_of_[single_device_[s].index()] = b;
   }
+  single_scratch_.resize(1);
+  engine_.configure_blocks(block_members());
+}
+
+std::vector<std::vector<Island::Member>> SaPlacer::block_members() const {
+  std::vector<std::vector<Island::Member>> blocks(num_blocks());
+  for (std::size_t b = 0; b < islands_.size(); ++b) {
+    blocks[b] = islands_[b].members();
+  }
+  for (std::size_t s = 0; s < single_device_.size(); ++s) {
+    const std::size_t b = islands_.size() + s;
+    const DeviceId dev = single_device_[s];
+    blocks[b] = {Island::Member{dev,
+                                {block_w_[b] / 2, block_h_[b] / 2},
+                                device_orient_[dev.index()]}};
+  }
+  return blocks;
+}
+
+void SaPlacer::reset_anneal_state() {
+  // Rebuild the mutable representation from the circuit so every chain (and
+  // every place() call on this instance) starts from the pristine state —
+  // previously a second run inherited the island permutations and flips the
+  // first one ended in.
+  device_orient_.assign(circuit_->num_devices(), {});
+  islands_.clear();
+  for (const netlist::SymmetryGroup& g :
+       circuit_->constraints().symmetry_groups) {
+    islands_.emplace_back(*circuit_, g);
+  }
 }
 
 void SaPlacer::realize(const SequencePair::Packing& pk,
                        netlist::Placement& pl) const {
-  for (std::size_t b = 0; b < islands_.size(); ++b) {
+  realize(pk, islands_, device_orient_, pl);
+}
+
+void SaPlacer::realize(const SequencePair::Packing& pk,
+                       const std::vector<Island>& islands,
+                       const std::vector<geom::Orientation>& orient,
+                       netlist::Placement& pl) const {
+  for (std::size_t b = 0; b < islands.size(); ++b) {
     const geom::Point origin{pk.x[b], pk.y[b]};
-    for (const Island::Member& m : islands_[b].members()) {
+    for (const Island::Member& m : islands[b].members()) {
       pl.set_position(m.device, origin + m.center);
       pl.set_orientation(m.device, m.orientation);
     }
   }
   for (std::size_t s = 0; s < single_device_.size(); ++s) {
-    const std::size_t b = islands_.size() + s;
+    const std::size_t b = islands.size() + s;
     const DeviceId dev = single_device_[s];
     pl.set_position(dev, {pk.x[b] + block_w_[b] / 2, pk.y[b] + block_h_[b] / 2});
-    pl.set_orientation(dev, device_orient_[dev.index()]);
+    pl.set_orientation(dev, orient[dev.index()]);
   }
 }
 
@@ -88,13 +156,28 @@ double SaPlacer::cost_of(const netlist::Placement& pl) const {
 }
 
 netlist::Placement SaPlacer::sample_random(numeric::Rng& rng) {
+  // Sampling walks island permutations and orientations cumulatively (the
+  // GNN dataset relies on that diversity), but on dedicated copies: the
+  // annealing members stay pristine, so a later place() — or interleaved
+  // sampling and annealing on one instance — no longer starts from leaked
+  // state. For a fixed rng the sampled sequence is unchanged.
+  if (!sample_state_ready_) {
+    sample_islands_.clear();
+    for (const netlist::SymmetryGroup& g :
+         circuit_->constraints().symmetry_groups) {
+      sample_islands_.emplace_back(*circuit_, g);
+    }
+    sample_orient_.assign(circuit_->num_devices(), {});
+    sample_state_ready_ = true;
+  }
+
   const std::size_t nb = num_blocks();
   SequencePair sp(nb);
   sp.shuffle(rng);
   for (DeviceId d : single_device_) {
-    device_orient_[d.index()] = {rng.bernoulli(), rng.bernoulli()};
+    sample_orient_[d.index()] = {rng.bernoulli(), rng.bernoulli()};
   }
-  for (Island& island : islands_) {
+  for (Island& island : sample_islands_) {
     for (std::size_t r = 0; r < island.num_rows(); ++r) {
       if (rng.bernoulli(0.3)) island.mirror_row(r);
     }
@@ -107,7 +190,7 @@ netlist::Placement SaPlacer::sample_random(numeric::Rng& rng) {
     }
   }
   netlist::Placement pl(*circuit_);
-  realize(sp.pack(block_w_, block_h_), pl);
+  realize(sp.pack(block_w_, block_h_), sample_islands_, sample_orient_, pl);
   pl.normalize_to_origin();
   return pl;
 }
@@ -146,55 +229,200 @@ SaResult SaPlacer::place() {
 
   std::optional<SaResult> best;
   long moves_evaluated = 0, moves_accepted = 0;
+  double anneal_seconds = 0;
+  IncrementalCost::Stats stats;
   bool deadline_hit = false;
   for (std::optional<SaResult>& r : results) {
     APLACE_CHECK(r.has_value());
     moves_evaluated += r->moves_evaluated;
     moves_accepted += r->moves_accepted;
+    anneal_seconds += r->anneal_seconds;
+    stats.merge(r->eval_stats);
     deadline_hit |= r->deadline_hit;
     if (!best || r->cost < best->cost) best = std::move(r);
   }
   best->moves_evaluated = moves_evaluated;
   best->moves_accepted = moves_accepted;
   best->deadline_hit = deadline_hit;
+  best->anneal_seconds = anneal_seconds;
+  best->moves_per_second =
+      anneal_seconds > 0
+          ? static_cast<double>(moves_evaluated) / anneal_seconds
+          : 0.0;
+  best->eval_stats = stats;
   return std::move(*best);
 }
 
-SaResult SaPlacer::run_chain(std::uint64_t chain_seed) {
-  numeric::Rng rng(chain_seed);
-  const std::size_t nb = num_blocks();
-  SequencePair sp(nb);
-  sp.shuffle(rng);
-
-  netlist::Placement pl(*circuit_);
-  realize(sp.pack(block_w_, block_h_), pl);
-  // Normalizers: initial state metrics (penalty scale = layout half-perimeter
-  // so residuals in microns are comparable).
-  hpwl0_ = std::max(pl.total_hpwl(), 1e-9);
-  area0_ = std::max(pl.layout_area(), 1e-9);
-  penalty0_ = std::max(std::sqrt(area0_), 1e-9);
-
-  double cur_cost = cost_of(pl);
-  SaResult best{pl, cur_cost, 0, 0};
-
+SaPlacer::Move SaPlacer::propose_move(numeric::Rng& rng) {
   // Move kinds: 0 swap+, 1 swap both, 2 flip device, 3 island row swap,
-  // 4 island mirror.
+  // 4 island mirror. Applies the move to the representation; undo_move
+  // reverses it.
+  const std::size_t nb = num_blocks();
   const bool have_islands = !islands_.empty();
   const bool have_singles = !single_device_.empty();
+  Move mv;
+  const int kind = rng.uniform_int(0, 99);
+  if (kind < 35 && nb >= 2) {
+    mv.i = draw_index(rng, nb);
+    mv.j = draw_distinct(rng, mv.i, nb);
+    sp_.swap_in_plus(mv.i, mv.j);
+    mv.kind = 0;
+  } else if (kind < 70 && nb >= 2) {
+    mv.i = draw_index(rng, nb);
+    mv.j = draw_distinct(rng, mv.i, nb);
+    sp_.swap_in_both(mv.i, mv.j);
+    mv.kind = 1;
+  } else if (kind < 85 && have_singles) {
+    mv.flip_dev = single_device_[draw_index(rng, single_device_.size())];
+    mv.flip_axis_x = rng.bernoulli();
+    geom::Orientation& o = device_orient_[mv.flip_dev.index()];
+    if (mv.flip_axis_x) o.flip_x = !o.flip_x;
+    else o.flip_y = !o.flip_y;
+    mv.kind = 2;
+  } else if (have_islands) {
+    mv.isl = draw_index(rng, islands_.size());
+    Island& island = islands_[mv.isl];
+    if (island.num_rows() >= 2 && rng.bernoulli()) {
+      mv.r1 = draw_index(rng, island.num_rows());
+      mv.r2 = draw_distinct(rng, mv.r1, island.num_rows());
+      island.swap_rows(mv.r1, mv.r2);
+      mv.kind = 3;
+    } else {
+      mv.r1 = draw_index(rng, island.num_rows());
+      island.mirror_row(mv.r1);
+      mv.kind = 4;
+    }
+  }
+  return mv;
+}
 
-  // Calibrate T0 by sampling move deltas from the initial state.
+void SaPlacer::undo_move(const Move& mv) {
+  switch (mv.kind) {
+    case 0: sp_.swap_in_plus(mv.i, mv.j); break;
+    case 1: sp_.swap_in_both(mv.i, mv.j); break;
+    case 2: {
+      geom::Orientation& o = device_orient_[mv.flip_dev.index()];
+      if (mv.flip_axis_x) o.flip_x = !o.flip_x;
+      else o.flip_y = !o.flip_y;
+      break;
+    }
+    case 3: islands_[mv.isl].swap_rows(mv.r1, mv.r2); break;
+    case 4: islands_[mv.isl].mirror_row(mv.r1); break;
+    default: break;
+  }
+}
+
+void SaPlacer::pack_current(SequencePair::Packing& out) const {
+  if (opts_.naive_pack) {
+    out = sp_.pack_naive(block_w_, block_h_);
+  } else {
+    sp_.pack_into(block_w_, block_h_, out);
+  }
+}
+
+void SaPlacer::stage_trial(const Move& mv) {
+  // Flip and island-permutation moves (kinds 2-4) leave the sequence pair
+  // and every block dimension unchanged — block dims are fixed at
+  // construction, and row swap / mirror preserve the island extent — so the
+  // packing is bit-identical to the committed one. Skip the repack and run
+  // the trial against pack_: no block origin moves, only the mutated
+  // block's internals go dirty.
+  const bool structural = mv.kind == 0 || mv.kind == 1;
+  if (structural) {
+    pack_current(pack_trial_);
+    engine_.begin_trial(pack_trial_.x.data(), pack_trial_.y.data(),
+                        pack_trial_.width, pack_trial_.height);
+  } else {
+    engine_.begin_trial(pack_.x.data(), pack_.y.data(), pack_.width,
+                        pack_.height);
+  }
+  // Internal mutations force-reevaluate their block's caches; translated
+  // blocks need no marking — trial_cost discovers them from the origin
+  // deltas, and blocks that neither moved nor changed inside keep their
+  // cached net/constraint values.
+  if (mv.kind == 3 || mv.kind == 4) {
+    islands_[mv.isl].members_into(member_scratch_);
+    engine_.refresh_block(mv.isl, member_scratch_);
+  } else if (mv.kind == 2) {
+    const std::size_t b = single_block_of_[mv.flip_dev.index()];
+    single_scratch_[0] =
+        Island::Member{mv.flip_dev,
+                       {block_w_[b] / 2, block_h_[b] / 2},
+                       device_orient_[mv.flip_dev.index()]};
+    engine_.refresh_block(b, single_scratch_);
+  }
+}
+
+void SaPlacer::commit_trial(const Move& mv) {
+  // Kinds 2-4 never packed into pack_trial_ (see stage_trial), so the
+  // committed packing is already current.
+  if (mv.kind == 0 || mv.kind == 1) std::swap(pack_, pack_trial_);
+}
+
+SaResult SaPlacer::run_chain(std::uint64_t chain_seed) {
+  const auto t_start = Clock::now();
+  numeric::Rng rng(chain_seed);
+  reset_anneal_state();
+  const std::size_t nb = num_blocks();
+  sp_ = SequencePair(nb);
+  sp_.shuffle(rng);
+  pack_current(pack_);
+
+  netlist::Placement pl(*circuit_);
+  realize(pack_, pl);
+  // Normalizers: initial state metrics (penalty scale = layout half-perimeter
+  // so residuals in microns are comparable). The incremental engine's area
+  // metric is the packing extent (identical to the block bounding box);
+  // the legacy path keeps the device bounding box it always used.
+  const bool inc = opts_.incremental;
+  hpwl0_ = std::max(pl.total_hpwl(), 1e-9);
+  area0_ = inc ? std::max(pack_.width * pack_.height, 1e-9)
+               : std::max(pl.layout_area(), 1e-9);
+  penalty0_ = std::max(std::sqrt(area0_), 1e-9);
+
+  if (inc) {
+    engine_.set_weights({opts_.area_weight, opts_.constraint_weight, hpwl0_,
+                         area0_, penalty0_});
+    engine_.reset(block_members(), pack_.x.data(), pack_.y.data(),
+                  pack_.width, pack_.height);
+  }
+  const auto extra = [&](const netlist::Placement& p) {
+    return opts_.extra_cost ? opts_.extra_cost(p) : 0.0;
+  };
+
+  double cur_cost =
+      inc ? engine_.cost() + extra(engine_.placement()) : cost_of(pl);
+  SaResult best{pl, cur_cost, 0, 0};
+
+  // Calibrate T0 by sampling swap-move deltas from the initial state. The
+  // 40-probe pool used to shrink whenever i == j came up; draw_distinct
+  // keeps it full.
   std::vector<double> deltas;
-  {
-    SequencePair probe = sp;
-    netlist::Placement tmp(*circuit_);
-    for (int k = 0; k < 40 && nb >= 2; ++k) {
-      const std::size_t i = static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(nb) - 1));
-      const std::size_t j = static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(nb) - 1));
-      if (i == j) continue;
-      probe.swap_in_both(i, j);
-      realize(probe.pack(block_w_, block_h_), tmp);
-      deltas.push_back(std::abs(cost_of(tmp) - cur_cost));
-      probe.swap_in_both(i, j);  // undo
+  netlist::Placement tmp(*circuit_);
+  if (nb >= 2) {
+    for (int k = 0; k < 40; ++k) {
+      const std::size_t i = draw_index(rng, nb);
+      const std::size_t j = draw_distinct(rng, i, nb);
+      sp_.swap_in_both(i, j);
+      double probe;
+      if (inc) {
+        Move mv;
+        mv.kind = 1;
+        mv.i = i;
+        mv.j = j;
+        stage_trial(mv);
+        probe = engine_.trial_cost();
+        if (opts_.extra_cost) {
+          probe += opts_.extra_cost(engine_.trial_placement());
+        }
+        engine_.rollback();
+      } else {
+        pack_current(pack_trial_);
+        realize(pack_trial_, tmp);
+        probe = cost_of(tmp);
+      }
+      sp_.swap_in_both(i, j);  // undo
+      deltas.push_back(std::abs(probe - cur_cost));
     }
   }
   double t0 = 0.3;
@@ -212,7 +440,7 @@ SaResult SaPlacer::run_chain(std::uint64_t chain_seed) {
       static_cast<long>(std::max<std::size_t>(nb, 1));
   long moves = 0;
 
-  netlist::Placement trial(*circuit_);
+  netlist::Placement trial(*circuit_);  // legacy-path scratch
   while (temp > t_stop && !best.deadline_hit) {
     for (long m = 0; m < moves_per_temp; ++m) {
       if (opts_.max_moves > 0 && moves >= opts_.max_moves) break;
@@ -222,92 +450,46 @@ SaResult SaPlacer::run_chain(std::uint64_t chain_seed) {
         best.deadline_hit = true;
         break;
       }
+
+      const Move mv = propose_move(rng);
+      // Structurally impossible draw (e.g. a single block with no flips or
+      // islands): nothing applied, so the move budget is not charged.
+      if (mv.kind < 0) continue;
       ++moves;
 
-      // --- propose ---------------------------------------------------------
-      int kind = rng.uniform_int(0, 99);
-      std::size_t i = 0, j = 0, isl = 0, r1 = 0, r2 = 0;
-      DeviceId flip_dev;
-      bool flip_axis_x = false;
-      bool applied = false;
-      if (kind < 35 && nb >= 2) {
-        i = static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(nb) - 1));
-        j = static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(nb) - 1));
-        if (i != j) {
-          sp.swap_in_plus(i, j);
-          kind = 0;
-          applied = true;
+      // --- evaluate --------------------------------------------------------
+      double new_cost;
+      if (inc) {
+        stage_trial(mv);  // packs internally for structural moves
+        new_cost = engine_.trial_cost();
+        if (opts_.extra_cost) {
+          new_cost += opts_.extra_cost(engine_.trial_placement());
         }
-      } else if (kind < 70 && nb >= 2) {
-        i = static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(nb) - 1));
-        j = static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(nb) - 1));
-        if (i != j) {
-          sp.swap_in_both(i, j);
-          kind = 1;
-          applied = true;
-        }
-      } else if (kind < 85 && have_singles) {
-        const std::size_t s = static_cast<std::size_t>(
-            rng.uniform_int(0, static_cast<int>(single_device_.size()) - 1));
-        flip_dev = single_device_[s];
-        flip_axis_x = rng.bernoulli();
-        geom::Orientation& o = device_orient_[flip_dev.index()];
-        if (flip_axis_x) o.flip_x = !o.flip_x;
-        else o.flip_y = !o.flip_y;
-        kind = 2;
-        applied = true;
-      } else if (have_islands) {
-        isl = static_cast<std::size_t>(
-            rng.uniform_int(0, static_cast<int>(islands_.size()) - 1));
-        Island& island = islands_[isl];
-        if (island.num_rows() >= 2 && rng.bernoulli()) {
-          r1 = static_cast<std::size_t>(
-              rng.uniform_int(0, static_cast<int>(island.num_rows()) - 1));
-          r2 = static_cast<std::size_t>(
-              rng.uniform_int(0, static_cast<int>(island.num_rows()) - 1));
-          if (r1 != r2) {
-            island.swap_rows(r1, r2);
-            kind = 3;
-            applied = true;
-          }
-        } else {
-          r1 = static_cast<std::size_t>(
-              rng.uniform_int(0, static_cast<int>(island.num_rows()) - 1));
-          island.mirror_row(r1);
-          kind = 4;
-          applied = true;
-        }
+      } else {
+        pack_current(pack_trial_);
+        realize(pack_trial_, trial);
+        new_cost = cost_of(trial);
       }
-      if (!applied) continue;
-
-      // --- evaluate ---------------------------------------------------------
-      realize(sp.pack(block_w_, block_h_), trial);
-      const double new_cost = cost_of(trial);
       const double delta = new_cost - cur_cost;
       const bool accept =
           delta <= 0 || rng.uniform() < std::exp(-delta / temp);
       if (accept) {
         cur_cost = new_cost;
         ++best.moves_accepted;
-        if (new_cost < best.cost) {
+        if (inc) {
+          engine_.commit();
+          commit_trial(mv);
+          if (new_cost < best.cost) {
+            best.cost = new_cost;
+            best.placement = engine_.placement();  // new-best snapshot only
+          }
+        } else if (new_cost < best.cost) {
           best.cost = new_cost;
           best.placement = trial;
         }
       } else {
-        // --- undo ------------------------------------------------------------
-        switch (kind) {
-          case 0: sp.swap_in_plus(i, j); break;
-          case 1: sp.swap_in_both(i, j); break;
-          case 2: {
-            geom::Orientation& o = device_orient_[flip_dev.index()];
-            if (flip_axis_x) o.flip_x = !o.flip_x;
-            else o.flip_y = !o.flip_y;
-            break;
-          }
-          case 3: islands_[isl].swap_rows(r1, r2); break;
-          case 4: islands_[isl].mirror_row(r1); break;
-          default: break;
-        }
+        if (inc) engine_.rollback();
+        undo_move(mv);
       }
     }
     if (opts_.max_moves > 0 && moves >= opts_.max_moves) break;
@@ -316,7 +498,63 @@ SaResult SaPlacer::run_chain(std::uint64_t chain_seed) {
 
   best.moves_evaluated = moves;
   best.placement.normalize_to_origin();
+  best.anneal_seconds = seconds_since(t_start);
+  best.moves_per_second =
+      best.anneal_seconds > 0
+          ? static_cast<double>(moves) / best.anneal_seconds
+          : 0.0;
+  if (inc) best.eval_stats = engine_.stats();
   return best;
+}
+
+double SaPlacer::verify_incremental(std::uint64_t seed, int steps) {
+  APLACE_CHECK(opts_.incremental);
+  numeric::Rng rng(seed);
+  reset_anneal_state();
+  const std::size_t nb = num_blocks();
+  sp_ = SequencePair(nb);
+  sp_.shuffle(rng);
+  pack_current(pack_);
+
+  netlist::Placement pl(*circuit_);
+  realize(pack_, pl);
+  hpwl0_ = std::max(pl.total_hpwl(), 1e-9);
+  area0_ = std::max(pack_.width * pack_.height, 1e-9);
+  penalty0_ = std::max(std::sqrt(area0_), 1e-9);
+  engine_.set_weights({opts_.area_weight, opts_.constraint_weight, hpwl0_,
+                       area0_, penalty0_});
+  engine_.reset(block_members(), pack_.x.data(), pack_.y.data(), pack_.width,
+                pack_.height);
+
+  double max_dev = 0.0;
+  netlist::Placement chk(*circuit_);
+  for (int s = 0; s < steps; ++s) {
+    const Move mv = propose_move(rng);
+    if (mv.kind < 0) continue;
+    stage_trial(mv);
+    (void)engine_.trial_cost();
+    if (rng.bernoulli()) {  // exercise both the commit and rollback paths
+      engine_.commit();
+      commit_trial(mv);
+    } else {
+      engine_.rollback();
+      undo_move(mv);
+    }
+    // Oracle 1: incremental totals vs from-scratch recompute.
+    max_dev = std::max(max_dev, std::abs(engine_.cost() - engine_.full_cost()));
+    // Oracle 2: engine state vs a freshly realized placement of the
+    // committed representation (catches staging omissions).
+    realize(pack_, chk);
+    const double hp = chk.total_hpwl();
+    max_dev =
+        std::max(max_dev, std::abs(engine_.hpwl() - hp) / std::max(1.0, hp));
+    for (std::size_t d = 0; d < circuit_->num_devices(); ++d) {
+      const geom::Point a = engine_.placement().position(DeviceId{d});
+      const geom::Point b = chk.position(DeviceId{d});
+      max_dev = std::max({max_dev, std::abs(a.x - b.x), std::abs(a.y - b.y)});
+    }
+  }
+  return max_dev;
 }
 
 }  // namespace aplace::sa

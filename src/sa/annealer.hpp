@@ -9,6 +9,14 @@
 // wirelength, plus penalties for alignment/ordering constraints, plus an
 // optional caller-supplied term (the performance-driven variant plugs the
 // GNN's failure probability in here, as in Li et al. ICCAD'20 [19]).
+//
+// Evaluation engines: the default incremental engine packs with the
+// O(n log n) LCS packer, diffs block positions against the committed
+// packing, and re-evaluates only the nets/constraints of devices that
+// moved (IncrementalCost); trial placements are never materialized. The
+// pre-existing full-recompute path (naive O(n^2) pack + realize + whole
+// netlist cost) is kept behind SaOptions::incremental=false as the oracle
+// and the "before" side of the throughput benches.
 
 #include <functional>
 #include <optional>
@@ -17,6 +25,7 @@
 #include "netlist/evaluator.hpp"
 #include "netlist/placement.hpp"
 #include "numeric/rng.hpp"
+#include "sa/incremental_cost.hpp"
 #include "sa/island.hpp"
 #include "sa/sequence_pair.hpp"
 
@@ -42,8 +51,18 @@ struct SaOptions {
   double area_weight = 0.38;      ///< vs. (1 - area_weight) wirelength
   double constraint_weight = 8.0; ///< alignment / ordering penalty weight
 
+  /// Delta-cost evaluation via IncrementalCost (default). false = legacy
+  /// full recompute per move: realize a trial Placement and re-evaluate the
+  /// whole netlist — the bench/test oracle.
+  bool incremental = true;
+  /// Use the O(n^2) longest-path packer instead of the O(n log n) LCS
+  /// packer (bit-identical coordinates; kept for A/B benchmarking).
+  bool naive_pack = false;
+
   /// Optional extra cost term evaluated on candidate placements (already
-  /// weighted by the caller). Used for performance-driven SA.
+  /// weighted by the caller). Used for performance-driven SA. With the
+  /// incremental engine the trial placement is materialized from the block
+  /// origins only when this is set (plain SA never builds one per move).
   std::function<double(const netlist::Placement&)> extra_cost;
 };
 
@@ -53,6 +72,10 @@ struct SaResult {
   long moves_evaluated = 0;
   long moves_accepted = 0;
   bool deadline_hit = false;  ///< annealing truncated by the wall-clock budget
+  double anneal_seconds = 0.0;    ///< wall time inside run_chain (summed
+                                  ///< over chains for multi-chain runs)
+  double moves_per_second = 0.0;  ///< moves_evaluated / anneal_seconds
+  IncrementalCost::Stats eval_stats;  ///< delta-eval cache effectiveness
 };
 
 class SaPlacer {
@@ -65,22 +88,60 @@ class SaPlacer {
 
   /// One random legal state (shuffled sequence pair, random flips and island
   /// permutations) — used to generate GNN training datasets cheaply.
+  /// Operates on sampling-only copies of the island/orientation state:
+  /// repeated calls compose exactly as before, but a later place() on the
+  /// same instance is unaffected (no leaked state).
   [[nodiscard]] netlist::Placement sample_random(numeric::Rng& rng);
 
   [[nodiscard]] std::size_t num_blocks() const { return block_w_.size(); }
 
+  /// Diagnostic/property-test hook: run `steps` random moves (all five
+  /// kinds, random accept/reject) with the incremental engine, checking it
+  /// after every move against from-scratch recomputation and a freshly
+  /// realized placement. Returns the maximum normalized deviation observed
+  /// (0 for a correct engine up to accumulation error).
+  [[nodiscard]] double verify_incremental(std::uint64_t seed, int steps);
+
  private:
-  struct DeviceSlot {
-    std::size_t block;     ///< owning block
-    geom::Point offset;    ///< center offset from block lower-left (for
-                           ///< single blocks; islands recompute on the fly)
+  /// A proposed move, already applied to the representation state; kind -1
+  /// means no move was applicable (degenerate block structure).
+  struct Move {
+    int kind = -1;  ///< 0 swap+, 1 swap both, 2 flip, 3 row swap, 4 mirror
+    std::size_t i = 0, j = 0;
+    std::size_t isl = 0, r1 = 0, r2 = 0;
+    DeviceId flip_dev;
+    bool flip_axis_x = false;
   };
 
-  /// One annealing chain seeded with `chain_seed` (mutates this placer's
-  /// island/orientation state; multi-chain runs build one placer per chain).
+  /// One annealing chain seeded with `chain_seed`. Annealing state
+  /// (sequence pair, orientations, islands) is re-initialized at entry, so
+  /// repeated runs on one instance are independent.
   [[nodiscard]] SaResult run_chain(std::uint64_t chain_seed);
 
+  void reset_anneal_state();
+  /// Member lists (device, offset, orientation) for every block in block
+  /// order — islands first, then singles — from the current island /
+  /// orientation state. Feeds IncrementalCost::configure_blocks / reset.
+  [[nodiscard]] std::vector<std::vector<Island::Member>> block_members() const;
+  /// Draw a move and apply it to the representation (sequence pair /
+  /// orientations / islands). Degenerate draws (i == j) redraw boundedly
+  /// instead of burning the move budget.
+  [[nodiscard]] Move propose_move(numeric::Rng& rng);
+  void undo_move(const Move& mv);
+  /// Pack the current sequence pair into `out` honoring naive_pack.
+  void pack_current(SequencePair::Packing& out) const;
+  /// Stage a proposed move on the engine: repack into `pack_trial_` for
+  /// sequence moves and mark every block the repack translated (origin diff
+  /// against `pack_`); flip/island moves skip the repack — the packing is
+  /// provably unchanged — and only refresh the mutated block.
+  void stage_trial(const Move& mv);
+  /// Commit bookkeeping after the engine accepted a staged move.
+  void commit_trial(const Move& mv);
+
+  void realize(const SequencePair::Packing& pk, netlist::Placement& pl) const;
   void realize(const SequencePair::Packing& pk,
+               const std::vector<Island>& islands,
+               const std::vector<geom::Orientation>& orient,
                netlist::Placement& pl) const;
   [[nodiscard]] double cost_of(const netlist::Placement& pl) const;
 
@@ -94,6 +155,24 @@ class SaPlacer {
   std::vector<std::size_t> single_block_of_;  ///< device -> block or npos
   std::vector<double> block_w_, block_h_;
   std::vector<geom::Orientation> device_orient_;
+
+  // Annealing state (re-initialized per chain).
+  SequencePair sp_{0};
+  SequencePair::Packing pack_;        ///< committed block positions
+  SequencePair::Packing pack_trial_;  ///< scratch for proposed packings
+  IncrementalCost engine_;
+  std::vector<Island::Member> member_scratch_;  ///< trial members of the
+                                                ///< island a move mutated
+  std::vector<Island::Member> single_scratch_;  ///< 1-element refresh list
+                                                ///< for device-flip moves
+
+  // Sampling-only state (sample_random): lazily copied from the pristine
+  // construction-time state, then mutated cumulatively across calls —
+  // reproducing the pre-fix sampling sequence without touching the
+  // annealing members.
+  bool sample_state_ready_ = false;
+  std::vector<Island> sample_islands_;
+  std::vector<geom::Orientation> sample_orient_;
 
   // Normalizers captured from the initial state.
   double hpwl0_ = 1.0, area0_ = 1.0, penalty0_ = 1.0;

@@ -64,6 +64,12 @@ void Island::mirror_row(std::size_t r) {
 
 std::vector<Island::Member> Island::members() const {
   std::vector<Member> out;
+  members_into(out);
+  return out;
+}
+
+void Island::members_into(std::vector<Member>& out) const {
+  out.clear();
   out.reserve(2 * rows_.size());
   const bool vertical = group_->axis == netlist::Axis::Vertical;
   // Axis runs through the island center in the mirrored dimension.
@@ -97,7 +103,6 @@ std::vector<Island::Member> Island::members() const {
       along += row.w;
     }
   }
-  return out;
 }
 
 }  // namespace aplace::sa

@@ -43,6 +43,9 @@ class Island {
     geom::Orientation orientation;
   };
   [[nodiscard]] std::vector<Member> members() const;
+  /// Allocation-free variant: clears and refills `out` (hot-loop use; the
+  /// SA placer caches member lists per island and refreshes on mutation).
+  void members_into(std::vector<Member>& out) const;
 
  private:
   struct Row {

@@ -1,10 +1,18 @@
 #pragma once
-// Sequence-pair floorplan representation with O(n^2) longest-path packing.
+// Sequence-pair floorplan representation with O(n log n) LCS packing.
 //
 // Blocks (single devices or symmetry islands) are ordered by two sequences
 // (gamma+, gamma-). Block b is left of c iff b precedes c in both sequences;
 // below c iff b succeeds c in gamma+ and precedes it in gamma-. Packing
 // computes the minimal left/bottom-compacted positions.
+//
+// The default packer is the Tang–Wong longest-common-subsequence
+// formulation (DAC'01 "FAST-SP"): block positions are weighted-LCS lengths,
+// computed in O(n log n) with a Fenwick prefix-max structure indexed by
+// gamma- position. The original O(n^2) longest-path packer is kept as
+// `pack_naive` — it is the test oracle (both produce bit-identical
+// coordinates: the same max/+ reductions over the same operand sets) and
+// the "before" side of the SA throughput benchmarks.
 
 #include <vector>
 
@@ -30,9 +38,23 @@ class SequencePair {
     std::vector<double> x, y;  ///< block lower-left corners
     double width = 0, height = 0;
   };
-  /// Pack blocks of the given sizes (indexed by block id).
+
+  /// Pack blocks of the given sizes into `out`, reusing its buffers
+  /// (allocation-free after the first call). O(n log n) LCS formulation.
+  /// Not thread-safe across concurrent calls on the same SequencePair
+  /// (shared Fenwick scratch); each SA chain owns its own instance.
+  void pack_into(const std::vector<double>& widths,
+                 const std::vector<double>& heights, Packing& out) const;
+
+  /// Convenience wrapper around pack_into.
   [[nodiscard]] Packing pack(const std::vector<double>& widths,
                              const std::vector<double>& heights) const;
+
+  /// Reference O(n^2) longest-path packer (pre-LCS implementation); the
+  /// test oracle and throughput baseline. Produces coordinates bit-identical
+  /// to pack().
+  [[nodiscard]] Packing pack_naive(const std::vector<double>& widths,
+                                   const std::vector<double>& heights) const;
 
   /// Does block a precede b in both sequences (a strictly left of b)?
   [[nodiscard]] bool left_of(std::size_t a, std::size_t b) const {
@@ -53,6 +75,9 @@ class SequencePair {
   // seq_*: position -> block, pos_*: block -> position.
   std::vector<std::size_t> seq_plus_, seq_minus_;
   std::vector<std::size_t> pos_plus_, pos_minus_;
+  // Fenwick prefix-max scratch for pack_into (1-based, size n+1). Mutable:
+  // packing is logically const, the tree is rebuilt on every call.
+  mutable std::vector<double> fenwick_;
 };
 
 }  // namespace aplace::sa

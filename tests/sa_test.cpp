@@ -74,6 +74,31 @@ TEST(SequencePairTest, PackingNeverOverlapsProperty) {
   }
 }
 
+TEST(SequencePairTest, LcsPackerMatchesNaiveBitForBit) {
+  // The Tang-Wong LCS packer computes the same max/+ reductions over the
+  // same operands as the naive longest-path packer, so coordinates must be
+  // bit-identical — not merely close — on random instances.
+  numeric::Rng rng(29);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform_int(0, 39));
+    SequencePair sp(n);
+    sp.shuffle(rng);
+    std::vector<double> w(n), h(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      w[i] = rng.uniform(0.25, 7.0);
+      h[i] = rng.uniform(0.25, 7.0);
+    }
+    const auto fast = sp.pack(w, h);
+    const auto naive = sp.pack_naive(w, h);
+    EXPECT_DOUBLE_EQ(fast.width, naive.width) << "trial " << trial;
+    EXPECT_DOUBLE_EQ(fast.height, naive.height) << "trial " << trial;
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_DOUBLE_EQ(fast.x[i], naive.x[i]) << "trial " << trial;
+      EXPECT_DOUBLE_EQ(fast.y[i], naive.y[i]) << "trial " << trial;
+    }
+  }
+}
+
 TEST(IslandTest, PairRowGeometry) {
   const netlist::Circuit c = test::constrained_circuit();
   const netlist::SymmetryGroup& g = c.constraints().symmetry_groups[0];
