@@ -3,12 +3,25 @@
 //   aplace_batch [--circuits A,B,C] [--flows eplace-a,prior,sa]
 //                [--threads N] [--budget SECONDS] [--seed N]
 //                [--sequential] [--fast]
+//                [--journal FILE] [--resume] [--retries N] [--backoff S]
+//                [--report-out FILE]
 //
 // Every {circuit x flow} pair becomes one batch job; core::run_batch fans
 // them out over the pool under a single shared Deadline and reports a
 // FlowResult per job even when some jobs fail. Defaults: all built-in
 // paper testcases, the eplace-a flow, hardware thread count, no budget.
+//
+// Crash-safe serving: --journal records every job (and its legalized
+// placement) to an append-only JSONL journal; re-running with --resume
+// restores completed jobs bit-identically instead of re-placing them, so a
+// SIGKILLed batch finishes where it left off. SIGINT requests cooperative
+// cancellation — in-flight jobs stop at their next watchdog poll and are
+// re-run on resume. --retries N re-attempts Diverged/Internal jobs with
+// deterministically split seeds and exponential backoff (--backoff seconds),
+// then quarantines them. --report-out writes a timing-free result digest
+// per job, byte-comparable across interrupted and uninterrupted runs.
 
+#include <csignal>
 #include <cstdio>
 #include <map>
 #include <memory>
@@ -18,11 +31,20 @@
 #include "base/thread_pool.hpp"
 #include "circuits/testcases.hpp"
 #include "core/batch.hpp"
+#include "core/journal.hpp"
 #include "io/netlist_io.hpp"
 
 namespace {
 
 using namespace aplace;
+
+// SIGINT handler target. CancelToken::request_cancel is a relaxed atomic
+// store, safe from a signal handler; the token must outlive the handler.
+core::BatchOptions* g_batch_opts = nullptr;
+
+extern "C" void handle_sigint(int) {
+  if (g_batch_opts != nullptr) g_batch_opts->cancel.request_cancel();
+}
 
 int usage() {
   std::fprintf(stderr,
@@ -31,6 +53,8 @@ int usage() {
                "                    [--threads N] [--budget SECONDS] "
                "[--seed N]\n"
                "                    [--sequential] [--fast]\n"
+               "                    [--journal FILE] [--resume] [--retries N]\n"
+               "                    [--backoff SECONDS] [--report-out FILE]\n"
                "Circuits are built-in testcase names or .acirc files.\n");
   return 2;
 }
@@ -55,6 +79,31 @@ bool is_builtin(const std::string& ref) {
   return false;
 }
 
+/// Timing-free per-job digest: everything that must be bit-identical
+/// between an uninterrupted run and a killed-and-resumed one. The placement
+/// is folded in through the exact-double serializer, so one changed bit in
+/// any coordinate changes the digest.
+int write_report(const std::string& path, const core::BatchReport& report) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write report to '%s'\n", path.c_str());
+    return 1;
+  }
+  for (const core::BatchItem& item : report.items) {
+    const core::FlowResult& r = item.result;
+    const std::uint64_t digest =
+        core::fnv1a64(io::placement_to_text(r.placement));
+    std::fprintf(f, "%s status=%s quarantined=%d attempts=%d legal=%d "
+                    "area=%.17g hpwl=%.17g placement=%016llx\n",
+                 item.label.c_str(), to_string(r.status.code()),
+                 item.quarantined ? 1 : 0, item.attempts, r.legal() ? 1 : 0,
+                 r.area(), r.hpwl(),
+                 static_cast<unsigned long long>(digest));
+  }
+  std::fclose(f);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -63,7 +112,7 @@ int main(int argc, char** argv) {
     std::string key = argv[i];
     if (key.rfind("--", 0) != 0) return usage();
     key = key.substr(2);
-    if (key == "sequential" || key == "fast") {
+    if (key == "sequential" || key == "fast" || key == "resume") {
       flags[key] = "1";
     } else if (i + 1 < argc) {
       flags[key] = argv[++i];
@@ -92,9 +141,19 @@ int main(int argc, char** argv) {
     std::vector<std::unique_ptr<netlist::Circuit>> circuits;
     std::vector<core::BatchJob> jobs;
     for (const std::string& ref : names) {
-      circuits.push_back(std::make_unique<netlist::Circuit>(
-          is_builtin(ref) ? circuits::make_testcase(ref).circuit
-                          : io::read_circuit(ref)));
+      if (is_builtin(ref)) {
+        circuits.push_back(std::make_unique<netlist::Circuit>(
+            circuits::make_testcase(ref).circuit));
+      } else {
+        Result<netlist::Circuit> loaded = io::read_circuit(ref);
+        if (!loaded.ok()) {
+          std::fprintf(stderr, "error: %s\n",
+                       loaded.status().to_string().c_str());
+          return 1;
+        }
+        circuits.push_back(std::make_unique<netlist::Circuit>(
+            std::move(loaded.value())));
+      }
       for (const std::string& f : flow_names) {
         core::BatchJob j;
         j.circuit = circuits.back().get();
@@ -127,22 +186,62 @@ int main(int argc, char** argv) {
       opts.time_budget_seconds = std::stod(flags.at("budget"));
     }
     opts.parallel = !flags.contains("sequential");
+    if (flags.contains("journal")) opts.journal_path = flags.at("journal");
+    opts.resume_journal = flags.contains("resume");
+    if (flags.contains("retries")) {
+      opts.retry.max_attempts = static_cast<int>(std::stol(flags.at("retries")));
+    }
+    if (flags.contains("backoff")) {
+      opts.retry.backoff_seconds = std::stod(flags.at("backoff"));
+    }
+
+    opts.cancel = base::CancelToken::make_cancellable();
+    g_batch_opts = &opts;
+    std::signal(SIGINT, handle_sigint);
 
     const core::BatchReport report = core::run_batch(jobs, opts);
 
-    std::printf("%-22s %10s %10s %7s %8s %s\n", "job", "area", "hpwl",
-                "legal", "time(s)", "status");
+    std::signal(SIGINT, SIG_DFL);
+    g_batch_opts = nullptr;
+
+    if (!report.journal_status.ok()) {
+      std::fprintf(stderr, "warning: journaling disabled: %s\n",
+                   report.journal_status.to_string().c_str());
+    }
+
+    std::printf("%-22s %10s %10s %7s %8s %4s %s\n", "job", "area", "hpwl",
+                "legal", "time(s)", "try", "status");
+    std::map<StatusCode, std::size_t> by_status;
     for (const core::BatchItem& item : report.items) {
       const core::FlowResult& r = item.result;
-      std::printf("%-22s %10.1f %10.1f %7s %8.2f %s%s\n", item.label.c_str(),
-                  r.area(), r.hpwl(), r.legal() ? "yes" : "NO",
-                  item.wall_seconds, r.ok() ? "ok" : "FAILED",
+      ++by_status[r.status.code()];
+      std::printf("%-22s %10.1f %10.1f %7s %8.2f %4d %s%s%s%s\n",
+                  item.label.c_str(), r.area(), r.hpwl(),
+                  r.legal() ? "yes" : "NO", item.wall_seconds, item.attempts,
+                  r.ok() ? "ok" : to_string(r.status.code()),
+                  item.resumed ? " (resumed)" : "",
+                  item.quarantined ? " (quarantined)" : "",
                   r.deadline_hit ? " (deadline)" : "");
     }
-    std::printf("\n%zu jobs, %zu ok, %zu failed; %u threads, %.2f s wall\n",
-                report.items.size(), report.num_ok, report.num_failed(),
-                base::ThreadPool::global().num_threads(),
-                report.wall_seconds);
+    std::printf("\n%zu jobs, %zu ok, %zu failed", report.items.size(),
+                report.num_ok, report.num_failed());
+    if (report.num_resumed > 0) {
+      std::printf(" (%zu resumed)", report.num_resumed);
+    }
+    if (report.num_quarantined > 0) {
+      std::printf(" (%zu quarantined)", report.num_quarantined);
+    }
+    std::printf("; %u threads, %.2f s wall\n",
+                base::ThreadPool::global().num_threads(), report.wall_seconds);
+    for (const auto& [code, count] : by_status) {
+      std::printf("  %-16s %zu\n", to_string(code), count);
+    }
+
+    if (flags.contains("report-out")) {
+      if (int rc = write_report(flags.at("report-out"), report); rc != 0) {
+        return rc;
+      }
+    }
     return report.num_failed() == 0 ? 0 : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

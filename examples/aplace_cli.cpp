@@ -59,9 +59,14 @@ bool is_builtin(const std::string& ref) {
   return false;
 }
 
-netlist::Circuit load_circuit(const std::string& ref) {
+Result<netlist::Circuit> load_circuit(const std::string& ref) {
   if (is_builtin(ref)) return circuits::make_testcase(ref).circuit;
   return io::read_circuit(ref);
+}
+
+int fail(const Status& st) {
+  std::fprintf(stderr, "error: %s\n", st.to_string().c_str());
+  return 1;
 }
 
 int cmd_list() {
@@ -76,22 +81,25 @@ int cmd_list() {
 
 int cmd_export(const std::map<std::string, std::string>& flags) {
   if (!flags.contains("name") || !flags.contains("out")) return usage();
-  io::write_circuit(circuits::make_testcase(flags.at("name")).circuit,
-                    flags.at("out"));
+  const Status st = io::write_circuit(
+      circuits::make_testcase(flags.at("name")).circuit, flags.at("out"));
+  if (!st.ok()) return fail(st);
   std::printf("wrote %s\n", flags.at("out").c_str());
   return 0;
 }
 
 int cmd_place(const std::map<std::string, std::string>& flags) {
   if (!flags.contains("circuit")) return usage();
-  const netlist::Circuit c = load_circuit(flags.at("circuit"));
+  const Result<netlist::Circuit> loaded = load_circuit(flags.at("circuit"));
+  if (!loaded.ok()) return fail(loaded.status());
+  const netlist::Circuit& c = loaded.value();
   const std::string method =
       flags.contains("method") ? flags.at("method") : "eplace-a";
   const bool fast = flags.contains("fast");
   const std::uint64_t seed =
       flags.contains("seed") ? std::stoull(flags.at("seed")) : 3;
 
-  core::FlowResult result{netlist::Placement(c), {}, 0, 0, 0};
+  core::FlowResult result{.placement = netlist::Placement(c)};
   if (method == "eplace-a") {
     core::EPlaceAOptions opts;
     opts.gp.seed = seed;
@@ -118,7 +126,8 @@ int cmd_place(const std::map<std::string, std::string>& flags) {
               method.c_str(), c.name().c_str(), result.area(), result.hpwl(),
               result.legal() ? "legal" : "ILLEGAL", result.total_seconds);
   if (flags.contains("out")) {
-    io::write_placement(result.placement, flags.at("out"));
+    const Status st = io::write_placement(result.placement, flags.at("out"));
+    if (!st.ok()) return fail(st);
     std::printf("wrote %s\n", flags.at("out").c_str());
   }
   if (flags.contains("svg")) {
@@ -132,9 +141,13 @@ int cmd_eval(const std::map<std::string, std::string>& flags) {
   if (!flags.contains("circuit") || !flags.contains("placement")) {
     return usage();
   }
-  const netlist::Circuit c = load_circuit(flags.at("circuit"));
-  const netlist::Placement pl =
+  const Result<netlist::Circuit> loaded = load_circuit(flags.at("circuit"));
+  if (!loaded.ok()) return fail(loaded.status());
+  const netlist::Circuit& c = loaded.value();
+  const Result<netlist::Placement> pres =
       io::read_placement(c, flags.at("placement"));
+  if (!pres.ok()) return fail(pres.status());
+  const netlist::Placement& pl = pres.value();
   const netlist::QualityReport q = netlist::Evaluator(c).evaluate(pl);
   std::printf("area      %.2f um^2\n", q.area);
   std::printf("hpwl      %.2f um\n", q.hpwl);

@@ -54,7 +54,12 @@ int main() {
     // Round-trip through the text format, appending the centroid directive.
     const std::string text =
         aplace::io::circuit_to_text(circuit) + "centroid MA1 MA2 MB1 MB2\n";
-    c = aplace::io::circuit_from_text(text);
+    Result<netlist::Circuit> parsed = aplace::io::circuit_from_text(text);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "error: %s\n", parsed.status().to_string().c_str());
+      return 1;
+    }
+    c = std::move(parsed.value());
   }
 
   std::printf("Placing %s (%zu devices, common-centroid quad "

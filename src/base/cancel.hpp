@@ -1,0 +1,59 @@
+#pragma once
+// Cooperative cancellation for the placement pipeline.
+//
+// A CancelToken is a cheap value type threaded through solver options next
+// to Deadline: the Nesterov/CG iteration loops, the SA move loop, the MILP
+// branch-and-bound node loop and the legalizer refinement rounds poll
+// cancelled() at the same watchdog sites where they poll the deadline, and
+// stop early when the owner of the token (typically the batch driver, on
+// behalf of a SIGINT handler or an RPC abort) requested cancellation.
+//
+// A default-constructed token is inert — cancelled() is always false and
+// costs one null-pointer test — so existing call sites pay nothing. Tokens
+// copied from one cancellable() source share the flag: requesting
+// cancellation on any copy is observed by all of them, across threads.
+// Requesting cancellation is lock-free (a relaxed atomic store), so a
+// signal handler may call request_cancel() directly.
+//
+// Cancellation is cooperative and lossy by design: a stage that already
+// finished keeps its result (the flows report Ok work as Ok even when the
+// batch was cancelled moments later); a stage interrupted mid-loop surfaces
+// StatusCode::Cancelled instead of a half-baked answer.
+
+#include <atomic>
+#include <memory>
+
+namespace aplace::base {
+
+class CancelToken {
+ public:
+  /// Inert token: never cancelled, copies share nothing.
+  CancelToken() = default;
+
+  /// A live token whose copies all observe request_cancel().
+  [[nodiscard]] static CancelToken make_cancellable() {
+    CancelToken t;
+    t.flag_ = std::make_shared<std::atomic<bool>>(false);
+    return t;
+  }
+
+  /// True when this token was created via make_cancellable().
+  [[nodiscard]] bool cancellable() const { return flag_ != nullptr; }
+
+  /// Request cancellation. Safe from any thread and from signal handlers
+  /// (std::atomic<bool> is lock-free on every supported platform); no-op on
+  /// an inert token.
+  void request_cancel() const {
+    if (flag_) flag_->store(true, std::memory_order_relaxed);
+  }
+
+  /// Poll site: true once any copy requested cancellation.
+  [[nodiscard]] bool cancelled() const {
+    return flag_ != nullptr && flag_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+}  // namespace aplace::base

@@ -23,6 +23,7 @@ enum class StatusCode : std::uint8_t {
   Diverged,          ///< numerical blow-up the watchdog could not recover
   Infeasible,        ///< constraint set has no legal realization
   BudgetExhausted,   ///< wall-clock / iteration / node budget ran out
+  Cancelled,         ///< cooperative cancellation stopped the work mid-flight
   Internal,          ///< unexpected failure (escaped exception, solver bug)
 };
 
@@ -33,6 +34,7 @@ inline const char* to_string(StatusCode c) {
     case StatusCode::Diverged: return "diverged";
     case StatusCode::Infeasible: return "infeasible";
     case StatusCode::BudgetExhausted: return "budget-exhausted";
+    case StatusCode::Cancelled: return "cancelled";
     case StatusCode::Internal: return "internal";
   }
   return "?";
@@ -56,6 +58,9 @@ class Status {
   }
   static Status budget_exhausted(std::string msg) {
     return {StatusCode::BudgetExhausted, std::move(msg)};
+  }
+  static Status cancelled(std::string msg) {
+    return {StatusCode::Cancelled, std::move(msg)};
   }
   static Status internal(std::string msg) {
     return {StatusCode::Internal, std::move(msg)};

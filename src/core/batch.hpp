@@ -10,6 +10,18 @@
 // (the flows never crash — PR 2's contract — and any escaped exception is
 // converted to an Internal status here as a second line of defense).
 //
+// Crash-safe serving additions:
+//  * journal_path / resume_journal — every job's lifecycle and final result
+//    (with its legalized placement snapshot) goes to a core::RunJournal; a
+//    re-launched batch pointed at the same journal restores completed jobs
+//    bit-identically instead of re-running them.
+//  * retry — jobs that end Diverged/Internal are re-attempted with a
+//    deterministically split seed and exponential backoff, then quarantined
+//    (terminal attempts_exhausted record) once the attempts run out.
+//  * cancel — a cooperative base::CancelToken threaded into every solver
+//    watchdog site; in-flight jobs stop at their next poll, finished Ok
+//    results are kept, and interrupted jobs re-run on resume.
+//
 // Jobs may freely nest onto the same pool: a job's candidate fan-out and
 // hot-loop parallel_for calls help-run on the waiting threads, so a batch
 // of few big jobs and a batch of many small jobs both saturate the pool.
@@ -19,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "base/cancel.hpp"
 #include "core/flow.hpp"
 
 namespace aplace::core {
@@ -51,6 +64,21 @@ struct BatchItem {
   FlowKind flow = FlowKind::EPlaceA;
   FlowResult result;
   double wall_seconds = 0;  ///< this job's own wall time
+  int attempts = 1;         ///< flow executions this item consumed
+  bool resumed = false;     ///< restored from the journal, not re-run
+  bool quarantined = false; ///< every attempt failed retryably; terminal
+};
+
+/// Bounded retry for jobs whose failure is plausibly transient
+/// (Diverged / Internal). Attempt 0 runs with the job's own seeds, so a
+/// policy with max_attempts 1 is bit-identical to no policy; attempt k > 0
+/// re-derives every seed via numeric::split_seed(seed, k), keeping retries
+/// deterministic. After max_attempts failures the job is quarantined.
+struct RetryPolicy {
+  int max_attempts = 1;          ///< total attempts per job; min 1
+  double backoff_seconds = 0.0;  ///< wait before the second attempt
+  double backoff_growth = 2.0;   ///< wait multiplier per further attempt
+  double max_backoff_seconds = 30.0;
 };
 
 struct BatchOptions {
@@ -62,21 +90,45 @@ struct BatchOptions {
   /// as a speedup baseline and for debugging). Job *results* are identical
   /// either way when no deadline is set.
   bool parallel = true;
+  /// Cooperative batch-wide cancellation (e.g. wired to SIGINT by the CLI).
+  /// Jobs that already finished Ok keep their results; everything else
+  /// comes back Cancelled and is re-run on a journal resume.
+  base::CancelToken cancel;
+  /// Retry-with-backoff for Diverged/Internal jobs; default = one attempt.
+  RetryPolicy retry;
+  /// Journal file to record this run into; empty = no journaling. Backoff
+  /// sleeps, snapshots and fsyncs happen only when this is set.
+  std::string journal_path;
+  /// Restore jobs already completed in `journal_path` (matched by
+  /// label|flow|circuit|device-count) instead of re-running them; restored
+  /// FlowResults are bit-identical to the recorded ones.
+  bool resume_journal = false;
 };
 
 struct BatchReport {
   std::vector<BatchItem> items;  ///< in job order, one per submitted job
   double wall_seconds = 0;       ///< whole-batch wall time
   std::size_t num_ok = 0;        ///< jobs whose FlowResult status is Ok
+  std::size_t num_resumed = 0;      ///< restored from the journal
+  std::size_t num_quarantined = 0;  ///< terminally retried-out
+  /// Non-ok when journaling was requested but the journal could not be
+  /// opened; the batch still ran (without journaling) so callers can decide
+  /// whether that is fatal.
+  Status journal_status{};
 
   [[nodiscard]] std::size_t num_failed() const {
     return items.size() - num_ok;
   }
 };
 
+/// Stable identity of a job across batch invocations — what the journal
+/// matches resumed jobs by.
+[[nodiscard]] std::string batch_job_key(const BatchJob& job);
+
 /// Run every job and collect every result. Jobs with a null circuit are
 /// rejected up front (CheckError) — everything else, including solver
-/// failures and expired budgets, comes back as a structured FlowResult.
+/// failures, expired budgets and cancellation, comes back as a structured
+/// FlowResult.
 [[nodiscard]] BatchReport run_batch(std::span<const BatchJob> jobs,
                                     const BatchOptions& opts = {});
 

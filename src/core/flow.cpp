@@ -66,11 +66,22 @@ FlowResult error_result(const netlist::Circuit& circuit, aplace::Status status,
 
 // Flow boundary: pre-flight validation, then run the flow body with every
 // escaped exception converted to a structured status carrying the circuit
-// name and flow stage instead of crashing the caller.
+// name and flow stage instead of crashing the caller. A cancelled flow
+// reports Cancelled — unless the body still finished with a legal placement
+// (the cancel arrived too late to matter), which stays Ok so completed work
+// is never thrown away.
 template <class Fn>
 FlowResult run_guarded(const char* flow_name, const netlist::Circuit& circuit,
-                       Fn&& body) {
+                       const base::CancelToken& cancel, Fn&& body) {
   const auto t0 = Clock::now();
+  if (cancel.cancelled()) {
+    return error_result(
+        circuit,
+        aplace::Status::cancelled("flow cancelled before it started")
+            .add_context(std::string(flow_name) + " flow on circuit '" +
+                         circuit.name() + "'"),
+        seconds_since(t0));
+  }
   if (aplace::Status s = netlist::validate(circuit); !s.ok()) {
     s.add_context(std::string(flow_name) + " pre-flight validation of '" +
                   circuit.name() + "'");
@@ -79,6 +90,18 @@ FlowResult run_guarded(const char* flow_name, const netlist::Circuit& circuit,
   try {
     FlowResult out = body();
     out.total_seconds = seconds_since(t0);
+    if (!out.status.ok() && cancel.cancelled() &&
+        out.status.code() != aplace::StatusCode::Cancelled) {
+      // The failure happened while a cancellation was pending: the job was
+      // truncated, not genuinely infeasible, so report it as Cancelled (a
+      // non-terminal outcome the batch journal will re-run on resume).
+      out.status = aplace::Status::cancelled("flow stopped by cancellation")
+                       .add_context("pre-cancel status: " +
+                                    out.status.to_string())
+                       .add_context(std::string(flow_name) +
+                                    " flow on circuit '" + circuit.name() +
+                                    "'");
+    }
     return out;
   } catch (const aplace::CheckError& e) {
     return error_result(
@@ -128,10 +151,22 @@ LegalizeOutcome legalize_chain(const netlist::Circuit& circuit,
                                legal::TwoStageOptions two_opts,
                                FallbackLevel two_stage_level,
                                const Deadline& deadline,
+                               const base::CancelToken& cancel,
                                const FaultInjection& inject) {
   LegalizeOutcome out{netlist::Placement(circuit)};
   const netlist::Evaluator eval(circuit);
   std::vector<std::string> failures;
+
+  // Cancellation stops the chain between levels: unlike an expired deadline
+  // (where the cheap greedy level still delivers an answer), a cancelled
+  // batch wants its threads back, and the journal re-runs the job anyway.
+  auto cancelled_out = [&]() {
+    out.status = aplace::Status::cancelled(
+        "legalization cancelled before the chain finished");
+    for (std::string& f : failures) out.status.add_context(std::move(f));
+    return std::move(out);
+  };
+  if (cancel.cancelled()) return cancelled_out();
 
   // Run one level: `attempt` returns a Status and fills `pl` on success.
   // Returns true when the level delivered a *legal* placement.
@@ -173,12 +208,14 @@ LegalizeOutcome legalize_chain(const netlist::Circuit& circuit,
         [&](netlist::Placement& pl) {
           legal::IlpOptions o = *ilp;
           o.deadline = deadline;
+          o.cancel = cancel;
           legal::IlpResult r =
               legal::IlpDetailedPlacer(circuit, o).place(positions);
           if (r.ok()) pl = std::move(r.placement);
           return r.outcome;
         });
     if (primary_ok) return out;
+    if (cancel.cancelled()) return cancelled_out();
 
     const bool rounded_ok = attempt_level(
         FallbackLevel::RoundedLp, "rounded-LP legalization",
@@ -188,6 +225,7 @@ LegalizeOutcome legalize_chain(const netlist::Circuit& circuit,
           // rounding fallback) decides the placement.
           legal::IlpOptions o = *ilp;
           o.deadline = deadline;
+          o.cancel = cancel;
           o.enable_flipping = false;
           o.refine_rounds = 1;
           o.reshape_attempts = 0;
@@ -197,18 +235,21 @@ LegalizeOutcome legalize_chain(const netlist::Circuit& circuit,
           return r.outcome;
         });
     if (rounded_ok) return out;
+    if (cancel.cancelled()) return cancelled_out();
   }
 
   const bool two_ok = attempt_level(
       two_stage_level, "two-stage LP legalization", inject.fail_two_stage,
       [&](netlist::Placement& pl) {
         two_opts.deadline = deadline;
+        two_opts.cancel = cancel;
         legal::TwoStageResult r =
             legal::TwoStageLpLegalizer(circuit, two_opts).place(positions);
         if (r.ok()) pl = std::move(r.placement);
         return r.outcome;
       });
   if (two_ok) return out;
+  if (cancel.cancelled()) return cancelled_out();
 
   const bool greedy_ok = attempt_level(
       FallbackLevel::GreedyShift, "greedy-shift legalization", false,
@@ -231,7 +272,7 @@ LegalizeOutcome legalize_chain(const netlist::Circuit& circuit,
 }  // namespace
 
 FlowResult run_eplace_a(const netlist::Circuit& circuit, EPlaceAOptions opts) {
-  return run_guarded("ePlace-A", circuit, [&]() -> FlowResult {
+  return run_guarded("ePlace-A", circuit, opts.cancel, [&]() -> FlowResult {
     APLACE_CHECK(opts.candidates >= 1);
     const Deadline deadline =
         make_deadline(opts.deadline, opts.time_budget_seconds);
@@ -246,6 +287,7 @@ FlowResult run_eplace_a(const netlist::Circuit& circuit, EPlaceAOptions opts) {
       gp::EPlaceGpOptions gopts = opts.gp;
       gopts.seed = numeric::split_seed(opts.gp.seed, k);
       gopts.deadline = deadline;
+      gopts.cancel = opts.cancel;
 
       const auto t0 = Clock::now();
       gp::EPlaceGlobalPlacer placer(circuit, gopts);
@@ -256,7 +298,8 @@ FlowResult run_eplace_a(const netlist::Circuit& circuit, EPlaceAOptions opts) {
       const auto t1 = Clock::now();
       LegalizeOutcome leg =
           legalize_chain(circuit, gpr.positions, &opts.dp, {},
-                         FallbackLevel::TwoStageLp, deadline, opts.inject);
+                         FallbackLevel::TwoStageLp, deadline, opts.cancel,
+                         opts.inject);
       const double dp_s = seconds_since(t1);
 
       FlowResult cand =
@@ -354,11 +397,13 @@ FlowResult run_eplace_a(const netlist::Circuit& circuit, EPlaceAOptions opts) {
 
 FlowResult run_prior_work(const netlist::Circuit& circuit,
                           PriorWorkOptions opts) {
-  return run_guarded("prior-work", circuit, [&]() -> FlowResult {
+  return run_guarded("prior-work", circuit, opts.cancel,
+                     [&]() -> FlowResult {
     const Deadline deadline =
         make_deadline(opts.deadline, opts.time_budget_seconds);
     gp::NtuGpOptions gopts = opts.gp;
     gopts.deadline = deadline;
+    gopts.cancel = opts.cancel;
 
     const auto t0 = Clock::now();
     gp::PriorAnalyticalGlobalPlacer placer(circuit, gopts);
@@ -374,7 +419,7 @@ FlowResult run_prior_work(const netlist::Circuit& circuit,
     inject.fail_two_stage |= inject.fail_primary_dp;
     LegalizeOutcome leg =
         legalize_chain(circuit, gpr.positions, nullptr, opts.dp,
-                       FallbackLevel::None, deadline, inject);
+                       FallbackLevel::None, deadline, opts.cancel, inject);
     const double dp_s = seconds_since(t1);
 
     FlowResult out =
@@ -390,11 +435,12 @@ FlowResult run_prior_work(const netlist::Circuit& circuit,
 }
 
 FlowResult run_sa(const netlist::Circuit& circuit, SaFlowOptions opts) {
-  return run_guarded("SA", circuit, [&]() -> FlowResult {
+  return run_guarded("SA", circuit, opts.cancel, [&]() -> FlowResult {
     const Deadline deadline =
         make_deadline(opts.deadline, opts.time_budget_seconds);
     sa::SaOptions sopts = opts.sa;
     sopts.deadline = deadline;
+    sopts.cancel = opts.cancel;
 
     const auto t0 = Clock::now();
     sa::SaPlacer placer(circuit, sopts);
@@ -425,7 +471,7 @@ FlowResult run_sa(const netlist::Circuit& circuit, SaFlowOptions opts) {
     inject.fail_two_stage |= inject.fail_primary_dp;
     LegalizeOutcome leg =
         legalize_chain(circuit, pos, nullptr, {}, FallbackLevel::TwoStageLp,
-                       deadline, inject);
+                       deadline, opts.cancel, inject);
     const double dp_s = seconds_since(t1);
 
     FlowResult repaired =

@@ -18,6 +18,7 @@
 // escaped exceptions are converted to Internal statuses at the flow
 // boundary.
 
+#include "base/cancel.hpp"
 #include "base/status.hpp"
 #include "gp/eplace_gp.hpp"
 #include "gp/ntu_gp.hpp"
@@ -65,7 +66,7 @@ struct FaultInjection {
 
 struct FlowResult {
   netlist::Placement placement;
-  netlist::QualityReport quality;  ///< post-detailed-placement metrics
+  netlist::QualityReport quality{};  ///< post-detailed-placement metrics
   double gp_seconds = 0;
   double dp_seconds = 0;
   double total_seconds = 0;
@@ -79,7 +80,7 @@ struct FlowResult {
   /// Per-objective-term observability from the global placer (eval counts
   /// and seconds aggregated over every candidate; weights and convergence
   /// samples from the winning candidate). Empty for the SA flow.
-  gp::TermTrace gp_trace;
+  gp::TermTrace gp_trace{};
   /// SA-flow throughput observability (0 for the analytical flows):
   /// annealer moves per second, and the fraction of nets the incremental
   /// evaluator actually re-evaluated per move (1.0 would mean no caching).
@@ -109,6 +110,10 @@ struct EPlaceAOptions {
   /// Externally shared deadline (the batch driver hands one Deadline to
   /// every job). When limited it takes precedence over time_budget_seconds.
   Deadline deadline;
+  /// Cooperative cancellation shared by the batch driver: in-flight stages
+  /// stop at their next watchdog check and the flow reports Cancelled
+  /// (unless it already finished with a legal placement, which stays Ok).
+  base::CancelToken cancel;
   FaultInjection inject;
 };
 
@@ -117,6 +122,7 @@ struct PriorWorkOptions {
   legal::TwoStageOptions dp;
   double time_budget_seconds = 0;  ///< 0 = unlimited
   Deadline deadline;  ///< shared external deadline; overrides the budget
+  base::CancelToken cancel;  ///< cooperative cancellation (see EPlaceAOptions)
   FaultInjection inject;
 };
 
@@ -124,6 +130,7 @@ struct SaFlowOptions {
   sa::SaOptions sa;
   double time_budget_seconds = 0;  ///< 0 = unlimited
   Deadline deadline;  ///< shared external deadline; overrides the budget
+  base::CancelToken cancel;  ///< cooperative cancellation (see EPlaceAOptions)
   FaultInjection inject;
 };
 

@@ -123,9 +123,10 @@ GpResult EPlaceGlobalPlacer::run() {
   GpResult best;
   double best_score = std::numeric_limits<double>::infinity();
   bool any_deadline_hit = false;
+  bool any_cancelled = false;
   for (int k = 0; k < opts_.num_starts; ++k) {
     // Keep whatever starts already finished when the budget runs out.
-    if (k > 0 && opts_.deadline.expired()) {
+    if (k > 0 && (opts_.deadline.expired() || opts_.cancel.cancelled())) {
       any_deadline_hit = true;
       break;
     }
@@ -135,6 +136,7 @@ GpResult EPlaceGlobalPlacer::run() {
     GpResult r =
         run_single(numeric::split_seed(opts_.seed, static_cast<std::uint64_t>(k)));
     any_deadline_hit |= r.deadline_hit;
+    any_cancelled |= r.cancelled;
     const std::size_t n = circuit_->num_devices();
     netlist::Placement pl(*circuit_);
     for (std::size_t i = 0; i < n; ++i) {
@@ -156,6 +158,7 @@ GpResult EPlaceGlobalPlacer::run() {
     }
   }
   best.deadline_hit |= any_deadline_hit;
+  best.cancelled |= any_cancelled || opts_.cancel.cancelled();
   // The trace accumulates over every start; the samples belong to whichever
   // start ran last, the counters to the whole run.
   best.trace = objective_->trace();
@@ -208,6 +211,7 @@ GpResult EPlaceGlobalPlacer::run_single(std::uint64_t seed) {
   nopts.max_iters = opts_.max_iters;
   nopts.initial_step = 0.1 * bin_w;
   nopts.deadline = opts_.deadline;
+  nopts.cancel = opts_.cancel;
   numeric::NesterovSolver solver(nopts);
   numeric::NesterovInfo ninfo;
 
@@ -255,6 +259,7 @@ GpResult EPlaceGlobalPlacer::run_single(std::uint64_t seed) {
       &ninfo);
   result.diverged |= ninfo.diverged;
   result.deadline_hit |= ninfo.deadline_hit;
+  result.cancelled |= ninfo.cancelled;
 
   if (best_score < std::numeric_limits<double>::infinity()) v = best_v;
 
@@ -263,7 +268,7 @@ GpResult EPlaceGlobalPlacer::run_single(std::uint64_t seed) {
   // down with a monotone density ramp (classic ePlace schedule). The best
   // low-overflow iterate becomes the hand-off to the detailed placer, whose
   // pair directions are only reliable when residual overlap is small.
-  if (!opts_.deadline.expired()) {
+  if (!opts_.deadline.expired() && !opts_.cancel.cancelled()) {
     // Refresh overflow at the restart point (best_v, not the last iterate).
     obj.probe_grad_magnitude(obj.index_of("density"), v);
     double best2_score = std::numeric_limits<double>::infinity();
@@ -297,7 +302,10 @@ GpResult EPlaceGlobalPlacer::run_single(std::uint64_t seed) {
         &sinfo);
     result.diverged |= sinfo.diverged;
     result.deadline_hit |= sinfo.deadline_hit;
+    result.cancelled |= sinfo.cancelled;
     if (best2_score < std::numeric_limits<double>::infinity()) v = best2_v;
+  } else if (opts_.cancel.cancelled()) {
+    result.cancelled = true;
   } else {
     result.deadline_hit = true;
   }

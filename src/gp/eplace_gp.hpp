@@ -60,6 +60,7 @@ struct GpResult {
   /// hold the last healthy iterate, not a converged solution.
   bool diverged = false;
   bool deadline_hit = false;  ///< truncated by the wall-clock budget
+  bool cancelled = false;     ///< truncated by cooperative cancellation
   /// Per-term observability accumulated over the whole run (all starts):
   /// eval counts, wall seconds, final weights, convergence samples.
   TermTrace trace;

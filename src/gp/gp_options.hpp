@@ -7,6 +7,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "base/cancel.hpp"
 #include "base/deadline.hpp"
 
 namespace aplace::gp {
@@ -31,6 +32,9 @@ struct GpCommonOptions {
   std::uint64_t seed = 3;  ///< initial-spread jitter
   /// Wall-clock budget shared with the rest of the flow.
   Deadline deadline;
+  /// Cooperative cancellation, polled wherever the deadline is polled
+  /// (multi-start loop, outer loop, every inner solver iteration).
+  base::CancelToken cancel;
 };
 
 }  // namespace aplace::gp

@@ -107,6 +107,7 @@ GpResult PriorAnalyticalGlobalPlacer::run() {
   copts.max_iters = opts_.inner_iters;
   copts.initial_step = 0.2 * bin_w;
   copts.deadline = opts_.deadline;
+  copts.cancel = opts_.cancel;
   const numeric::CgSolver cg(copts);
 
   auto objective = [&obj](std::span<const double> vv, std::span<double> grad) {
@@ -118,6 +119,10 @@ GpResult PriorAnalyticalGlobalPlacer::run() {
       result.deadline_hit = true;
       break;
     }
+    if (opts_.cancel.cancelled()) {
+      result.cancelled = true;
+      break;
+    }
     numeric::CgInfo cinfo;
     result.iterations +=
         cg.minimize(v, objective,
@@ -127,11 +132,12 @@ GpResult PriorAnalyticalGlobalPlacer::run() {
                     &cinfo);
     result.diverged |= cinfo.diverged;
     result.deadline_hit |= cinfo.deadline_hit;
+    result.cancelled |= cinfo.cancelled;
     obj.sample(outer);
     // v was rolled back to the last healthy iterate; doubling the density
     // weight and continuing from a poisoned trajectory rarely helps, so
     // hand off what we have.
-    if (cinfo.diverged || cinfo.deadline_hit) break;
+    if (cinfo.diverged || cinfo.deadline_hit || cinfo.cancelled) break;
     const double overflow = dens_.overflow();
     if (outer >= 1 && overflow < opts_.stop_overflow) break;
     scheduler_->advance();  // NTUplace3-style outer ramp

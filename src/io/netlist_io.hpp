@@ -11,17 +11,25 @@
 //   circuit <name>
 //   device <name> <type> <w> <h>
 //   pin <device> <pin-name> <dx> <dy>
-//   net <name> <weight> <critical 0|1> <device.pin> <device.pin> ...
+//   net <name> <weight> <critical 0|1> <device.pin> [<device.pin> ...]
 //   sym <V|H> pair <a> <b> [pair <a> <b> ...] [self <d> ...]
 //   align <bottom|vcenter|hcenter> <a> <b>
 //   order <lr|bt> <d1> <d2> ...
+//   centroid <a1> <a2> <b1> <b2>
 //
 //   placement <circuit-name>
 //   place <device> <x> <y> [FX][FY]
+//
+// Hardened parsing: the parsers never throw on malformed input. They return
+// Result<T> carrying an InvalidInput Status whose message pinpoints the
+// offending line (and column where meaningful) — including duplicate
+// definitions, which name both the duplicate and the first definition.
+// Doubles are serialized with the shortest representation that round-trips
+// exactly (std::to_chars), so serialize -> parse is bit-identical.
 
-#include <iosfwd>
 #include <string>
 
+#include "base/status.hpp"
 #include "netlist/circuit.hpp"
 #include "netlist/placement.hpp"
 
@@ -30,23 +38,28 @@ namespace aplace::io {
 /// Serialize a finalized circuit to the .acirc text format.
 [[nodiscard]] std::string circuit_to_text(const netlist::Circuit& circuit);
 
-/// Parse a circuit from .acirc text. Throws CheckError on malformed input.
-[[nodiscard]] netlist::Circuit circuit_from_text(const std::string& text);
+/// Parse a circuit from .acirc text. Malformed input yields an InvalidInput
+/// status with line/column context; this function does not throw.
+[[nodiscard]] Result<netlist::Circuit> circuit_from_text(
+    const std::string& text);
 
 /// Serialize a placement to the .aplc text format.
 [[nodiscard]] std::string placement_to_text(
     const netlist::Placement& placement);
 
-/// Parse a placement (against its circuit) from .aplc text.
-[[nodiscard]] netlist::Placement placement_from_text(
+/// Parse a placement (against its circuit) from .aplc text. Malformed or
+/// incomplete input yields an InvalidInput status; does not throw.
+[[nodiscard]] Result<netlist::Placement> placement_from_text(
     const netlist::Circuit& circuit, const std::string& text);
 
-// File conveniences (throw CheckError on IO errors).
-void write_circuit(const netlist::Circuit& circuit, const std::string& path);
-[[nodiscard]] netlist::Circuit read_circuit(const std::string& path);
-void write_placement(const netlist::Placement& placement,
-                     const std::string& path);
-[[nodiscard]] netlist::Placement read_placement(
+// File conveniences. IO failures come back as InvalidInput statuses naming
+// the path; nothing is thrown.
+[[nodiscard]] Status write_circuit(const netlist::Circuit& circuit,
+                                   const std::string& path);
+[[nodiscard]] Result<netlist::Circuit> read_circuit(const std::string& path);
+[[nodiscard]] Status write_placement(const netlist::Placement& placement,
+                                     const std::string& path);
+[[nodiscard]] Result<netlist::Placement> read_placement(
     const netlist::Circuit& circuit, const std::string& path);
 
 }  // namespace aplace::io

@@ -44,6 +44,11 @@ IlpResult IlpDetailedPlacer::place(std::span<const double> gp_positions) const {
         "time budget expired before ILP legalization started");
     return result;
   }
+  if (opts_.cancel.cancelled()) {
+    result.outcome =
+        aplace::Status::cancelled("ILP legalization cancelled before it ran");
+    return result;
+  }
   std::vector<int> vx(n), vy(n), vfx(n, -1), vfy(n, -1);
 
   // Direction refinement: solve, re-derive every pair's direction from the
@@ -54,7 +59,10 @@ IlpResult IlpDetailedPlacer::place(std::span<const double> gp_positions) const {
   bool have_solution = false;
   std::vector<geom::Orientation> fixed_flips;
   for (int round = 0; round < opts_.refine_rounds; ++round) {
-    if (round > 0 && opts_.deadline.expired()) break;
+    if (round > 0 &&
+        (opts_.deadline.expired() || opts_.cancel.cancelled())) {
+      break;
+    }
     // Round 0 decides the flipping binaries by branch-and-bound; later
     // refinement rounds keep them fixed so each round is a single LP.
     solver::MilpSolution sol =
@@ -112,7 +120,7 @@ IlpResult IlpDetailedPlacer::place(std::span<const double> gp_positions) const {
     return result;
   }
   for (int attempt = 0; attempt < opts_.reshape_attempts; ++attempt) {
-    if (opts_.deadline.expired()) break;
+    if (opts_.deadline.expired() || opts_.cancel.cancelled()) break;
     std::vector<double> pos(2 * n);
     for (std::size_t i = 0; i < n; ++i) {
       const geom::Point p = result.placement.position(DeviceId{i});
@@ -211,7 +219,7 @@ IlpResult IlpDetailedPlacer::place(std::span<const double> gp_positions) const {
   // and reshaping may have changed the topology enough that different flips
   // now win. One more branch-and-bound pass with the final direction set.
   if (opts_.enable_flipping && opts_.refine_rounds > 1 &&
-      !opts_.deadline.expired()) {
+      !opts_.deadline.expired() && !opts_.cancel.cancelled()) {
     // Small node budget: the relaxation is usually near-integral by now.
     solver::MilpSolution sol =
         solve_round(orders, nullptr, vx, vy, vfx, vfy, result, 8);
@@ -427,6 +435,7 @@ solver::MilpSolution IlpDetailedPlacer::solve_round(
   solver::MilpOptions mopts;
   mopts.max_nodes = max_nodes > 0 ? max_nodes : opts_.max_nodes;
   mopts.deadline = opts_.deadline;
+  mopts.cancel = opts_.cancel;
   solver::MilpSolution sol = solver::solve_milp(lp, mopts);
   result.status = sol.status;
   result.objective = sol.objective;

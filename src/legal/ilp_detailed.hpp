@@ -15,6 +15,7 @@
 #include <span>
 #include <vector>
 
+#include "base/cancel.hpp"
 #include "base/deadline.hpp"
 #include "base/status.hpp"
 #include "legal/relative_order.hpp"
@@ -40,6 +41,10 @@ struct IlpOptions {
   /// Wall-clock budget shared with the rest of the flow. Checked between
   /// rounds and inside branch-and-bound; an already-solved round is kept.
   Deadline deadline;
+  /// Cooperative cancellation. Unlike an expired deadline — which still
+  /// delivers the best solved round — a cancelled legalizer returns a
+  /// Cancelled outcome immediately so the batch can drain fast.
+  base::CancelToken cancel;
 };
 
 struct IlpResult {

@@ -148,13 +148,21 @@ TwoStageResult TwoStageLpLegalizer::place(
         "time budget expired before two-stage LP legalization started");
     return result;
   }
+  if (opts_.cancel.cancelled()) {
+    result.outcome = aplace::Status::cancelled(
+        "two-stage LP legalization cancelled before it ran");
+    return result;
+  }
   // Direction refinement, area-first (matching [11]'s two-stage priority):
   // re-derive every pair's direction from the solved placement and re-run
   // while the lexicographic (extents, wirelength) score improves.
   double best_score = std::numeric_limits<double>::infinity();
   TwoStageResult best = result;
   for (int round = 0; round < opts_.refine_rounds; ++round) {
-    if (round > 0 && opts_.deadline.expired()) break;
+    if (round > 0 &&
+        (opts_.deadline.expired() || opts_.cancel.cancelled())) {
+      break;
+    }
     if (!run_stages(orders, result)) {
       if (round == 0) return result;  // propagate first-round failure
       break;  // keep `best` from the previous round

@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "base/cancel.hpp"
 #include "base/deadline.hpp"
 #include "base/status.hpp"
 #include "legal/relative_order.hpp"
@@ -30,6 +31,10 @@ struct TwoStageOptions {
   /// Wall-clock budget; checked between refinement rounds (a solved round
   /// is always kept).
   Deadline deadline;
+  /// Cooperative cancellation. Unlike an expired deadline — which still
+  /// delivers the best solved round — a cancelled legalizer returns a
+  /// Cancelled outcome immediately so the batch can drain fast.
+  base::CancelToken cancel;
 };
 
 struct TwoStageResult {

@@ -7,6 +7,7 @@
 #include <functional>
 #include <span>
 
+#include "base/cancel.hpp"
 #include "base/deadline.hpp"
 #include "numeric/vec.hpp"
 
@@ -21,6 +22,8 @@ struct CgOptions {
   double grad_tol = 1e-7;
   /// Wall-clock budget polled once per iteration; unlimited by default.
   Deadline deadline;
+  /// Cooperative cancellation, polled at the same per-iteration site.
+  base::CancelToken cancel;
   /// Watchdog: non-finite objective/gradient values are treated as rejected
   /// trial points; when the current state itself is poisoned the solver
   /// rolls back to the last healthy iterate and restarts once, damped.
@@ -37,6 +40,7 @@ struct CgState {
 struct CgInfo {
   bool diverged = false;
   bool deadline_hit = false;
+  bool cancelled = false;  ///< stopped by cooperative cancellation
   int restarts = 0;
 };
 

@@ -16,6 +16,7 @@
 #include <functional>
 #include <span>
 
+#include "base/cancel.hpp"
 #include "base/deadline.hpp"
 #include "numeric/vec.hpp"
 
@@ -29,6 +30,8 @@ struct NesterovOptions {
   double max_step = 1e6;
   /// Wall-clock budget polled once per iteration; unlimited by default.
   Deadline deadline;
+  /// Cooperative cancellation, polled at the same per-iteration site.
+  base::CancelToken cancel;
   /// Watchdog: treat a NaN/Inf iterate/gradient, or a gradient norm above
   /// explosion_factor * max(initial norm, 1), as divergence. The solver
   /// rolls back to the last healthy iterate and retries once with a damped
@@ -47,6 +50,7 @@ struct NesterovState {
 struct NesterovInfo {
   bool diverged = false;      ///< watchdog gave up; v holds last good iterate
   bool deadline_hit = false;  ///< stopped by the wall-clock budget
+  bool cancelled = false;     ///< stopped by cooperative cancellation
   int restarts = 0;           ///< damped watchdog restarts taken
 };
 

@@ -232,6 +232,7 @@ SaResult SaPlacer::place() {
   double anneal_seconds = 0;
   IncrementalCost::Stats stats;
   bool deadline_hit = false;
+  bool cancelled = false;
   for (std::optional<SaResult>& r : results) {
     APLACE_CHECK(r.has_value());
     moves_evaluated += r->moves_evaluated;
@@ -239,11 +240,13 @@ SaResult SaPlacer::place() {
     anneal_seconds += r->anneal_seconds;
     stats.merge(r->eval_stats);
     deadline_hit |= r->deadline_hit;
+    cancelled |= r->cancelled;
     if (!best || r->cost < best->cost) best = std::move(r);
   }
   best->moves_evaluated = moves_evaluated;
   best->moves_accepted = moves_accepted;
   best->deadline_hit = deadline_hit;
+  best->cancelled = cancelled;
   best->anneal_seconds = anneal_seconds;
   best->moves_per_second =
       anneal_seconds > 0
@@ -441,14 +444,20 @@ SaResult SaPlacer::run_chain(std::uint64_t chain_seed) {
   long moves = 0;
 
   netlist::Placement trial(*circuit_);  // legacy-path scratch
-  while (temp > t_stop && !best.deadline_hit) {
+  while (temp > t_stop && !best.deadline_hit && !best.cancelled) {
     for (long m = 0; m < moves_per_temp; ++m) {
       if (opts_.max_moves > 0 && moves >= opts_.max_moves) break;
       // Poll the wall-clock budget every 64 moves (steady_clock reads are
       // cheap but not free next to a sequence-pair repack).
-      if ((moves & 63) == 0 && opts_.deadline.expired()) {
-        best.deadline_hit = true;
-        break;
+      if ((moves & 63) == 0) {
+        if (opts_.deadline.expired()) {
+          best.deadline_hit = true;
+          break;
+        }
+        if (opts_.cancel.cancelled()) {
+          best.cancelled = true;
+          break;
+        }
       }
 
       const Move mv = propose_move(rng);

@@ -21,6 +21,7 @@
 #include <functional>
 #include <optional>
 
+#include "base/cancel.hpp"
 #include "base/deadline.hpp"
 #include "netlist/evaluator.hpp"
 #include "netlist/placement.hpp"
@@ -39,6 +40,9 @@ struct SaOptions {
   /// Wall-clock budget polled every few moves; the best state found so far
   /// is returned when it expires (the initial packing when it already was).
   Deadline deadline;
+  /// Cooperative cancellation, polled at the same every-64-moves site; a
+  /// cancelled chain returns its best state so far with `cancelled` set.
+  base::CancelToken cancel;
   std::uint64_t seed = 1;
   /// Independent annealing chains, each on its own RNG stream split from
   /// `seed` (chain c is independent of the chain count). Chains run
@@ -72,6 +76,7 @@ struct SaResult {
   long moves_evaluated = 0;
   long moves_accepted = 0;
   bool deadline_hit = false;  ///< annealing truncated by the wall-clock budget
+  bool cancelled = false;     ///< annealing truncated by cancellation
   double anneal_seconds = 0.0;    ///< wall time inside run_chain (summed
                                   ///< over chains for multi-chain runs)
   double moves_per_second = 0.0;  ///< moves_evaluated / anneal_seconds

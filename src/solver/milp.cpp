@@ -45,7 +45,7 @@ MilpSolution solve_milp(const LpProblem& p, MilpOptions opts) {
   LpProblem work = p;  // bounds mutated per node, structure shared
 
   while (!stack.empty() && best.nodes_explored < opts.max_nodes) {
-    if (opts.deadline.expired()) {
+    if (opts.deadline.expired() || opts.cancel.cancelled()) {
       best.deadline_hit = true;
       break;
     }

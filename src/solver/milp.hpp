@@ -9,6 +9,7 @@
 // is feasible and rounding preserves feasibility (true for the flipping
 // binaries, which never constrain other variables).
 
+#include "base/cancel.hpp"
 #include "base/deadline.hpp"
 #include "solver/lp.hpp"
 
@@ -22,6 +23,9 @@ struct MilpOptions {
   /// deadline truncates the search (rounding fallback still runs, so a
   /// feasible relaxation keeps yielding an integral answer).
   Deadline deadline;
+  /// Cooperative cancellation, polled at the same per-node site. A cancelled
+  /// search truncates exactly like an expired deadline.
+  base::CancelToken cancel;
 };
 
 struct MilpSolution {
