@@ -10,6 +10,7 @@
 //   APLACE_QUICK=1   shrink budgets (smoke-test mode; numbers not
 //                    publication-grade but every code path still runs).
 
+#include <cctype>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -24,6 +25,8 @@
 #include "core/flow.hpp"
 #include "core/perf_flow.hpp"
 #include "gp/objective.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace aplace::bench {
 
@@ -154,6 +157,16 @@ class JsonReport {
     runs_.push_back(Run{circuit, flow, seed, r.total_seconds, r.hpwl(),
                         r.area(), r.legal(), core::to_string(r.fallback),
                         r.ok(), r.sa_moves_per_second});
+    add_spans(circuit, flow, r.spans);
+  }
+
+  /// Record one flow's span tree; emitted as a per-stage rollup under the
+  /// additive top-level "spans" key, and as a full Chrome trace file when
+  /// APLACE_TRACE_DIR is set. add_flow calls this automatically.
+  void add_spans(const std::string& circuit, const std::string& flow,
+                 const std::vector<obs::SpanEvent>& spans) {
+    if (spans.empty()) return;
+    span_rows_.push_back(SpanRow{circuit, flow, spans});
   }
 
   /// Record a raw row (legalizer-only comparisons, perf-driven flows, ...).
@@ -254,7 +267,51 @@ class JsonReport {
       out << (i ? ",\n    " : "\n    ") << "\"" << escaped(metrics_[i].first)
           << "\": " << fmt(metrics_[i].second);
     }
-    out << "\n  }\n}\n";
+    out << "\n  },";
+
+    // Per-flow stage rollups (additive key; the regression gate only reads
+    // "runs"). One entry per recorded flow: spans aggregated by name in
+    // first-seen order, so readers get a compact stage-time breakdown.
+    out << "\n  \"spans\": [";
+    for (std::size_t i = 0; i < span_rows_.size(); ++i) {
+      const SpanRow& sr = span_rows_[i];
+      std::vector<std::pair<std::string, std::pair<std::uint64_t, double>>>
+          rollup;
+      for (const obs::SpanEvent& ev : sr.events) {
+        auto it = rollup.begin();
+        for (; it != rollup.end(); ++it) {
+          if (it->first == ev.name) break;
+        }
+        if (it == rollup.end()) {
+          rollup.emplace_back(ev.name, std::make_pair(std::uint64_t{0}, 0.0));
+          it = rollup.end() - 1;
+        }
+        it->second.first += 1;
+        it->second.second += ev.dur_seconds;
+      }
+      out << (i ? ",\n    " : "\n    ") << "{\"circuit\": \""
+          << escaped(sr.circuit) << "\", \"flow\": \"" << escaped(sr.flow)
+          << "\", \"stages\": [";
+      for (std::size_t j = 0; j < rollup.size(); ++j) {
+        out << (j ? ", " : "") << "{\"name\": \"" << escaped(rollup[j].first)
+            << "\", \"count\": " << rollup[j].second.first
+            << ", \"seconds\": " << fmt(rollup[j].second.second) << "}";
+      }
+      out << "]}";
+    }
+    out << "\n  ],";
+
+    // Merged registry snapshot (additive key): empty object when
+    // observability is disabled.
+    out << "\n  \"observability\": ";
+    if (obs::enabled()) {
+      out << indented(obs::MetricsRegistry::global().scrape().to_json(2));
+    } else {
+      out << "{}";
+    }
+    out << "\n}\n";
+
+    write_trace_files();
     return static_cast<bool>(out);
   }
 
@@ -278,6 +335,49 @@ class JsonReport {
     gp::TermTrace trace;
   };
 
+  struct SpanRow {
+    std::string circuit;
+    std::string flow;
+    std::vector<obs::SpanEvent> events;
+  };
+
+  /// Re-indent an embedded pretty-printed JSON value by one report level
+  /// (two spaces after every newline) so it nests cleanly in the output.
+  static std::string indented(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      out.push_back(c);
+      if (c == '\n') out += "  ";
+    }
+    return out;
+  }
+
+  /// When APLACE_TRACE_DIR is set, write one Chrome trace_event file per
+  /// recorded flow (TRACE_<bench>_<circuit>_<flow>.json) for loading into
+  /// chrome://tracing or Perfetto. Best effort: failures warn, never fail
+  /// the bench.
+  void write_trace_files() const {
+    const char* d = std::getenv("APLACE_TRACE_DIR");
+    if (d == nullptr || d[0] == '\0' || span_rows_.empty()) return;
+    for (const SpanRow& sr : span_rows_) {
+      std::string name = bench_ + "_" + sr.circuit + "_" + sr.flow;
+      for (char& c : name) {
+        if (!(std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '-' ||
+              c == '_')) {
+          c = '_';
+        }
+      }
+      const std::string path = std::string(d) + "/TRACE_" + name + ".json";
+      std::ofstream out(path);
+      if (!out) {
+        std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+        continue;
+      }
+      out << obs::chrome_trace_json(sr.events) << "\n";
+    }
+  }
+
   static std::string escaped(const std::string& s) {
     std::string out;
     out.reserve(s.size());
@@ -298,6 +398,7 @@ class JsonReport {
   std::string bench_;
   std::vector<Run> runs_;
   std::vector<TraceRow> traces_;
+  std::vector<SpanRow> span_rows_;
   std::vector<std::pair<std::string, double>> metrics_;
 };
 

@@ -4,7 +4,7 @@
 //                [--threads N] [--budget SECONDS] [--seed N]
 //                [--sequential] [--fast]
 //                [--journal FILE] [--resume] [--retries N] [--backoff S]
-//                [--report-out FILE]
+//                [--report-out FILE] [--metrics-out FILE] [--trace-out FILE]
 //
 // Every {circuit x flow} pair becomes one batch job; core::run_batch fans
 // them out over the pool under a single shared Deadline and reports a
@@ -20,7 +20,14 @@
 // deterministically split seeds and exponential backoff (--backoff seconds),
 // then quarantines them. --report-out writes a timing-free result digest
 // per job, byte-comparable across interrupted and uninterrupted runs.
+//
+// Observability: --metrics-out writes the merged process-wide metrics
+// registry (counters/gauges/histograms) as JSON; --trace-out writes every
+// span the batch produced (job lifecycles plus each flow's stage tree) as a
+// Chrome trace_event file for chrome://tracing / Perfetto. Both are empty
+// shells when the observability layer is disabled (APLACE_OBS=0).
 
+#include <algorithm>
 #include <csignal>
 #include <cstdio>
 #include <map>
@@ -33,6 +40,8 @@
 #include "core/batch.hpp"
 #include "core/journal.hpp"
 #include "io/netlist_io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace {
 
@@ -55,6 +64,7 @@ int usage() {
                "                    [--sequential] [--fast]\n"
                "                    [--journal FILE] [--resume] [--retries N]\n"
                "                    [--backoff SECONDS] [--report-out FILE]\n"
+               "                    [--metrics-out FILE] [--trace-out FILE]\n"
                "Circuits are built-in testcase names or .acirc files.\n");
   return 2;
 }
@@ -100,6 +110,22 @@ int write_report(const std::string& path, const core::BatchReport& report) {
                  r.area(), r.hpwl(),
                  static_cast<unsigned long long>(digest));
   }
+  std::fclose(f);
+  return 0;
+}
+
+/// Write a whole string to `path`; warns (and returns 1) on failure so the
+/// batch result itself is never lost to an unwritable telemetry file.
+int write_text(const std::string& path, const std::string& text,
+               const char* what) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s to '%s'\n", what,
+                 path.c_str());
+    return 1;
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fputc('\n', f);
   std::fclose(f);
   return 0;
 }
@@ -239,6 +265,32 @@ int main(int argc, char** argv) {
 
     if (flags.contains("report-out")) {
       if (int rc = write_report(flags.at("report-out"), report); rc != 0) {
+        return rc;
+      }
+    }
+    if (flags.contains("metrics-out")) {
+      const std::string json = obs::MetricsRegistry::global().scrape().to_json(2);
+      if (int rc = write_text(flags.at("metrics-out"), json, "metrics");
+          rc != 0) {
+        return rc;
+      }
+    }
+    if (flags.contains("trace-out")) {
+      // Everything the batch produced: job-lifecycle spans still in the
+      // collector plus each flow's stage tree (extracted into its
+      // FlowResult at the flow boundary).
+      std::vector<obs::SpanEvent> events = obs::SpanCollector::global().drain();
+      for (const core::BatchItem& item : report.items) {
+        events.insert(events.end(), item.result.spans.begin(),
+                      item.result.spans.end());
+      }
+      std::sort(events.begin(), events.end(),
+                [](const obs::SpanEvent& a, const obs::SpanEvent& b) {
+                  return a.start_seconds < b.start_seconds;
+                });
+      if (int rc = write_text(flags.at("trace-out"),
+                              obs::chrome_trace_json(events), "trace");
+          rc != 0) {
         return rc;
       }
     }

@@ -15,15 +15,26 @@ for each matched pair the checker fails when:
     wall times on shared CI runners);
   * a run that was legal in the baseline is illegal now;
   * a run that was ok in the baseline is not ok now;
-  * a baseline run is missing from the current results.
+  * a baseline run is missing from the current results;
+  * a metric the baseline gates on (wall_seconds, hpwl, area,
+    moves_per_sec) is present in the baseline run but absent from the
+    matching current run — a silently dropped metric is a hard failure,
+    never a skip, so schema drift can't blind the gate.
 
 New runs (present now, absent from the baseline) are reported but do not
 fail the gate, so adding a bench doesn't require a lockstep baseline
 update. Exit status: 0 clean, 1 regressions found, 2 usage/IO error.
 
+--refresh rewrites the baseline instead of gating: every BENCH_*.json in
+--current is schema-validated and copied into --baseline, and baseline
+files whose bench no longer produces output are deleted. Use it when a
+deliberate performance or protocol change moves the numbers.
+
 Usage:
   check_bench_regression.py --baseline ci/bench-baseline --current out/
   check_bench_regression.py --baseline ... --current ... --time-tol 0.2
+  check_bench_regression.py --baseline ci/bench-baseline --current out/ \
+      --refresh
 """
 
 from __future__ import annotations
@@ -73,7 +84,12 @@ def check(
             continue
 
         bt, ct = base.get("wall_seconds"), cur.get("wall_seconds")
-        if bt is not None and ct is not None:
+        if bt is not None and ct is None:
+            failures.append(
+                f"{name}: wall_seconds present in baseline but missing "
+                f"from current run"
+            )
+        elif bt is not None:
             limit = bt * (1.0 + time_tol) + time_slack
             if ct > limit:
                 failures.append(
@@ -83,8 +99,15 @@ def check(
 
         for metric in ("hpwl", "area"):
             bv, cv = base.get(metric), cur.get(metric)
-            # Timing-only rows carry 0 quality; skip them.
-            if not bv or cv is None:
+            # Timing-only rows carry 0 quality; skip them. A baseline value
+            # with no current counterpart is a hard failure, not a skip.
+            if not bv:
+                continue
+            if cv is None:
+                failures.append(
+                    f"{name}: {metric} present in baseline but missing "
+                    f"from current run"
+                )
                 continue
             if cv > bv * (1.0 + quality_tol):
                 failures.append(
@@ -93,7 +116,12 @@ def check(
                 )
 
         br, cr = base.get("moves_per_sec"), cur.get("moves_per_sec")
-        if br and cr is not None:
+        if br and cr is None:
+            failures.append(
+                f"{name}: moves_per_sec present in baseline but missing "
+                f"from current run"
+            )
+        elif br:
             floor = br * (1.0 - rate_tol)
             if cr < floor:
                 failures.append(
@@ -111,6 +139,35 @@ def check(
     return failures
 
 
+def refresh(baseline_dir: Path, current_dir: Path) -> int:
+    """Rewrite the baseline from the current results (deliberate rebase)."""
+    files = sorted(current_dir.glob("BENCH_*.json"))
+    if not files:
+        print(f"error: no BENCH_*.json files in {current_dir}",
+              file=sys.stderr)
+        return 2
+    # Validate before touching the baseline so a half-written current
+    # directory can't wipe a good one.
+    for path in files:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+        if doc.get("schema") != SCHEMA:
+            print(f"error: {path}: unexpected schema {doc.get('schema')!r}",
+                  file=sys.stderr)
+            return 2
+    baseline_dir.mkdir(parents=True, exist_ok=True)
+    fresh_names = {p.name for p in files}
+    for stale in sorted(baseline_dir.glob("BENCH_*.json")):
+        if stale.name not in fresh_names:
+            stale.unlink()
+            print(f"removed stale baseline {stale.name}")
+    for path in files:
+        (baseline_dir / path.name).write_bytes(path.read_bytes())
+        print(f"refreshed {path.name}")
+    print(f"baseline {baseline_dir} now tracks {len(files)} bench file(s)")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", required=True, type=Path)
@@ -125,7 +182,13 @@ def main() -> int:
     parser.add_argument("--rate-tol", type=float, default=0.35,
                         help="relative throughput-rate tolerance; rates are "
                         "higher-is-better (default 0.35)")
+    parser.add_argument("--refresh", action="store_true",
+                        help="rewrite --baseline from --current instead of "
+                        "gating (validates schemas, prunes stale files)")
     args = parser.parse_args()
+
+    if args.refresh:
+        return refresh(args.baseline, args.current)
 
     try:
         baseline = load_runs(args.baseline)

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Ratchet-only line-coverage gate against a committed watermark.
+
+Reads a gcovr JSON summary (gcovr --json-summary) and compares its
+aggregate line coverage against the percentage stored in the watermark
+file (ci/coverage-watermark.txt). The gate only ratchets upward:
+
+  * coverage below the watermark (minus --slack, default 0.25 points to
+    absorb run-to-run flakiness from timing-dependent branches) fails;
+  * coverage at or above the watermark passes;
+  * coverage more than --slack above the watermark prints a reminder to
+    raise it — use --update to rewrite the watermark file to the measured
+    value (rounded down to 0.01) in the same run.
+
+The watermark file holds a single number: the line-coverage percentage
+(0-100). Exit status: 0 clean, 1 below watermark, 2 usage/IO error.
+
+Usage:
+  check_coverage.py --summary cov-summary.json \
+      --watermark ci/coverage-watermark.txt
+  check_coverage.py --summary ... --watermark ... --update
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+
+def read_percent(summary_path: Path) -> float:
+    with open(summary_path, encoding="utf-8") as f:
+        doc = json.load(f)
+    # gcovr's --json-summary writes line_percent directly; fall back to
+    # computing it from the raw counts so older gcovr versions also work.
+    if "line_percent" in doc:
+        return float(doc["line_percent"])
+    covered, total = doc.get("line_covered"), doc.get("line_total")
+    if covered is None or total is None or total == 0:
+        raise ValueError(f"{summary_path}: no line-coverage fields found")
+    return 100.0 * float(covered) / float(total)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--summary", required=True, type=Path,
+                        help="gcovr --json-summary output")
+    parser.add_argument("--watermark", required=True, type=Path,
+                        help="file holding the committed watermark percent")
+    parser.add_argument("--slack", type=float, default=0.25,
+                        help="allowed dip below the watermark in percentage "
+                        "points (default 0.25)")
+    parser.add_argument("--update", action="store_true",
+                        help="raise the watermark file to the measured value "
+                        "when coverage improved")
+    args = parser.parse_args()
+
+    try:
+        percent = read_percent(args.summary)
+        watermark = float(args.watermark.read_text().strip())
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+
+    print(f"line coverage {percent:.2f}% (watermark {watermark:.2f}%, "
+          f"slack {args.slack:.2f})")
+    if percent < watermark - args.slack:
+        print(f"FAIL: coverage fell {watermark - percent:.2f} points below "
+              f"the watermark; add tests or (for deliberate removals) lower "
+              f"{args.watermark}", file=sys.stderr)
+        return 1
+    if percent > watermark + args.slack:
+        if args.update:
+            new_mark = math.floor(percent * 100) / 100
+            args.watermark.write_text(f"{new_mark:.2f}\n")
+            print(f"watermark ratcheted up to {new_mark:.2f}%")
+        else:
+            print(f"note: coverage beats the watermark by "
+                  f"{percent - watermark:.2f} points — ratchet it with "
+                  f"--update")
+    print("coverage gate ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

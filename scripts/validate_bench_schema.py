@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json files against the committed aplace-bench-v1 schema.
+
+Dependency-free on purpose (CI runners and the dev container both lack a
+jsonschema package): implements exactly the JSON Schema keywords the
+committed schema uses — type, const, required, properties, items,
+additionalProperties (schema form), minimum — and rejects schemas that use
+anything else, so a schema edit can't silently validate nothing.
+
+Usage:
+  validate_bench_schema.py --schema ci/bench-schema.json FILE [FILE ...]
+  validate_bench_schema.py --schema ci/bench-schema.json --dir bench-out
+
+Exit status: 0 all valid, 1 validation failures, 2 usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+KNOWN_KEYWORDS = {
+    "$comment", "type", "const", "required", "properties", "items",
+    "additionalProperties", "minimum",
+}
+
+TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "integer": lambda v: (isinstance(v, int) and not isinstance(v, bool))
+    or (isinstance(v, float) and v.is_integer()),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def check_schema_subset(schema: dict, where: str = "$schema") -> None:
+    """Reject schema keywords the validator does not implement."""
+    unknown = set(schema) - KNOWN_KEYWORDS
+    if unknown:
+        raise ValueError(
+            f"{where}: unsupported schema keyword(s) {sorted(unknown)}; "
+            f"extend validate_bench_schema.py before using them"
+        )
+    for key in ("items", "additionalProperties"):
+        if isinstance(schema.get(key), dict):
+            check_schema_subset(schema[key], f"{where}.{key}")
+    for name, sub in schema.get("properties", {}).items():
+        check_schema_subset(sub, f"{where}.properties.{name}")
+
+
+def validate(value, schema: dict, path: str, errors: list[str]) -> None:
+    if "const" in schema and value != schema["const"]:
+        errors.append(f"{path}: expected {schema['const']!r}, got {value!r}")
+        return
+
+    if "type" in schema:
+        types = schema["type"]
+        if isinstance(types, str):
+            types = [types]
+        if not any(TYPE_CHECKS[t](value) for t in types):
+            errors.append(
+                f"{path}: expected {'/'.join(types)}, "
+                f"got {type(value).__name__}"
+            )
+            return
+
+    if "minimum" in schema and isinstance(value, (int, float)) \
+            and not isinstance(value, bool):
+        if value < schema["minimum"]:
+            errors.append(f"{path}: {value} < minimum {schema['minimum']}")
+
+    if isinstance(value, dict):
+        for req in schema.get("required", []):
+            if req not in value:
+                errors.append(f"{path}: missing required key {req!r}")
+        props = schema.get("properties", {})
+        extra = schema.get("additionalProperties")
+        for key, sub_value in value.items():
+            if key in props:
+                validate(sub_value, props[key], f"{path}.{key}", errors)
+            elif isinstance(extra, dict):
+                validate(sub_value, extra, f"{path}.{key}", errors)
+
+    if isinstance(value, list) and isinstance(schema.get("items"), dict):
+        for i, item in enumerate(value):
+            validate(item, schema["items"], f"{path}[{i}]", errors)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--schema", required=True, type=Path)
+    parser.add_argument("--dir", type=Path,
+                        help="validate every BENCH_*.json in this directory")
+    parser.add_argument("files", nargs="*", type=Path)
+    args = parser.parse_args()
+
+    files = list(args.files)
+    if args.dir:
+        files.extend(sorted(args.dir.glob("BENCH_*.json")))
+    if not files:
+        print("error: no files to validate", file=sys.stderr)
+        return 2
+
+    try:
+        with open(args.schema, encoding="utf-8") as f:
+            schema = json.load(f)
+        check_schema_subset(schema)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+
+    bad = 0
+    for path in files:
+        try:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"FAIL {path}: unreadable: {e}")
+            bad += 1
+            continue
+        errors: list[str] = []
+        validate(doc, schema, "$", errors)
+        if errors:
+            bad += 1
+            print(f"FAIL {path}:")
+            for e in errors[:20]:
+                print(f"  {e}")
+            if len(errors) > 20:
+                print(f"  ... and {len(errors) - 20} more")
+        else:
+            print(f"ok   {path}")
+
+    print(f"{len(files) - bad}/{len(files)} files valid")
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,8 +6,27 @@
 #include <utility>
 
 #include "base/check.hpp"
+#include "obs/metrics.hpp"
 
 namespace aplace::base {
+
+namespace {
+
+/// Pool telemetry handles, interned once. Leaked like the registry itself
+/// so worker threads can record during static destruction.
+struct PoolMetrics {
+  obs::Counter tasks = obs::counter("pool/tasks");
+  obs::Gauge queue_peak = obs::gauge("pool/queue_depth_peak");
+  obs::Histogram wait = obs::histogram("pool/task_wait_seconds");
+  obs::Histogram run = obs::histogram("pool/task_run_seconds");
+};
+
+PoolMetrics& pool_metrics() {
+  static PoolMetrics* m = new PoolMetrics();
+  return *m;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(unsigned threads) : threads_(std::max(threads, 1u)) {
   workers_.reserve(threads_ - 1);
@@ -30,11 +49,26 @@ bool ThreadPool::run_one(std::unique_lock<std::mutex>& lock) {
   Task task = std::move(queue_.front());
   queue_.pop_front();
   lock.unlock();
+  const bool record = obs::enabled() && task.submit_seconds > 0;
+  double start = 0;
+  if (record) {
+    start = obs::now_seconds();
+    pool_metrics().wait.record(start - task.submit_seconds);
+  }
   std::exception_ptr err;
-  try {
-    task.fn();
-  } catch (...) {
-    err = std::current_exception();
+  {
+    // Run under the submitter's span context so spans opened inside the
+    // task nest into the submitting flow's tree, not the worker's.
+    obs::ContextGuard ctx(task.ctx);
+    try {
+      task.fn();
+    } catch (...) {
+      err = std::current_exception();
+    }
+  }
+  if (record) {
+    pool_metrics().tasks.inc();
+    pool_metrics().run.record(obs::now_seconds() - start);
   }
   lock.lock();
   TaskGroup& g = *task.group;
@@ -64,10 +98,20 @@ void ThreadPool::TaskGroup::run(std::function<void()> fn) {
     }
     return;
   }
+  Task task{std::move(fn), this, obs::SpanContext{}, 0.0};
+  const bool record = obs::enabled();
+  if (record) {
+    task.ctx = obs::current_context();
+    task.submit_seconds = obs::now_seconds();
+  }
   {
     std::lock_guard<std::mutex> lock(pool_.mu_);
     ++pending_;
-    pool_.queue_.push_back(Task{std::move(fn), this});
+    pool_.queue_.push_back(std::move(task));
+    if (record) {
+      pool_metrics().queue_peak.set_max(
+          static_cast<double>(pool_.queue_.size()));
+    }
   }
   pool_.work_cv_.notify_one();
 }

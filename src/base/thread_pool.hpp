@@ -32,6 +32,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/span.hpp"
+
 namespace aplace::base {
 
 class ThreadPool {
@@ -124,6 +126,10 @@ class ThreadPool {
   struct Task {
     std::function<void()> fn;
     TaskGroup* group;
+    /// Submitter's span context, reinstalled on whichever thread runs the
+    /// task so spans opened inside parent correctly across the hop.
+    obs::SpanContext ctx{};
+    double submit_seconds = 0;  ///< obs::now_seconds() at enqueue (0 = off)
   };
 
   void worker_loop();

@@ -9,6 +9,8 @@
 #include "base/thread_pool.hpp"
 #include "core/journal.hpp"
 #include "numeric/rng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace aplace::core {
 namespace {
@@ -164,8 +166,10 @@ BatchReport run_batch(std::span<const BatchJob> jobs,
   }
 
   const auto batch_t0 = Clock::now();
+  obs::counter("batch/jobs").add(jobs.size());
   std::vector<std::optional<BatchItem>> slots(jobs.size());
   auto run_job = [&](std::size_t i) {
+    obs::Span job_span("batch/job");
     const BatchJob& job = jobs[i];
     const std::string& key = keys[i];
     std::string label = job_label(job);
@@ -173,6 +177,7 @@ BatchReport run_batch(std::span<const BatchJob> jobs,
     if (const auto done = completed.find(key); done != completed.end()) {
       if (std::optional<BatchItem> restored = restore_item(
               done->second, job, i, label, opts.journal_path)) {
+        obs::counter("batch/resumed").inc();
         slots[i] = std::move(*restored);
         return;
       }
@@ -204,6 +209,7 @@ BatchReport run_batch(std::span<const BatchJob> jobs,
       if (attempt + 1 >= max_attempts) break;
       if (opts.cancel.cancelled() || deadline.expired()) break;
       journal.record_retry(key, attempt, result.status);
+      obs::counter("batch/retries").inc();
       backoff_wait(opts.retry, attempt + 1, deadline, opts.cancel);
       if (opts.cancel.cancelled() || deadline.expired()) break;
       ++attempt;
@@ -217,11 +223,16 @@ BatchReport run_batch(std::span<const BatchJob> jobs,
       // Not terminal: a resumed batch runs this job again with a fresh
       // budget instead of replaying the interruption.
       journal.record_interrupted(key, attempts, result.status);
+      obs::counter("batch/interrupted").inc();
     } else {
       quarantined = !result.status.ok() && retryable(code) &&
                     max_attempts > 1 && attempts >= max_attempts;
       journal.record_terminal(key, result, attempts, wall, quarantined);
+      obs::counter(result.status.ok() ? "batch/done_ok" : "batch/done_failed")
+          .inc();
+      if (quarantined) obs::counter("batch/quarantined").inc();
     }
+    obs::histogram("batch/job_wall_seconds").record(wall);
     slots[i] = BatchItem{i,
                          std::move(label),
                          job.flow,
@@ -255,6 +266,11 @@ BatchReport run_batch(std::span<const BatchJob> jobs,
     report.items.push_back(std::move(*slot));
   }
   report.wall_seconds = seconds_since(batch_t0);
+  if (obs::enabled()) {
+    // One rollup line per batch so a journal file is self-describing about
+    // where its wall-clock went.
+    journal.record_metrics(obs::MetricsRegistry::global().scrape());
+  }
   return report;
 }
 

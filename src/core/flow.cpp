@@ -10,6 +10,7 @@
 
 #include "base/thread_pool.hpp"
 #include "numeric/rng.hpp"
+#include "obs/metrics.hpp"
 
 namespace aplace::core {
 namespace {
@@ -53,6 +54,7 @@ FlowResult assemble_result(const netlist::Circuit& circuit,
                            double dp_seconds) {
   FlowResult out{std::move(placement), {}, gp_seconds, dp_seconds,
                  gp_seconds + dp_seconds};
+  obs::Span span("flow/evaluate");
   out.quality = netlist::Evaluator(circuit).evaluate(out.placement);
   return out;
 }
@@ -87,9 +89,25 @@ FlowResult run_guarded(const char* flow_name, const netlist::Circuit& circuit,
                   circuit.name() + "'");
     return error_result(circuit, std::move(s), seconds_since(t0));
   }
+  // The flow root span starts a fresh trace tree (Root::New) so this
+  // flow's subtree can be pulled out of the collector by root id — even
+  // when the flow itself runs inside a batch job span.
+  std::uint64_t span_root = 0;
+  auto timed_body = [&]() -> FlowResult {
+    obs::Span span(flow_name, obs::Span::Root::New);
+    span_root = span.root_id();
+    obs::counter("flow/runs").inc();
+    return body();
+  };
+  auto attach_spans = [&](FlowResult& out) {
+    if (span_root != 0) {
+      out.spans = obs::SpanCollector::global().take_events_for_root(span_root);
+    }
+  };
   try {
-    FlowResult out = body();
+    FlowResult out = timed_body();
     out.total_seconds = seconds_since(t0);
+    attach_spans(out);
     if (!out.status.ok() && cancel.cancelled() &&
         out.status.code() != aplace::StatusCode::Cancelled) {
       // The failure happened while a cancellation was pending: the job was
@@ -104,21 +122,27 @@ FlowResult run_guarded(const char* flow_name, const netlist::Circuit& circuit,
     }
     return out;
   } catch (const aplace::CheckError& e) {
-    return error_result(
+    obs::counter("flow/errors").inc();
+    FlowResult out = error_result(
         circuit,
         aplace::Status::internal(std::string("unhandled check failure: ") +
                                  e.what())
             .add_context(std::string(flow_name) + " flow on circuit '" +
                          circuit.name() + "'"),
         seconds_since(t0));
+    attach_spans(out);  // the root span closed during unwinding
+    return out;
   } catch (const std::exception& e) {
-    return error_result(
+    obs::counter("flow/errors").inc();
+    FlowResult out = error_result(
         circuit,
         aplace::Status::internal(std::string("unhandled exception: ") +
                                  e.what())
             .add_context(std::string(flow_name) + " flow on circuit '" +
                          circuit.name() + "'"),
         seconds_since(t0));
+    attach_spans(out);
+    return out;
   }
 }
 
@@ -170,13 +194,17 @@ LegalizeOutcome legalize_chain(const netlist::Circuit& circuit,
 
   // Run one level: `attempt` returns a Status and fills `pl` on success.
   // Returns true when the level delivered a *legal* placement.
+  // `span_name` labels the level's span and counters in the trace.
   auto attempt_level = [&](FallbackLevel level, const char* what,
-                           bool injected_failure, auto&& attempt) {
+                           const char* span_name, bool injected_failure,
+                           auto&& attempt) {
     if (injected_failure) {
       failures.push_back(std::string(what) +
                          ": infeasible: fault injection forced failure");
       return false;
     }
+    obs::Span span(span_name);
+    obs::counter("legal/attempts").inc();
     netlist::Placement pl(circuit);
     aplace::Status s;
     try {
@@ -191,12 +219,14 @@ LegalizeOutcome legalize_chain(const netlist::Circuit& circuit,
           "solver reported success but the placement violates constraints");
     }
     if (s.ok()) {
+      obs::counter(std::string(span_name) + "/success").inc();
       out.placement = std::move(pl);
       out.level = level;
       return true;
     }
     // Keep the latest failed attempt for diagnostics (the greedy level's
     // best-effort iterate when everything fails).
+    obs::counter(std::string(span_name) + "/failed").inc();
     out.placement = std::move(pl);
     failures.push_back(std::string(what) + ": " + s.to_string());
     return false;
@@ -204,8 +234,8 @@ LegalizeOutcome legalize_chain(const netlist::Circuit& circuit,
 
   if (ilp != nullptr) {
     const bool primary_ok = attempt_level(
-        FallbackLevel::None, "ILP legalization", inject.fail_primary_dp,
-        [&](netlist::Placement& pl) {
+        FallbackLevel::None, "ILP legalization", "legal/ilp",
+        inject.fail_primary_dp, [&](netlist::Placement& pl) {
           legal::IlpOptions o = *ilp;
           o.deadline = deadline;
           o.cancel = cancel;
@@ -219,7 +249,8 @@ LegalizeOutcome legalize_chain(const netlist::Circuit& circuit,
 
     const bool rounded_ok = attempt_level(
         FallbackLevel::RoundedLp, "rounded-LP legalization",
-        inject.fail_rounded_lp, [&](netlist::Placement& pl) {
+        "legal/rounded-lp", inject.fail_rounded_lp,
+        [&](netlist::Placement& pl) {
           // Rounded LP relaxation: drop the flipping binaries and the
           // refine/reshape iterations so a single LP (plus the MILP
           // rounding fallback) decides the placement.
@@ -239,8 +270,8 @@ LegalizeOutcome legalize_chain(const netlist::Circuit& circuit,
   }
 
   const bool two_ok = attempt_level(
-      two_stage_level, "two-stage LP legalization", inject.fail_two_stage,
-      [&](netlist::Placement& pl) {
+      two_stage_level, "two-stage LP legalization", "legal/two-stage-lp",
+      inject.fail_two_stage, [&](netlist::Placement& pl) {
         two_opts.deadline = deadline;
         two_opts.cancel = cancel;
         legal::TwoStageResult r =
@@ -252,8 +283,8 @@ LegalizeOutcome legalize_chain(const netlist::Circuit& circuit,
   if (cancel.cancelled()) return cancelled_out();
 
   const bool greedy_ok = attempt_level(
-      FallbackLevel::GreedyShift, "greedy-shift legalization", false,
-      [&](netlist::Placement& pl) {
+      FallbackLevel::GreedyShift, "greedy-shift legalization",
+      "legal/greedy-shift", false, [&](netlist::Placement& pl) {
         legal::GreedyShiftResult r =
             legal::GreedyShiftLegalizer(circuit).place(positions);
         pl = std::move(r.placement);  // best-effort iterate even on failure
@@ -284,22 +315,27 @@ FlowResult run_eplace_a(const netlist::Circuit& circuit, EPlaceAOptions opts) {
     // seed + 48*k, aliased across runs and across the GP's internal
     // multi-start streams).
     auto run_candidate = [&](std::size_t k) -> FlowResult {
+      obs::Span cand_span("flow/candidate");
       gp::EPlaceGpOptions gopts = opts.gp;
       gopts.seed = numeric::split_seed(opts.gp.seed, k);
       gopts.deadline = deadline;
       gopts.cancel = opts.cancel;
 
       const auto t0 = Clock::now();
-      gp::EPlaceGlobalPlacer placer(circuit, gopts);
-      gp::GpResult gpr = placer.run();
+      gp::GpResult gpr = [&] {
+        obs::Span gp_span("gp/run");
+        return gp::EPlaceGlobalPlacer(circuit, gopts).run();
+      }();
       if (opts.inject.poison_gp) poison(gpr.positions);
       const double gp_s = seconds_since(t0);
 
       const auto t1 = Clock::now();
-      LegalizeOutcome leg =
-          legalize_chain(circuit, gpr.positions, &opts.dp, {},
-                         FallbackLevel::TwoStageLp, deadline, opts.cancel,
-                         opts.inject);
+      LegalizeOutcome leg = [&] {
+        obs::Span dp_span("flow/legalize");
+        return legalize_chain(circuit, gpr.positions, &opts.dp, {},
+                              FallbackLevel::TwoStageLp, deadline, opts.cancel,
+                              opts.inject);
+      }();
       const double dp_s = seconds_since(t1);
 
       FlowResult cand =
@@ -387,6 +423,7 @@ FlowResult run_eplace_a(const netlist::Circuit& circuit, EPlaceAOptions opts) {
         if (i != best_trace) best.gp_trace.merge_counts(traces[i]);
       }
     }
+    gp::publish_trace_metrics(best.gp_trace);
     best.gp_seconds = gp_total;  // summed across candidates
     best.dp_seconds = dp_total;
     best.total_seconds = gp_total + dp_total;
@@ -406,8 +443,10 @@ FlowResult run_prior_work(const netlist::Circuit& circuit,
     gopts.cancel = opts.cancel;
 
     const auto t0 = Clock::now();
-    gp::PriorAnalyticalGlobalPlacer placer(circuit, gopts);
-    gp::GpResult gpr = placer.run();
+    gp::GpResult gpr = [&] {
+      obs::Span gp_span("gp/run");
+      return gp::PriorAnalyticalGlobalPlacer(circuit, gopts).run();
+    }();
     if (opts.inject.poison_gp) poison(gpr.positions);
     const double gp_s = seconds_since(t0);
 
@@ -417,9 +456,12 @@ FlowResult run_prior_work(const netlist::Circuit& circuit,
     // injection knob uniform across flows.
     FaultInjection inject = opts.inject;
     inject.fail_two_stage |= inject.fail_primary_dp;
-    LegalizeOutcome leg =
-        legalize_chain(circuit, gpr.positions, nullptr, opts.dp,
-                       FallbackLevel::None, deadline, opts.cancel, inject);
+    LegalizeOutcome leg = [&] {
+      obs::Span dp_span("flow/legalize");
+      return legalize_chain(circuit, gpr.positions, nullptr, opts.dp,
+                            FallbackLevel::None, deadline, opts.cancel,
+                            inject);
+    }();
     const double dp_s = seconds_since(t1);
 
     FlowResult out =
@@ -430,6 +472,7 @@ FlowResult run_prior_work(const netlist::Circuit& circuit,
                       !numeric::all_finite(gpr.positions);
     out.deadline_hit = gpr.deadline_hit || deadline.expired();
     out.gp_trace = std::move(gpr.trace);
+    gp::publish_trace_metrics(out.gp_trace);
     return out;
   });
 }
@@ -443,8 +486,10 @@ FlowResult run_sa(const netlist::Circuit& circuit, SaFlowOptions opts) {
     sopts.cancel = opts.cancel;
 
     const auto t0 = Clock::now();
-    sa::SaPlacer placer(circuit, sopts);
-    sa::SaResult sar = placer.place();
+    sa::SaResult sar = [&] {
+      obs::Span sa_span("sa/place");
+      return sa::SaPlacer(circuit, sopts).place();
+    }();
     const double sa_s = seconds_since(t0);
 
     FlowResult out =
@@ -469,9 +514,12 @@ FlowResult run_sa(const netlist::Circuit& circuit, SaFlowOptions opts) {
     const auto t1 = Clock::now();
     FaultInjection inject = opts.inject;
     inject.fail_two_stage |= inject.fail_primary_dp;
-    LegalizeOutcome leg =
-        legalize_chain(circuit, pos, nullptr, {}, FallbackLevel::TwoStageLp,
-                       deadline, opts.cancel, inject);
+    LegalizeOutcome leg = [&] {
+      obs::Span dp_span("flow/legalize");
+      return legalize_chain(circuit, pos, nullptr, {},
+                            FallbackLevel::TwoStageLp, deadline, opts.cancel,
+                            inject);
+    }();
     const double dp_s = seconds_since(t1);
 
     FlowResult repaired =

@@ -27,6 +27,7 @@
 #include "legal/two_stage_lp.hpp"
 #include "netlist/evaluator.hpp"
 #include "netlist/validate.hpp"
+#include "obs/span.hpp"
 #include "sa/annealer.hpp"
 
 namespace aplace::core {
@@ -86,6 +87,11 @@ struct FlowResult {
   /// evaluator actually re-evaluated per move (1.0 would mean no caching).
   double sa_moves_per_second = 0;
   double sa_net_eval_ratio = 0;
+  /// This flow's span tree (stage timings: GP, each legalizer attempt,
+  /// evaluation, SA chains, ...), extracted from the global SpanCollector
+  /// at the flow boundary. Empty when observability is disabled. Render
+  /// with obs::chrome_trace_json() for chrome://tracing.
+  std::vector<obs::SpanEvent> spans{};
 
   [[nodiscard]] double area() const { return quality.area; }
   [[nodiscard]] double hpwl() const { return quality.hpwl; }

@@ -495,6 +495,16 @@ void RunJournal::record_interrupted(const std::string& key, int attempts,
   impl_->append(std::move(w).finish());
 }
 
+void RunJournal::record_metrics(const obs::MetricsSnapshot& snap) {
+  if (!impl_ || snap.empty()) return;
+  RecordWriter w("metrics");
+  // Nested object, embedded raw: the tolerant flat-JSON loader skips this
+  // record type (it only replays terminal entries), so nesting is safe —
+  // the line exists for offline analysis of journal files.
+  w.add_raw("metrics", snap.to_json());
+  impl_->append(std::move(w).finish());
+}
+
 void RunJournal::record_terminal(const std::string& key,
                                  const FlowResult& result, int attempts,
                                  double wall_seconds, bool quarantined) {

@@ -37,6 +37,7 @@
 
 #include "base/status.hpp"
 #include "core/flow.hpp"
+#include "obs/metrics.hpp"
 
 namespace aplace::core {
 
@@ -105,6 +106,9 @@ class RunJournal {
   /// it. `quarantined` selects attempts_exhausted over done.
   void record_terminal(const std::string& key, const FlowResult& result,
                        int attempts, double wall_seconds, bool quarantined);
+  /// Observability rollup (type "metrics"): the merged registry snapshot as
+  /// a nested JSON object. Informational — the resume loader ignores it.
+  void record_metrics(const obs::MetricsSnapshot& snap);
 
  private:
   struct Impl;

@@ -5,6 +5,8 @@
 #include <numbers>
 
 #include "base/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace aplace::density {
 
@@ -62,6 +64,15 @@ geom::Point ElectroDensity::clamped_center(const geom::Point& c,
 
 double ElectroDensity::value_and_grad(std::span<const double> v,
                                       std::span<double> grad, double scale) {
+  // One histogram sample per eval (two clock reads on a >=µs operation);
+  // the spectral transforms inside count themselves via fft/transforms2d.
+  static const obs::Counter evals = obs::counter("density/evals");
+  static const obs::Histogram eval_seconds =
+      obs::histogram("density/eval_seconds");
+  const bool record = obs::enabled();
+  const double obs_t0 = record ? obs::now_seconds() : 0.0;
+  evals.inc();
+
   const std::size_t n = devices_.size();
   APLACE_DCHECK(v.size() == 2 * n && grad.size() == v.size());
 
@@ -188,15 +199,19 @@ double ElectroDensity::value_and_grad(std::span<const double> v,
     }
     return energy_acc;
   };
-  if (chunks <= 1) return force_range(0, n);
-  pool.parallel_for(0, chunks, 1, [&](std::size_t c0, std::size_t c1) {
-    for (std::size_t c = c0; c < c1; ++c) {
-      energy_part_[c] =
-          force_range(c * kDeviceGrain, std::min(n, (c + 1) * kDeviceGrain));
-    }
-  });
   double energy = 0;
-  for (std::size_t c = 0; c < chunks; ++c) energy += energy_part_[c];
+  if (chunks <= 1) {
+    energy = force_range(0, n);
+  } else {
+    pool.parallel_for(0, chunks, 1, [&](std::size_t c0, std::size_t c1) {
+      for (std::size_t c = c0; c < c1; ++c) {
+        energy_part_[c] =
+            force_range(c * kDeviceGrain, std::min(n, (c + 1) * kDeviceGrain));
+      }
+    });
+    for (std::size_t c = 0; c < chunks; ++c) energy += energy_part_[c];
+  }
+  if (record) eval_seconds.record(obs::now_seconds() - obs_t0);
   return energy;
 }
 

@@ -4,9 +4,13 @@
 #include <limits>
 #include <numbers>
 
+#include <algorithm>
+
 #include "netlist/placement.hpp"
 #include "numeric/fft.hpp"
 #include "numeric/rng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace aplace::gp {
 namespace {
@@ -133,8 +137,14 @@ GpResult EPlaceGlobalPlacer::run() {
     // Stream-split rather than additive (seed + stride*k) derivation: start
     // k must be independent of the start count and must not collide with
     // the candidate-level streams the flow splits from the same master.
-    GpResult r =
-        run_single(numeric::split_seed(opts_.seed, static_cast<std::uint64_t>(k)));
+    GpResult r = [&] {
+      obs::Span span("gp/start");
+      return run_single(
+          numeric::split_seed(opts_.seed, static_cast<std::uint64_t>(k)));
+    }();
+    obs::counter("gp/starts").inc();
+    obs::counter("gp/iterations").add(static_cast<std::uint64_t>(
+        std::max(r.iterations, 0)));
     any_deadline_hit |= r.deadline_hit;
     any_cancelled |= r.cancelled;
     const std::size_t n = circuit_->num_devices();

@@ -3,7 +3,11 @@
 #include <cmath>
 #include <numbers>
 
+#include <algorithm>
+
 #include "numeric/rng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace aplace::gp {
 
@@ -123,13 +127,18 @@ GpResult PriorAnalyticalGlobalPlacer::run() {
       result.cancelled = true;
       break;
     }
+    obs::Span outer_span("gp/outer");
+    obs::counter("gp/outer_iters").inc();
     numeric::CgInfo cinfo;
+    const int before = result.iterations;
     result.iterations +=
         cg.minimize(v, objective,
                     [](const numeric::CgState&, std::span<const double>) {
                       return true;
                     },
                     &cinfo);
+    obs::counter("gp/iterations").add(
+        static_cast<std::uint64_t>(std::max(result.iterations - before, 0)));
     result.diverged |= cinfo.diverged;
     result.deadline_hit |= cinfo.deadline_hit;
     result.cancelled |= cinfo.cancelled;

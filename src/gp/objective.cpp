@@ -4,6 +4,8 @@
 #include <chrono>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+
 namespace aplace::gp {
 namespace {
 
@@ -53,6 +55,16 @@ void TermTrace::merge_counts(const TermTrace& other) {
       }
     }
     if (!matched) terms.push_back(o);
+  }
+}
+
+void publish_trace_metrics(const TermTrace& trace) {
+  if (!obs::enabled() || trace.empty()) return;
+  for (const TermStats& t : trace.terms) {
+    // Per-term eval totals as counters; per-run seconds as one histogram
+    // sample per flow, so count = flows run and sum = cumulative seconds.
+    obs::counter("gp/term/" + t.name + "/evals").add(t.evals);
+    obs::histogram("gp/term/" + t.name + "/run_seconds").record(t.seconds);
   }
 }
 

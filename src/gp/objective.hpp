@@ -117,6 +117,12 @@ struct TermTrace {
   void merge_counts(const TermTrace& other);
 };
 
+/// Fold a finished run's trace into the global obs::MetricsRegistry —
+/// per-term eval counters ("gp/term/<name>/evals") and per-run seconds
+/// histograms ("gp/term/<name>/run_seconds"). Call once per flow on the
+/// final (merged) trace; a no-op when observability is disabled.
+void publish_trace_metrics(const TermTrace& trace);
+
 /// Ordered weighted sum F(v) = sum_i w_i f_i(v) with per-term stats.
 ///
 /// The hot path is allocation-free: terms write scale=w_i gradients

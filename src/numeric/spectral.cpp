@@ -5,6 +5,7 @@
 #include <numbers>
 
 #include "base/check.hpp"
+#include "obs/metrics.hpp"
 
 namespace aplace::numeric::spectral {
 
@@ -182,6 +183,8 @@ void apply_1d(const Basis& b, Kind kind, const double* in,
 void apply_2d(Matrix& m, const Basis& bx, const Basis& by, Kind kind_x,
               Kind kind_y, bool naive = false) {
   APLACE_CHECK(m.cols() == bx.size() && m.rows() == by.size());
+  static const obs::Counter transforms = obs::counter("fft/transforms2d");
+  transforms.inc();
   double* d = m.data().data();
   const std::size_t cols = m.cols();
   for (std::size_t r = 0; r < m.rows(); ++r) {

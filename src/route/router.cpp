@@ -5,6 +5,9 @@
 #include <limits>
 #include <queue>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
 namespace aplace::route {
 namespace {
 
@@ -132,6 +135,8 @@ void commit_path(RoutingGrid& g, const std::vector<std::size_t>& path) {
 }  // namespace
 
 RoutingResult GridRouter::route(const netlist::Placement& placement) const {
+  obs::Span span("route/estimate");
+  obs::counter("route/runs").inc();
   const netlist::Circuit& circuit = placement.circuit();
   RoutingResult result;
   result.nets.resize(circuit.num_nets());

@@ -8,6 +8,8 @@
 #include <utility>
 
 #include "base/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace aplace::sa {
 namespace {
@@ -363,6 +365,10 @@ void SaPlacer::commit_trial(const Move& mv) {
 }
 
 SaResult SaPlacer::run_chain(std::uint64_t chain_seed) {
+  // One coarse span per chain; per-move telemetry is batched into the
+  // local loop counters and flushed once at the end so the hot loop pays
+  // nothing (the <2% bench_micro_kernels budget).
+  obs::Span chain_span("sa/chain");
   const auto t_start = Clock::now();
   numeric::Rng rng(chain_seed);
   reset_anneal_state();
@@ -442,6 +448,7 @@ SaResult SaPlacer::run_chain(std::uint64_t chain_seed) {
       static_cast<long>(opts_.moves_per_temp_per_block) *
       static_cast<long>(std::max<std::size_t>(nb, 1));
   long moves = 0;
+  long temp_steps = 0;
 
   netlist::Placement trial(*circuit_);  // legacy-path scratch
   while (temp > t_stop && !best.deadline_hit && !best.cancelled) {
@@ -503,6 +510,7 @@ SaResult SaPlacer::run_chain(std::uint64_t chain_seed) {
     }
     if (opts_.max_moves > 0 && moves >= opts_.max_moves) break;
     temp *= opts_.cooling;
+    ++temp_steps;
   }
 
   best.moves_evaluated = moves;
@@ -513,6 +521,17 @@ SaResult SaPlacer::run_chain(std::uint64_t chain_seed) {
           ? static_cast<double>(moves) / best.anneal_seconds
           : 0.0;
   if (inc) best.eval_stats = engine_.stats();
+
+  obs::counter("sa/chains").inc();
+  obs::counter("sa/moves").add(static_cast<std::uint64_t>(std::max(moves, 0L)));
+  obs::counter("sa/accepts")
+      .add(static_cast<std::uint64_t>(std::max(best.moves_accepted, 0L)));
+  obs::counter("sa/temp_steps")
+      .add(static_cast<std::uint64_t>(std::max(temp_steps, 0L)));
+  if (inc) {
+    obs::counter("sa/net_evals").add(best.eval_stats.nets_evaluated);
+    obs::counter("sa/cost_evals").add(best.eval_stats.evals);
+  }
   return best;
 }
 

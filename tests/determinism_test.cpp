@@ -13,6 +13,8 @@
 #include "circuits/testcases.hpp"
 #include "core/batch.hpp"
 #include "core/flow.hpp"
+#include "io/netlist_io.hpp"
+#include "obs/obs.hpp"
 #include "sa/annealer.hpp"
 
 namespace {
@@ -126,6 +128,62 @@ TEST_F(DeterminismTest, MultiChainSaBeatsOrMatchesSingleChain) {
   const sa::SaResult r1 = sa::SaPlacer(tc.circuit, one).place();
   const sa::SaResult r3 = sa::SaPlacer(tc.circuit, three).place();
   EXPECT_LE(r3.cost, r1.cost);
+}
+
+TEST_F(DeterminismTest, ObsDisabledBitIdenticalAcrossFullCircuitRegistry) {
+  // The observability layer is observation-only: toggling it must not move
+  // a single placement bit. Pinned on every built-in circuit with the
+  // analytical prior-work flow (cheap enough to sweep the registry), using
+  // the exact-double placement serialization so one changed coordinate bit
+  // fails the test.
+  struct EnabledGuard {
+    bool saved = obs::enabled();
+    ~EnabledGuard() { obs::set_enabled(saved); }
+  } guard;
+
+  for (const std::string& name : circuits::testcase_names()) {
+    circuits::TestCase tc = circuits::make_testcase(name);
+    core::PriorWorkOptions opts;
+    opts.gp.seed = 3;
+
+    obs::set_enabled(true);
+    const core::FlowResult on = core::run_prior_work(tc.circuit, opts);
+    obs::set_enabled(false);
+    const core::FlowResult off = core::run_prior_work(tc.circuit, opts);
+    obs::set_enabled(true);
+
+    EXPECT_EQ(io::placement_to_text(on.placement),
+              io::placement_to_text(off.placement))
+        << name << ": placement moved when observability was toggled";
+    expect_same_quality(on.quality, off.quality, name.c_str(), 1);
+    EXPECT_EQ(on.spans.empty(), false) << name;
+    EXPECT_EQ(off.spans.empty(), true) << name;
+  }
+}
+
+TEST_F(DeterminismTest, ObsDisabledBitIdenticalForSaFlow) {
+  // Same contract for the annealer path (per-chain counter flushes, chain
+  // spans, incremental-evaluator stats).
+  struct EnabledGuard {
+    bool saved = obs::enabled();
+    ~EnabledGuard() { obs::set_enabled(saved); }
+  } guard;
+
+  circuits::TestCase tc = circuits::make_testcase("VGA");
+  core::SaFlowOptions opts;
+  opts.sa.seed = 21;
+  opts.sa.num_chains = 2;
+  opts.sa.max_moves = 3000;
+
+  obs::set_enabled(true);
+  const core::FlowResult on = core::run_sa(tc.circuit, opts);
+  obs::set_enabled(false);
+  const core::FlowResult off = core::run_sa(tc.circuit, opts);
+  obs::set_enabled(true);
+
+  EXPECT_EQ(io::placement_to_text(on.placement),
+            io::placement_to_text(off.placement));
+  expect_same_quality(on.quality, off.quality, "sa-obs-toggle", 1);
 }
 
 TEST_F(DeterminismTest, BatchResultsIdenticalSequentialVsParallel) {
