@@ -15,6 +15,7 @@
 #include "density/electro.hpp"
 #include "gnn/graph.hpp"
 #include "gnn/model.hpp"
+#include "netlist/compiled.hpp"
 #include "netlist/evaluator.hpp"
 #include "numeric/rng.hpp"
 #include "numeric/spectral.hpp"
@@ -312,6 +313,122 @@ void print_sa_kernel_table(bench::JsonReport& json) {
   }
 }
 
+// Exact HPWL through the AoS path: walk Net/Pin objects and ask the
+// Placement for each pin position. This is what every engine did before the
+// compiled flat core existed — kept here as the "before" side of the
+// hpwl-flat comparison.
+double hpwl_via_placement(const netlist::Circuit& c,
+                          const netlist::Placement& p) {
+  double total = 0;
+  for (std::size_t n = 0; n < c.num_nets(); ++n) {
+    const netlist::Net& net = c.net(NetId{n});
+    if (net.degree() < 2) continue;
+    double xmin = 0, xmax = 0, ymin = 0, ymax = 0;
+    bool first = true;
+    for (const PinId pid : net.pins) {
+      const geom::Point pt = p.pin_position(pid);
+      if (first) {
+        xmin = xmax = pt.x;
+        ymin = ymax = pt.y;
+        first = false;
+      } else {
+        xmin = std::min(xmin, pt.x);
+        xmax = std::max(xmax, pt.x);
+        ymin = std::min(ymin, pt.y);
+        ymax = std::max(ymax, pt.y);
+      }
+    }
+    total += net.weight * ((xmax - xmin) + (ymax - ymin));
+  }
+  return total;
+}
+
+// The same HPWL over the compiled wirelength table and flat SoA coordinates:
+// pin position = device center + precomputed center-relative offset, no
+// object indirection. Matches hpwl_via_placement exactly for unflipped
+// devices (the wl table bakes in the unflipped offsets).
+double hpwl_via_flat(const netlist::CompiledCircuit& cc,
+                     const netlist::PlacementState& s) {
+  const std::span<const double> weight = cc.wl_weight();
+  double total = 0;
+  for (std::size_t i = 0; i < cc.num_wl_nets(); ++i) {
+    const std::span<const std::uint32_t> dev = cc.wl_pin_device(i);
+    const std::span<const double> dx = cc.wl_pin_dx(i);
+    const std::span<const double> dy = cc.wl_pin_dy(i);
+    double xmin = s.x[dev[0]] + dx[0], xmax = xmin;
+    double ymin = s.y[dev[0]] + dy[0], ymax = ymin;
+    for (std::size_t k = 1; k < dev.size(); ++k) {
+      const double x = s.x[dev[k]] + dx[k];
+      const double y = s.y[dev[k]] + dy[k];
+      xmin = std::min(xmin, x);
+      xmax = std::max(xmax, x);
+      ymin = std::min(ymin, y);
+      ymax = std::max(ymax, y);
+    }
+    total += weight[i] * ((xmax - xmin) + (ymax - ymin));
+  }
+  return total;
+}
+
+// Quick-mode compiled-core table: CompiledCircuit construction cost per
+// circuit (compile-topology) and exact HPWL over the flat wirelength table
+// vs. the AoS Placement walk (hpwl-flat vs. hpwl-placement). The regression
+// gate tracks all three rows, so the flat path silently regressing below
+// the AoS path fails CI.
+void print_compiled_core_table(bench::JsonReport& json) {
+  using clock = std::chrono::steady_clock;
+  std::printf("\n==== compiled flat-netlist core ====\n");
+  std::printf("%-10s %14s %16s %14s %10s\n", "circuit", "compile (us)",
+              "hpwl-plc (us)", "hpwl-flat (us)", "speedup");
+  for (const char* name : {"CC-OTA", "SCF"}) {
+    circuits::TestCase tc = circuits::make_testcase(name);
+    const netlist::Circuit& c = tc.circuit;
+
+    const int compile_reps = 2000;
+    auto t0 = clock::now();
+    for (int i = 0; i < compile_reps; ++i) {
+      netlist::CompiledCircuit cc(c);
+      benchmark::DoNotOptimize(&cc);
+    }
+    const double compile_us =
+        std::chrono::duration<double, std::micro>(clock::now() - t0).count() /
+        compile_reps;
+
+    const netlist::CompiledCircuit cc(c);
+    netlist::Placement p(c);
+    const std::vector<double> v = spread(c);
+    const std::size_t n = c.num_devices();
+    for (std::size_t i = 0; i < n; ++i) {
+      p.set_position(DeviceId{i}, {v[i], v[n + i]});
+    }
+    const netlist::PlacementState state =
+        netlist::PlacementState::from_placement(p);
+
+    const int reps = 20000;
+    double sink = 0;
+    t0 = clock::now();
+    for (int i = 0; i < reps; ++i) sink += hpwl_via_placement(c, p);
+    const double plc_us =
+        std::chrono::duration<double, std::micro>(clock::now() - t0).count() /
+        reps;
+    t0 = clock::now();
+    for (int i = 0; i < reps; ++i) sink -= hpwl_via_flat(cc, state);
+    const double flat_us =
+        std::chrono::duration<double, std::micro>(clock::now() - t0).count() /
+        reps;
+    benchmark::DoNotOptimize(sink);
+    if (std::abs(sink) > 1e-9 * reps) {
+      std::printf("WARNING: flat and placement HPWL disagree on %s\n", name);
+    }
+
+    std::printf("%-10s %14.2f %16.3f %14.3f %9.1fx\n", name, compile_us,
+                plc_us, flat_us, plc_us / flat_us);
+    json.add_timing(name, "compile-topology", compile_us / 1e6);
+    json.add_timing(name, "hpwl-placement", plc_us / 1e6);
+    json.add_timing(name, "hpwl-flat", flat_us / 1e6);
+  }
+}
+
 // Quick-mode before/after table: times the full 2D spectral solve on the
 // dense-basis (before) and FFT (after) paths without the google-benchmark
 // harness, so `APLACE_QUICK=1 ./bench_micro_kernels` prints the comparison
@@ -356,6 +473,7 @@ void print_spectral_table() {
     json.add_timing(label, "spectral-naive", naive_ms / 1e3);
     json.add_timing(label, "spectral-fft", fft_ms / 1e3);
   }
+  print_compiled_core_table(json);
   print_sa_kernel_table(json);
   print_gp_term_breakdown(json);
   json.write();

@@ -1,0 +1,28 @@
+#pragma once
+// FNV-1a 64-bit hashing, header-only so every layer (netlist digesting,
+// journal keys) shares one implementation without a link-time dependency.
+
+#include <cstdint>
+#include <string_view>
+
+namespace aplace::base {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 1469598103934665603ULL;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+/// Fold `data` into a running FNV-1a state. Start from kFnvOffsetBasis.
+[[nodiscard]] constexpr std::uint64_t fnv1a64_accumulate(
+    std::uint64_t h, std::string_view data) {
+  for (char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// One-shot FNV-1a64 of a byte string.
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::string_view data) {
+  return fnv1a64_accumulate(kFnvOffsetBasis, data);
+}
+
+}  // namespace aplace::base

@@ -26,7 +26,8 @@ double seconds_since(Clock::time_point t0) {
 /// deterministically so retries explore a different random stream without
 /// introducing wall-clock or thread-count dependence.
 FlowResult dispatch(const BatchJob& job, const Deadline& deadline,
-                    const base::CancelToken& cancel, int attempt) {
+                    const base::CancelToken& cancel, int attempt,
+                    const std::shared_ptr<CompileCache>& compile_cache) {
   const auto reseed = [attempt](std::uint64_t seed) {
     return attempt == 0
                ? seed
@@ -37,6 +38,7 @@ FlowResult dispatch(const BatchJob& job, const Deadline& deadline,
       EPlaceAOptions o = job.eplace;
       o.deadline = deadline;
       o.cancel = cancel;
+      o.compile_cache = compile_cache;
       o.gp.seed = reseed(o.gp.seed);
       return run_eplace_a(*job.circuit, std::move(o));
     }
@@ -44,6 +46,7 @@ FlowResult dispatch(const BatchJob& job, const Deadline& deadline,
       PriorWorkOptions o = job.prior;
       o.deadline = deadline;
       o.cancel = cancel;
+      o.compile_cache = compile_cache;
       o.gp.seed = reseed(o.gp.seed);
       return run_prior_work(*job.circuit, std::move(o));
     }
@@ -51,6 +54,7 @@ FlowResult dispatch(const BatchJob& job, const Deadline& deadline,
       SaFlowOptions o = job.sa;
       o.deadline = deadline;
       o.cancel = cancel;
+      o.compile_cache = compile_cache;
       o.sa.seed = reseed(o.sa.seed);
       return run_sa(*job.circuit, std::move(o));
     }
@@ -167,6 +171,11 @@ BatchReport run_batch(std::span<const BatchJob> jobs,
 
   const auto batch_t0 = Clock::now();
   obs::counter("batch/jobs").add(jobs.size());
+  // One compiled-snapshot cache for the whole batch: the circuit x flow
+  // matrix compiles each circuit once, not once per job. Scoped here (not
+  // globally) because snapshots borrow the caller's circuits — see
+  // core/compile_cache.hpp.
+  const auto compile_cache = std::make_shared<CompileCache>();
   std::vector<std::optional<BatchItem>> slots(jobs.size());
   auto run_job = [&](std::size_t i) {
     obs::Span job_span("batch/job");
@@ -175,13 +184,22 @@ BatchReport run_batch(std::span<const BatchJob> jobs,
     std::string label = job_label(job);
 
     if (const auto done = completed.find(key); done != completed.end()) {
-      if (std::optional<BatchItem> restored = restore_item(
-              done->second, job, i, label, opts.journal_path)) {
+      // A terminal record only stands for *this* circuit revision: when the
+      // recorded circuit digest disagrees with the submitted circuit (the
+      // netlist changed between runs but kept its name and device count),
+      // the record is stale and the job re-runs. Records from journals that
+      // predate digest stamping (0 = unknown) restore as before.
+      const bool drifted = done->second.circuit_digest != 0 &&
+                           done->second.circuit_digest != job.circuit->digest();
+      if (drifted) {
+        obs::counter("batch/digest_mismatch").inc();
+      } else if (std::optional<BatchItem> restored = restore_item(
+                     done->second, job, i, label, opts.journal_path)) {
         obs::counter("batch/resumed").inc();
         slots[i] = std::move(*restored);
         return;
       }
-      // Torn snapshot: fall through and execute the job for real.
+      // Torn snapshot or drifted circuit: execute the job for real.
     }
 
     const auto t0 = Clock::now();
@@ -192,7 +210,7 @@ BatchReport run_batch(std::span<const BatchJob> jobs,
       journal.record_start(key, attempt);
       result = [&]() -> FlowResult {
         try {
-          return dispatch(job, deadline, opts.cancel, attempt);
+          return dispatch(job, deadline, opts.cancel, attempt, compile_cache);
         } catch (const std::exception& e) {
           // The flows convert their own failures to statuses; this catches
           // anything that still escapes (e.g. a CheckError on malformed
@@ -227,7 +245,8 @@ BatchReport run_batch(std::span<const BatchJob> jobs,
     } else {
       quarantined = !result.status.ok() && retryable(code) &&
                     max_attempts > 1 && attempts >= max_attempts;
-      journal.record_terminal(key, result, attempts, wall, quarantined);
+      journal.record_terminal(key, result, attempts, wall, quarantined,
+                              job.circuit->digest());
       obs::counter(result.status.ok() ? "batch/done_ok" : "batch/done_failed")
           .inc();
       if (quarantined) obs::counter("batch/quarantined").inc();

@@ -1,0 +1,61 @@
+#include "core/compile_cache.hpp"
+
+#include <chrono>
+
+#include "obs/metrics.hpp"
+
+namespace aplace::core {
+namespace {
+
+/// Compile one snapshot and publish its cost (the miss counter doubles as a
+/// compile counter: every compile is a miss somewhere).
+std::shared_ptr<const netlist::CompiledCircuit> compile_timed(
+    const netlist::Circuit& circuit) {
+  const auto t0 = std::chrono::steady_clock::now();
+  auto snap = std::make_shared<const netlist::CompiledCircuit>(circuit);
+  if (obs::enabled()) {
+    obs::counter("compile/cache_miss").inc();
+    obs::histogram("compile/seconds")
+        .record(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              t0)
+                    .count());
+  }
+  return snap;
+}
+
+}  // namespace
+
+std::shared_ptr<const netlist::CompiledCircuit> CompileCache::get_or_compile(
+    const netlist::Circuit& circuit) {
+  const std::uint64_t key = circuit.digest();
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = by_digest_.find(key);
+    if (it != by_digest_.end() && &it->second->circuit() == &circuit) {
+      obs::counter("compile/cache_hit").inc();
+      return it->second;
+    }
+  }
+  // Compile outside the lock: two jobs first-touching the same circuit may
+  // both compile it, but neither blocks the other and the emplace below
+  // keeps whichever snapshot landed first (they are bit-identical).
+  std::shared_ptr<const netlist::CompiledCircuit> snap = compile_timed(circuit);
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] = by_digest_.emplace(key, snap);
+  if (!inserted && &it->second->circuit() == &circuit) return it->second;
+  return snap;  // fresh insert, or a collision with a different object
+}
+
+std::size_t CompileCache::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return by_digest_.size();
+}
+
+std::shared_ptr<const netlist::CompiledCircuit> compile_or_fetch(
+    const std::shared_ptr<CompileCache>& cache,
+    const netlist::Circuit& circuit) {
+  if (cache != nullptr) return cache->get_or_compile(circuit);
+  return compile_timed(circuit);
+}
+
+}  // namespace aplace::core

@@ -1,0 +1,58 @@
+#pragma once
+// Digest-keyed cache of compiled netlist snapshots shared across the jobs
+// of one batch.
+//
+// Every flow compiles its circuit into one immutable netlist::CompiledCircuit
+// and hands the snapshot to its placers and legalizers. A batch that runs
+// the same circuit through several flows (the paper's circuit x method
+// matrix) would compile it once per job; the batch driver instead injects
+// one CompileCache into every job's options so the first job to touch a
+// circuit compiles it and the rest fetch the shared snapshot.
+//
+// The cache is scoped to the batch on purpose, never process-global: a
+// snapshot borrows its source Circuit (CompiledCircuit::circuit()), so a
+// cache outliving the circuits it was fed would hand out snapshots with
+// dangling references. run_batch owns the cache and the caller owns the
+// circuits for at least as long (BatchJob borrows them), which makes the
+// per-batch scope safe by construction.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "netlist/compiled.hpp"
+
+namespace aplace::core {
+
+/// Thread-safe digest -> snapshot map (jobs fan out on the pool). Entries
+/// are shared_ptr so a snapshot stays alive for any engine still holding it
+/// even after the cache itself is destroyed.
+class CompileCache {
+ public:
+  /// Return the cached snapshot for `circuit` (matched by Circuit::digest()
+  /// *and* object identity), or compile and cache one. On the rare digest
+  /// collision between two distinct Circuit objects the second caller gets
+  /// a private snapshot of its own circuit instead of one whose circuit()
+  /// reference it does not control.
+  [[nodiscard]] std::shared_ptr<const netlist::CompiledCircuit> get_or_compile(
+      const netlist::Circuit& circuit);
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t,
+                     std::shared_ptr<const netlist::CompiledCircuit>>
+      by_digest_;
+};
+
+/// Flow-side entry point: fetch through `cache` when the batch driver
+/// injected one, else compile a private snapshot. Either way the compile
+/// itself lands in the compile/cache_miss counter and compile/seconds
+/// histogram; cache hits land in compile/cache_hit.
+[[nodiscard]] std::shared_ptr<const netlist::CompiledCircuit> compile_or_fetch(
+    const std::shared_ptr<CompileCache>& cache,
+    const netlist::Circuit& circuit);
+
+}  // namespace aplace::core

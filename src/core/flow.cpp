@@ -169,14 +169,13 @@ struct LegalizeOutcome {
 // greedy level ignores the deadline on purpose: it is cheap and the chain
 // must end with an answer. When all levels fail the returned status carries
 // one trail note per failed level.
-LegalizeOutcome legalize_chain(const netlist::Circuit& circuit,
-                               std::span<const double> positions,
-                               const legal::IlpOptions* ilp,
-                               legal::TwoStageOptions two_opts,
-                               FallbackLevel two_stage_level,
-                               const Deadline& deadline,
-                               const base::CancelToken& cancel,
-                               const FaultInjection& inject) {
+LegalizeOutcome legalize_chain(
+    const std::shared_ptr<const netlist::CompiledCircuit>& compiled,
+    std::span<const double> positions, const legal::IlpOptions* ilp,
+    legal::TwoStageOptions two_opts, FallbackLevel two_stage_level,
+    const Deadline& deadline, const base::CancelToken& cancel,
+    const FaultInjection& inject) {
+  const netlist::Circuit& circuit = compiled->circuit();
   LegalizeOutcome out{netlist::Placement(circuit)};
   const netlist::Evaluator eval(circuit);
   std::vector<std::string> failures;
@@ -240,7 +239,7 @@ LegalizeOutcome legalize_chain(const netlist::Circuit& circuit,
           o.deadline = deadline;
           o.cancel = cancel;
           legal::IlpResult r =
-              legal::IlpDetailedPlacer(circuit, o).place(positions);
+              legal::IlpDetailedPlacer(compiled, o).place(positions);
           if (r.ok()) pl = std::move(r.placement);
           return r.outcome;
         });
@@ -261,7 +260,7 @@ LegalizeOutcome legalize_chain(const netlist::Circuit& circuit,
           o.refine_rounds = 1;
           o.reshape_attempts = 0;
           legal::IlpResult r =
-              legal::IlpDetailedPlacer(circuit, o).place(positions);
+              legal::IlpDetailedPlacer(compiled, o).place(positions);
           if (r.ok()) pl = std::move(r.placement);
           return r.outcome;
         });
@@ -275,7 +274,7 @@ LegalizeOutcome legalize_chain(const netlist::Circuit& circuit,
         two_opts.deadline = deadline;
         two_opts.cancel = cancel;
         legal::TwoStageResult r =
-            legal::TwoStageLpLegalizer(circuit, two_opts).place(positions);
+            legal::TwoStageLpLegalizer(compiled, two_opts).place(positions);
         if (r.ok()) pl = std::move(r.placement);
         return r.outcome;
       });
@@ -308,6 +307,11 @@ FlowResult run_eplace_a(const netlist::Circuit& circuit, EPlaceAOptions opts) {
     const Deadline deadline =
         make_deadline(opts.deadline, opts.time_budget_seconds);
     const std::size_t num_cands = static_cast<std::size_t>(opts.candidates);
+    // One compiled snapshot serves every candidate's GP and every legalizer
+    // level; through the batch cache it also serves every other job on this
+    // circuit.
+    const std::shared_ptr<const netlist::CompiledCircuit> compiled =
+        compile_or_fetch(opts.compile_cache, circuit);
 
     // Each candidate runs the full GP + legalization pipeline on its own
     // RNG stream split from the master seed: candidate k's stream does not
@@ -324,7 +328,7 @@ FlowResult run_eplace_a(const netlist::Circuit& circuit, EPlaceAOptions opts) {
       const auto t0 = Clock::now();
       gp::GpResult gpr = [&] {
         obs::Span gp_span("gp/run");
-        return gp::EPlaceGlobalPlacer(circuit, gopts).run();
+        return gp::EPlaceGlobalPlacer(compiled, gopts).run();
       }();
       if (opts.inject.poison_gp) poison(gpr.positions);
       const double gp_s = seconds_since(t0);
@@ -332,7 +336,7 @@ FlowResult run_eplace_a(const netlist::Circuit& circuit, EPlaceAOptions opts) {
       const auto t1 = Clock::now();
       LegalizeOutcome leg = [&] {
         obs::Span dp_span("flow/legalize");
-        return legalize_chain(circuit, gpr.positions, &opts.dp, {},
+        return legalize_chain(compiled, gpr.positions, &opts.dp, {},
                               FallbackLevel::TwoStageLp, deadline, opts.cancel,
                               opts.inject);
       }();
@@ -438,6 +442,8 @@ FlowResult run_prior_work(const netlist::Circuit& circuit,
                      [&]() -> FlowResult {
     const Deadline deadline =
         make_deadline(opts.deadline, opts.time_budget_seconds);
+    const std::shared_ptr<const netlist::CompiledCircuit> compiled =
+        compile_or_fetch(opts.compile_cache, circuit);
     gp::NtuGpOptions gopts = opts.gp;
     gopts.deadline = deadline;
     gopts.cancel = opts.cancel;
@@ -445,7 +451,7 @@ FlowResult run_prior_work(const netlist::Circuit& circuit,
     const auto t0 = Clock::now();
     gp::GpResult gpr = [&] {
       obs::Span gp_span("gp/run");
-      return gp::PriorAnalyticalGlobalPlacer(circuit, gopts).run();
+      return gp::PriorAnalyticalGlobalPlacer(compiled, gopts).run();
     }();
     if (opts.inject.poison_gp) poison(gpr.positions);
     const double gp_s = seconds_since(t0);
@@ -458,7 +464,7 @@ FlowResult run_prior_work(const netlist::Circuit& circuit,
     inject.fail_two_stage |= inject.fail_primary_dp;
     LegalizeOutcome leg = [&] {
       obs::Span dp_span("flow/legalize");
-      return legalize_chain(circuit, gpr.positions, nullptr, opts.dp,
+      return legalize_chain(compiled, gpr.positions, nullptr, opts.dp,
                             FallbackLevel::None, deadline, opts.cancel,
                             inject);
     }();
@@ -481,6 +487,8 @@ FlowResult run_sa(const netlist::Circuit& circuit, SaFlowOptions opts) {
   return run_guarded("SA", circuit, opts.cancel, [&]() -> FlowResult {
     const Deadline deadline =
         make_deadline(opts.deadline, opts.time_budget_seconds);
+    const std::shared_ptr<const netlist::CompiledCircuit> compiled =
+        compile_or_fetch(opts.compile_cache, circuit);
     sa::SaOptions sopts = opts.sa;
     sopts.deadline = deadline;
     sopts.cancel = opts.cancel;
@@ -488,7 +496,7 @@ FlowResult run_sa(const netlist::Circuit& circuit, SaFlowOptions opts) {
     const auto t0 = Clock::now();
     sa::SaResult sar = [&] {
       obs::Span sa_span("sa/place");
-      return sa::SaPlacer(circuit, sopts).place();
+      return sa::SaPlacer(compiled, sopts).place();
     }();
     const double sa_s = seconds_since(t0);
 
@@ -516,7 +524,7 @@ FlowResult run_sa(const netlist::Circuit& circuit, SaFlowOptions opts) {
     inject.fail_two_stage |= inject.fail_primary_dp;
     LegalizeOutcome leg = [&] {
       obs::Span dp_span("flow/legalize");
-      return legalize_chain(circuit, pos, nullptr, {},
+      return legalize_chain(compiled, pos, nullptr, {},
                             FallbackLevel::TwoStageLp, deadline, opts.cancel,
                             inject);
     }();

@@ -20,6 +20,7 @@
 
 #include "base/cancel.hpp"
 #include "base/status.hpp"
+#include "core/compile_cache.hpp"
 #include "gp/eplace_gp.hpp"
 #include "gp/ntu_gp.hpp"
 #include "legal/greedy_shift.hpp"
@@ -121,6 +122,10 @@ struct EPlaceAOptions {
   /// (unless it already finished with a legal placement, which stays Ok).
   base::CancelToken cancel;
   FaultInjection inject;
+  /// Shared compiled-snapshot cache. The batch driver injects one cache
+  /// into every job so a circuit is compiled once per batch instead of once
+  /// per job; null (the default) compiles a private snapshot.
+  std::shared_ptr<CompileCache> compile_cache;
 };
 
 struct PriorWorkOptions {
@@ -130,6 +135,8 @@ struct PriorWorkOptions {
   Deadline deadline;  ///< shared external deadline; overrides the budget
   base::CancelToken cancel;  ///< cooperative cancellation (see EPlaceAOptions)
   FaultInjection inject;
+  /// Shared compiled-snapshot cache (see EPlaceAOptions::compile_cache).
+  std::shared_ptr<CompileCache> compile_cache;
 };
 
 struct SaFlowOptions {
@@ -138,6 +145,8 @@ struct SaFlowOptions {
   Deadline deadline;  ///< shared external deadline; overrides the budget
   base::CancelToken cancel;  ///< cooperative cancellation (see EPlaceAOptions)
   FaultInjection inject;
+  /// Shared compiled-snapshot cache (see EPlaceAOptions::compile_cache).
+  std::shared_ptr<CompileCache> compile_cache;
 };
 
 [[nodiscard]] FlowResult run_eplace_a(const netlist::Circuit& circuit,

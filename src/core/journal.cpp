@@ -409,16 +409,19 @@ std::map<std::string, JournalEntry> RunJournal::load_completed(
     get_num(rec, "ordering_violation", e.quality.ordering_violation);
     get_num(rec, "centroid_violation", e.quality.centroid_violation);
     if (const std::string* snap = get(rec, "snapshot")) e.snapshot = *snap;
-    if (const std::string* digest = get(rec, "digest")) {
-      std::uint64_t d = 0;
-      const auto res =
-          std::from_chars(digest->data(), digest->data() + digest->size(), d,
-                          16);
-      if (res.ec == std::errc{} &&
-          res.ptr == digest->data() + digest->size()) {
-        e.digest = d;
+    const auto get_hex64 = [&rec](const std::string& field,
+                                  std::uint64_t& value) {
+      if (const std::string* hex = get(rec, field)) {
+        std::uint64_t d = 0;
+        const auto res =
+            std::from_chars(hex->data(), hex->data() + hex->size(), d, 16);
+        if (res.ec == std::errc{} && res.ptr == hex->data() + hex->size()) {
+          value = d;
+        }
       }
-    }
+    };
+    get_hex64("digest", e.digest);
+    get_hex64("circuit_digest", e.circuit_digest);
     out[e.key] = std::move(e);  // later records win
   }
   return out;
@@ -507,7 +510,8 @@ void RunJournal::record_metrics(const obs::MetricsSnapshot& snap) {
 
 void RunJournal::record_terminal(const std::string& key,
                                  const FlowResult& result, int attempts,
-                                 double wall_seconds, bool quarantined) {
+                                 double wall_seconds, bool quarantined,
+                                 std::uint64_t circuit_digest) {
   if (!impl_) return;
 
   // Snapshot first, record second: a record referencing a snapshot implies
@@ -552,6 +556,9 @@ void RunJournal::record_terminal(const std::string& key,
   if (!snapshot_name.empty()) {
     w.add_string("snapshot", snapshot_name);
     w.add_string("digest", hex64(digest));
+  }
+  if (circuit_digest != 0) {
+    w.add_string("circuit_digest", hex64(circuit_digest));
   }
   impl_->append(std::move(w).finish());
 }

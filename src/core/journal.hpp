@@ -65,6 +65,11 @@ struct JournalEntry {
 
   std::string snapshot;       ///< snapshot file name, empty = none recorded
   std::uint64_t digest = 0;   ///< FNV-1a64 of the snapshot bytes
+  /// Circuit::digest() of the netlist the job ran on; 0 = unknown (record
+  /// predates digest stamping). A resumed batch re-runs the job when this
+  /// disagrees with the submitted circuit — the label|flow|circuit|ndev key
+  /// alone cannot see a netlist edit that kept the name and device count.
+  std::uint64_t circuit_digest = 0;
 };
 
 /// Append handle on a journal file. Thread-safe: concurrent pool jobs may
@@ -104,8 +109,11 @@ class RunJournal {
   /// Terminal record. Writes the placement snapshot first (temp + rename)
   /// when every coordinate is finite, then appends the record referencing
   /// it. `quarantined` selects attempts_exhausted over done.
+  /// `circuit_digest` is the Circuit::digest() of the netlist the job ran
+  /// on (0 = unknown), used on resume to detect circuit drift.
   void record_terminal(const std::string& key, const FlowResult& result,
-                       int attempts, double wall_seconds, bool quarantined);
+                       int attempts, double wall_seconds, bool quarantined,
+                       std::uint64_t circuit_digest = 0);
   /// Observability rollup (type "metrics"): the merged registry snapshot as
   /// a nested JSON object. Informational — the resume loader ignores it.
   void record_metrics(const obs::MetricsSnapshot& snap);

@@ -39,9 +39,10 @@ double coord_scale_of(const netlist::Circuit& c) {
 std::unique_ptr<PerfContext> build_perf_context(
     const netlist::Circuit& circuit, const perf::PerformanceSpec& spec,
     DatasetOptions opts, gnn::TrainOptions train_opts) {
+  auto compiled = std::make_shared<const netlist::CompiledCircuit>(circuit);
   auto ctx = std::make_unique<PerfContext>(
-      perf::PerformanceModel(circuit, spec),
-      gnn::CircuitGraph(circuit, coord_scale_of(circuit)));
+      compiled, perf::PerformanceModel(compiled, spec),
+      gnn::CircuitGraph(compiled, coord_scale_of(circuit)));
 
   // --- sample placements ------------------------------------------------------
   numeric::Rng rng(opts.seed);
@@ -89,7 +90,7 @@ std::unique_ptr<PerfContext> build_perf_context(
   std::vector<double> foms;
   foms.reserve(placements.size());
   for (const netlist::Placement& pl : placements) {
-    const route::RoutingResult rr = router.route(pl);
+    const route::RoutingResult rr = router.route(*ctx->compiled, pl);
     foms.push_back(ctx->model.evaluate(pl, &rr).fom);
   }
   // Median-FOM threshold keeps the two classes balanced for every circuit
@@ -119,7 +120,9 @@ std::unique_ptr<PerfContext> build_perf_context(
 perf::PerformanceResult evaluate_routed(const PerfContext& ctx,
                                         const netlist::Placement& placement) {
   const route::GridRouter router;
-  const route::RoutingResult rr = router.route(placement);
+  const route::RoutingResult rr = ctx.compiled
+                                      ? router.route(*ctx.compiled, placement)
+                                      : router.route(placement);
   return ctx.model.evaluate(placement, &rr);
 }
 

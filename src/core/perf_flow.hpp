@@ -37,14 +37,17 @@ struct DatasetOptions {
 };
 
 struct PerfContext {
+  /// One compiled snapshot shared by the model, the graph and the router.
+  std::shared_ptr<const netlist::CompiledCircuit> compiled;
   perf::PerformanceModel model;
   gnn::CircuitGraph graph;
   gnn::GnnModel net;
   gnn::TrainReport training;
   double label_threshold = 0.0;  ///< FOM boundary used for dataset labels
 
-  PerfContext(perf::PerformanceModel m, gnn::CircuitGraph g)
-      : model(std::move(m)), graph(std::move(g)) {}
+  PerfContext(std::shared_ptr<const netlist::CompiledCircuit> cc,
+              perf::PerformanceModel m, gnn::CircuitGraph g)
+      : compiled(std::move(cc)), model(std::move(m)), graph(std::move(g)) {}
 };
 
 /// Generate a labeled dataset, train the GNN, return the ready context.

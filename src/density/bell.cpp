@@ -37,24 +37,35 @@ double bell_derivative(double d, double w, double wb) {
   return 0.0;
 }
 
-BellDensity::BellDensity(const netlist::Circuit& circuit,
+BellDensity::BellDensity(const netlist::CompiledCircuit& compiled,
                          const geom::Rect& region, std::size_t nx,
                          std::size_t ny, double target_density)
-    : circuit_(&circuit),
+    : compiled_(&compiled),
       grid_(region, nx, ny),
       target_(target_density),
+      dev_w_(compiled.dev_width()),
+      dev_h_(compiled.dev_height()),
+      dev_area_(compiled.dev_area()),
       dmat_(ny, nx),
       occ_(ny, nx),
       resid_(ny, nx) {
-  APLACE_CHECK(circuit.finalized());
-  for (const netlist::Device& d : circuit.devices()) {
-    dev_w_.push_back(d.width);
-    dev_h_.push_back(d.height);
-    dev_area_.push_back(d.area());
-  }
   norm_.assign(dev_w_.size(), 0.0);
   support_.resize(dev_w_.size());
 }
+
+BellDensity::BellDensity(
+    std::shared_ptr<const netlist::CompiledCircuit> compiled,
+    const geom::Rect& region, std::size_t nx, std::size_t ny,
+    double target_density)
+    : BellDensity(*compiled, region, nx, ny, target_density) {
+  keep_ = std::move(compiled);
+}
+
+BellDensity::BellDensity(const netlist::Circuit& circuit,
+                         const geom::Rect& region, std::size_t nx,
+                         std::size_t ny, double target_density)
+    : BellDensity(std::make_shared<const netlist::CompiledCircuit>(circuit),
+                  region, nx, ny, target_density) {}
 
 double BellDensity::value_and_grad(std::span<const double> v,
                                    std::span<double> grad, double scale) {
@@ -108,7 +119,7 @@ double BellDensity::value_and_grad(std::span<const double> v,
   double over = 0;
   const double cap = grid_.bin_area();
   for (double o : occ.data()) over += std::max(0.0, o - cap);
-  const double total_area = circuit_->total_device_area();
+  const double total_area = compiled_->total_device_area();
   overflow_ = total_area > 0 ? over / total_area : 0.0;
 
   // Penalty sum_b (D_b - M_b)^2 — but only over-filled bins are penalized;

@@ -9,10 +9,11 @@
 // constants c_i keep each device's total contribution equal to its area and
 // are treated as constants in the gradient (as in NTUplace3).
 
+#include <memory>
 #include <span>
 
 #include "density/bin_grid.hpp"
-#include "netlist/circuit.hpp"
+#include "netlist/compiled.hpp"
 #include "numeric/matrix.hpp"
 
 namespace aplace::density {
@@ -25,6 +26,15 @@ namespace aplace::density {
 
 class BellDensity {
  public:
+  /// Borrow a compiled snapshot the caller keeps alive.
+  BellDensity(const netlist::CompiledCircuit& compiled,
+              const geom::Rect& region, std::size_t nx, std::size_t ny,
+              double target_density);
+  /// Share ownership of a compiled snapshot.
+  BellDensity(std::shared_ptr<const netlist::CompiledCircuit> compiled,
+              const geom::Rect& region, std::size_t nx, std::size_t ny,
+              double target_density);
+  /// Convenience: compile privately from a raw circuit.
   BellDensity(const netlist::Circuit& circuit, const geom::Rect& region,
               std::size_t nx, std::size_t ny, double target_density);
 
@@ -43,10 +53,12 @@ class BellDensity {
     std::size_t cx0, cx1, cy0, cy1;
   };
 
-  const netlist::Circuit* circuit_;
+  const netlist::CompiledCircuit* compiled_;
+  std::shared_ptr<const netlist::CompiledCircuit> keep_;
   BinGrid grid_;
   double target_;
-  std::vector<double> dev_w_, dev_h_, dev_area_;
+  // Device footprints, viewing the compiled snapshot's flat arrays.
+  std::span<const double> dev_w_, dev_h_, dev_area_;
   double overflow_ = 1.0;
   // Evaluation scratch, hoisted so the CG hot loop stays allocation-free.
   numeric::Matrix dmat_, occ_, resid_;

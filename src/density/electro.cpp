@@ -10,10 +10,10 @@
 
 namespace aplace::density {
 
-ElectroDensity::ElectroDensity(const netlist::Circuit& circuit,
+ElectroDensity::ElectroDensity(const netlist::CompiledCircuit& compiled,
                                const geom::Rect& region, std::size_t nx,
                                std::size_t ny, double target_density)
-    : circuit_(&circuit),
+    : compiled_(&compiled),
       grid_(region, nx, ny),
       target_(target_density),
       basis_x_(nx),
@@ -23,21 +23,22 @@ ElectroDensity::ElectroDensity(const netlist::Circuit& circuit,
       ex_(ny, nx),
       ey_(ny, nx),
       occupancy_(ny, nx) {
-  APLACE_CHECK(circuit.finalized());
   APLACE_CHECK_MSG(target_density > 0 && target_density <= 1.0,
                    "target density must be in (0, 1]");
   // ePlace-style local smoothing: devices smaller than sqrt(2) * bin pitch
   // are inflated (charge preserved) so the density signal stays smooth.
+  // The inflation depends on the bin grid, so this per-instance table stays
+  // here; footprints come from the compiled flat arrays.
   const double min_w = std::numbers::sqrt2 * grid_.bin_w();
   const double min_h = std::numbers::sqrt2 * grid_.bin_h();
-  devices_.reserve(circuit.num_devices());
-  for (const netlist::Device& d : circuit.devices()) {
+  devices_.reserve(compiled.num_devices());
+  for (std::size_t i = 0; i < compiled.num_devices(); ++i) {
     DeviceInfo info;
-    info.real_w = d.width;
-    info.real_h = d.height;
-    info.w = std::max(d.width, min_w);
-    info.h = std::max(d.height, min_h);
-    info.charge = d.area();
+    info.real_w = compiled.dev_width()[i];
+    info.real_h = compiled.dev_height()[i];
+    info.w = std::max(info.real_w, min_w);
+    info.h = std::max(info.real_h, min_h);
+    info.charge = compiled.dev_area()[i];
     devices_.push_back(info);
   }
   // Per-chunk partials for the parallel splat (one chunk on the paper-scale
@@ -50,6 +51,20 @@ ElectroDensity::ElectroDensity(const netlist::Circuit& circuit,
     energy_part_.assign(chunks, 0.0);
   }
 }
+
+ElectroDensity::ElectroDensity(
+    std::shared_ptr<const netlist::CompiledCircuit> compiled,
+    const geom::Rect& region, std::size_t nx, std::size_t ny,
+    double target_density)
+    : ElectroDensity(*compiled, region, nx, ny, target_density) {
+  keep_ = std::move(compiled);
+}
+
+ElectroDensity::ElectroDensity(const netlist::Circuit& circuit,
+                               const geom::Rect& region, std::size_t nx,
+                               std::size_t ny, double target_density)
+    : ElectroDensity(std::make_shared<const netlist::CompiledCircuit>(circuit),
+                     region, nx, ny, target_density) {}
 
 geom::Point ElectroDensity::clamped_center(const geom::Point& c,
                                            const DeviceInfo& d) const {
@@ -132,7 +147,7 @@ double ElectroDensity::value_and_grad(std::span<const double> v,
   double over = 0;
   const double cap = grid_.bin_area();
   for (double o : occupancy_.data()) over += std::max(0.0, o - cap);
-  const double total_area = circuit_->total_device_area();
+  const double total_area = compiled_->total_device_area();
   overflow_ = total_area > 0 ? over / total_area : 0.0;
 
   // --- spectral Poisson solve ----------------------------------------------

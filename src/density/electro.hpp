@@ -15,16 +15,26 @@
 // placement objective; its gradient w.r.t. a device center is -q_i * E
 // averaged over the device footprint.
 
+#include <memory>
 #include <span>
 
 #include "density/bin_grid.hpp"
-#include "netlist/circuit.hpp"
+#include "netlist/compiled.hpp"
 #include "numeric/spectral.hpp"
 
 namespace aplace::density {
 
 class ElectroDensity {
  public:
+  /// Borrow a compiled snapshot the caller keeps alive.
+  ElectroDensity(const netlist::CompiledCircuit& compiled,
+                 const geom::Rect& region, std::size_t nx, std::size_t ny,
+                 double target_density);
+  /// Share ownership of a compiled snapshot.
+  ElectroDensity(std::shared_ptr<const netlist::CompiledCircuit> compiled,
+                 const geom::Rect& region, std::size_t nx, std::size_t ny,
+                 double target_density);
+  /// Convenience: compile privately from a raw circuit.
   ElectroDensity(const netlist::Circuit& circuit, const geom::Rect& region,
                  std::size_t nx, std::size_t ny, double target_density);
 
@@ -67,7 +77,8 @@ class ElectroDensity {
   [[nodiscard]] geom::Point clamped_center(const geom::Point& c,
                                            const DeviceInfo& d) const;
 
-  const netlist::Circuit* circuit_;
+  const netlist::CompiledCircuit* compiled_;
+  std::shared_ptr<const netlist::CompiledCircuit> keep_;
   BinGrid grid_;
   double target_;
   numeric::spectral::Basis basis_x_, basis_y_;

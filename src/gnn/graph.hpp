@@ -5,10 +5,11 @@
 // static attributes (size, type, degree) with the placement-dependent
 // coordinates the analytical placer differentiates through.
 
+#include <memory>
 #include <span>
 #include <vector>
 
-#include "netlist/circuit.hpp"
+#include "netlist/compiled.hpp"
 #include "numeric/matrix.hpp"
 
 namespace aplace::gnn {
@@ -24,6 +25,12 @@ class CircuitGraph {
  public:
   /// `coord_scale` normalizes positions into O(1) features; pick the
   /// expected layout side (e.g. sqrt(total area / utilization)).
+  /// Borrow a compiled snapshot the caller keeps alive.
+  CircuitGraph(const netlist::CompiledCircuit& compiled, double coord_scale);
+  /// Share ownership of a compiled snapshot.
+  CircuitGraph(std::shared_ptr<const netlist::CompiledCircuit> compiled,
+               double coord_scale);
+  /// Convenience: compile privately from a raw circuit.
   CircuitGraph(const netlist::Circuit& circuit, double coord_scale);
 
   [[nodiscard]] std::size_t num_nodes() const { return n_; }
@@ -41,7 +48,8 @@ class CircuitGraph {
                                 std::span<double> grad_v) const;
 
  private:
-  const netlist::Circuit* circuit_;
+  const netlist::CompiledCircuit* compiled_;
+  std::shared_ptr<const netlist::CompiledCircuit> keep_;
   std::size_t n_;
   double scale_;
   numeric::Matrix adj_;

@@ -15,8 +15,9 @@
 namespace aplace::gp {
 namespace {
 
-geom::Rect make_region(const netlist::Circuit& c, double utilization) {
-  const double side = std::sqrt(c.total_device_area() / utilization);
+geom::Rect make_region(const netlist::CompiledCircuit& cc,
+                       double utilization) {
+  const double side = std::sqrt(cc.total_device_area() / utilization);
   return {0, 0, side, side};
 }
 
@@ -32,19 +33,32 @@ EPlaceGpOptions normalized(EPlaceGpOptions opts) {
 
 }  // namespace
 
-EPlaceGlobalPlacer::EPlaceGlobalPlacer(const netlist::Circuit& circuit,
+EPlaceGlobalPlacer::EPlaceGlobalPlacer(const netlist::CompiledCircuit& compiled,
                                        EPlaceGpOptions opts)
-    : circuit_(&circuit),
+    : circuit_(&compiled.circuit()),
+      compiled_(&compiled),
       opts_(normalized(opts)),
-      region_(make_region(circuit, opts.utilization)),
+      region_(make_region(compiled, opts.utilization)),
       wl_owner_(opts.smoothing == WlSmoothing::WeightedAverage
                     ? std::unique_ptr<wirelength::SmoothWirelength>(
-                          std::make_unique<wirelength::WaWirelength>(circuit))
-                    : std::make_unique<wirelength::LseWirelength>(circuit)),
+                          std::make_unique<wirelength::WaWirelength>(compiled))
+                    : std::make_unique<wirelength::LseWirelength>(compiled)),
       wl_(*wl_owner_),
-      area_(circuit),
-      dens_(circuit, region_, opts_.bins, opts_.bins, opts_.target_density),
-      pen_(circuit) {}
+      area_(compiled),
+      dens_(compiled, region_, opts_.bins, opts_.bins, opts_.target_density),
+      pen_(compiled) {}
+
+EPlaceGlobalPlacer::EPlaceGlobalPlacer(
+    std::shared_ptr<const netlist::CompiledCircuit> compiled,
+    EPlaceGpOptions opts)
+    : EPlaceGlobalPlacer(*compiled, opts) {
+  keep_ = std::move(compiled);
+}
+
+EPlaceGlobalPlacer::EPlaceGlobalPlacer(const netlist::Circuit& circuit,
+                                       EPlaceGpOptions opts)
+    : EPlaceGlobalPlacer(
+          std::make_shared<const netlist::CompiledCircuit>(circuit), opts) {}
 
 void EPlaceGlobalPlacer::set_extra_term(ExtraTerm term) {
   extra_ = std::make_shared<FunctionTerm>("extra", std::move(term));

@@ -20,7 +20,7 @@
 #include "gp/gp_options.hpp"
 #include "gp/objective.hpp"
 #include "gp/penalties.hpp"
-#include "netlist/circuit.hpp"
+#include "netlist/compiled.hpp"
 #include "numeric/nesterov.hpp"
 #include "wirelength/area_term.hpp"
 #include "wirelength/smooth_wl.hpp"
@@ -71,6 +71,13 @@ class EPlaceGlobalPlacer {
   using ExtraTerm = std::function<double(std::span<const double> v,
                                          std::span<double> grad)>;
 
+  /// Borrow a compiled snapshot the caller keeps alive.
+  EPlaceGlobalPlacer(const netlist::CompiledCircuit& compiled,
+                     EPlaceGpOptions opts);
+  /// Share ownership of a compiled snapshot (flow/batch cache path).
+  EPlaceGlobalPlacer(std::shared_ptr<const netlist::CompiledCircuit> compiled,
+                     EPlaceGpOptions opts);
+  /// Convenience: compile privately from a raw circuit.
   EPlaceGlobalPlacer(const netlist::Circuit& circuit, EPlaceGpOptions opts);
 
   /// Extra objective term (returns its value, accumulates its gradient).
@@ -91,6 +98,8 @@ class EPlaceGlobalPlacer {
   [[nodiscard]] GpResult run_single(std::uint64_t seed);
 
   const netlist::Circuit* circuit_;
+  const netlist::CompiledCircuit* compiled_;
+  std::shared_ptr<const netlist::CompiledCircuit> keep_;
   EPlaceGpOptions opts_;
   geom::Rect region_;
   std::unique_ptr<wirelength::SmoothWirelength> wl_owner_;

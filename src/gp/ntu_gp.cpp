@@ -12,17 +12,30 @@
 namespace aplace::gp {
 
 PriorAnalyticalGlobalPlacer::PriorAnalyticalGlobalPlacer(
-    const netlist::Circuit& circuit, NtuGpOptions opts)
-    : circuit_(&circuit),
+    const netlist::CompiledCircuit& compiled, NtuGpOptions opts)
+    : circuit_(&compiled.circuit()),
+      compiled_(&compiled),
       opts_(opts),
       region_([&] {
         const double side =
-            std::sqrt(circuit.total_device_area() / opts.utilization);
+            std::sqrt(compiled.total_device_area() / opts.utilization);
         return geom::Rect{0, 0, side, side};
       }()),
-      wl_(circuit),
-      dens_(circuit, region_, opts.bins, opts.bins, opts.target_density),
-      pen_(circuit) {}
+      wl_(compiled),
+      dens_(compiled, region_, opts.bins, opts.bins, opts.target_density),
+      pen_(compiled) {}
+
+PriorAnalyticalGlobalPlacer::PriorAnalyticalGlobalPlacer(
+    std::shared_ptr<const netlist::CompiledCircuit> compiled,
+    NtuGpOptions opts)
+    : PriorAnalyticalGlobalPlacer(*compiled, opts) {
+  keep_ = std::move(compiled);
+}
+
+PriorAnalyticalGlobalPlacer::PriorAnalyticalGlobalPlacer(
+    const netlist::Circuit& circuit, NtuGpOptions opts)
+    : PriorAnalyticalGlobalPlacer(
+          std::make_shared<const netlist::CompiledCircuit>(circuit), opts) {}
 
 void PriorAnalyticalGlobalPlacer::set_extra_term(ExtraTerm term) {
   extra_ = std::make_shared<FunctionTerm>("extra", std::move(term));

@@ -21,7 +21,7 @@
 #include "gp/gp_options.hpp"
 #include "gp/objective.hpp"
 #include "gp/penalties.hpp"
-#include "netlist/circuit.hpp"
+#include "netlist/compiled.hpp"
 #include "numeric/cg.hpp"
 #include "wirelength/smooth_wl.hpp"
 
@@ -46,6 +46,14 @@ class PriorAnalyticalGlobalPlacer {
   using ExtraTerm = std::function<double(std::span<const double> v,
                                          std::span<double> grad)>;
 
+  /// Borrow a compiled snapshot the caller keeps alive.
+  PriorAnalyticalGlobalPlacer(const netlist::CompiledCircuit& compiled,
+                              NtuGpOptions opts);
+  /// Share ownership of a compiled snapshot (flow/batch cache path).
+  PriorAnalyticalGlobalPlacer(
+      std::shared_ptr<const netlist::CompiledCircuit> compiled,
+      NtuGpOptions opts);
+  /// Convenience: compile privately from a raw circuit.
   PriorAnalyticalGlobalPlacer(const netlist::Circuit& circuit,
                               NtuGpOptions opts);
 
@@ -63,6 +71,8 @@ class PriorAnalyticalGlobalPlacer {
   void build_objective();
 
   const netlist::Circuit* circuit_;
+  const netlist::CompiledCircuit* compiled_;
+  std::shared_ptr<const netlist::CompiledCircuit> keep_;
   NtuGpOptions opts_;
   geom::Rect region_;
   wirelength::LseWirelength wl_;

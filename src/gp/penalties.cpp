@@ -23,15 +23,18 @@ std::size_t ort_idx(std::size_t d, Axis a, std::size_t n) {
 // as a constant (envelope theorem). Note pairs carry weight 4 (the 2m) and
 // selfs weight 1 — a plain mean of midpoints would NOT be the minimizer.
 double optimal_axis(std::span<const double> v,
-                    const netlist::SymmetryGroup& g, std::size_t n) {
+                    const netlist::CompiledCircuit& cc, std::size_t g,
+                    std::size_t n) {
+  const Axis axis = cc.sym_axis(g);
+  const std::span<const std::uint32_t> pa = cc.sym_pair_a(g);
+  const std::span<const std::uint32_t> pb = cc.sym_pair_b(g);
   double num = 0, den = 0;
-  for (auto [a, b] : g.pairs) {
-    num += 2.0 * (v[mir_idx(a.index(), g.axis, n)] +
-                  v[mir_idx(b.index(), g.axis, n)]);
+  for (std::size_t p = 0; p < pa.size(); ++p) {
+    num += 2.0 * (v[mir_idx(pa[p], axis, n)] + v[mir_idx(pb[p], axis, n)]);
     den += 4.0;
   }
-  for (DeviceId d : g.self_symmetric) {
-    num += v[mir_idx(d.index(), g.axis, n)];
+  for (std::uint32_t d : cc.sym_self(g)) {
+    num += v[mir_idx(d, axis, n)];
     den += 1.0;
   }
   return num / den;
@@ -39,23 +42,35 @@ double optimal_axis(std::span<const double> v,
 
 }  // namespace
 
-ConstraintPenalties::ConstraintPenalties(const netlist::Circuit& circuit)
-    : circuit_(&circuit), n_(circuit.num_devices()) {
-  APLACE_CHECK(circuit.finalized());
+ConstraintPenalties::ConstraintPenalties(
+    const netlist::CompiledCircuit& compiled)
+    : compiled_(&compiled), n_(compiled.num_devices()) {}
+
+ConstraintPenalties::ConstraintPenalties(
+    std::shared_ptr<const netlist::CompiledCircuit> compiled)
+    : ConstraintPenalties(*compiled) {
+  keep_ = std::move(compiled);
 }
+
+ConstraintPenalties::ConstraintPenalties(const netlist::Circuit& circuit)
+    : ConstraintPenalties(
+          std::make_shared<const netlist::CompiledCircuit>(circuit)) {}
 
 double ConstraintPenalties::symmetry(std::span<const double> v,
                                      std::span<double> grad,
                                      double scale) const {
+  const netlist::CompiledCircuit& cc = *compiled_;
   double total = 0;
-  for (const netlist::SymmetryGroup& g :
-       circuit_->constraints().symmetry_groups) {
-    const double m = optimal_axis(v, g, n_);
-    for (auto [a, b] : g.pairs) {
-      const std::size_t ma = mir_idx(a.index(), g.axis, n_);
-      const std::size_t mb = mir_idx(b.index(), g.axis, n_);
-      const std::size_t oa = ort_idx(a.index(), g.axis, n_);
-      const std::size_t ob = ort_idx(b.index(), g.axis, n_);
+  for (std::size_t g = 0; g < cc.num_symmetry_groups(); ++g) {
+    const Axis axis = cc.sym_axis(g);
+    const double m = optimal_axis(v, cc, g, n_);
+    const std::span<const std::uint32_t> pa = cc.sym_pair_a(g);
+    const std::span<const std::uint32_t> pb = cc.sym_pair_b(g);
+    for (std::size_t p = 0; p < pa.size(); ++p) {
+      const std::size_t ma = mir_idx(pa[p], axis, n_);
+      const std::size_t mb = mir_idx(pb[p], axis, n_);
+      const std::size_t oa = ort_idx(pa[p], axis, n_);
+      const std::size_t ob = ort_idx(pb[p], axis, n_);
       const double e_orth = v[oa] - v[ob];
       const double e_mir = v[ma] + v[mb] - 2.0 * m;
       total += e_orth * e_orth + e_mir * e_mir;
@@ -64,8 +79,8 @@ double ConstraintPenalties::symmetry(std::span<const double> v,
       grad[ma] += scale * 2.0 * e_mir;
       grad[mb] += scale * 2.0 * e_mir;
     }
-    for (DeviceId d : g.self_symmetric) {
-      const std::size_t md = mir_idx(d.index(), g.axis, n_);
+    for (std::uint32_t d : cc.sym_self(g)) {
+      const std::size_t md = mir_idx(d, axis, n_);
       const double e = v[md] - m;
       total += e * e;
       grad[md] += scale * 2.0 * e;
@@ -77,26 +92,28 @@ double ConstraintPenalties::symmetry(std::span<const double> v,
 double ConstraintPenalties::alignment(std::span<const double> v,
                                       std::span<double> grad,
                                       double scale) const {
+  const netlist::CompiledCircuit& cc = *compiled_;
+  const std::span<const double> half_h = cc.dev_half_height();
   double total = 0;
-  for (const netlist::AlignmentPair& p : circuit_->constraints().alignments) {
-    const netlist::Device& da = circuit_->device(p.a);
-    const netlist::Device& db = circuit_->device(p.b);
+  for (std::size_t k = 0; k < cc.num_alignments(); ++k) {
+    const std::uint32_t a = cc.align_a()[k];
+    const std::uint32_t b = cc.align_b()[k];
     double e = 0;
     std::size_t ia = 0, ib = 0;
-    switch (p.kind) {
+    switch (cc.align_kind()[k]) {
       case netlist::AlignmentKind::Bottom:
-        ia = n_ + p.a.index();
-        ib = n_ + p.b.index();
-        e = (v[ia] - da.height / 2) - (v[ib] - db.height / 2);
+        ia = n_ + a;
+        ib = n_ + b;
+        e = (v[ia] - half_h[a]) - (v[ib] - half_h[b]);
         break;
       case netlist::AlignmentKind::VerticalCenter:
-        ia = p.a.index();
-        ib = p.b.index();
+        ia = a;
+        ib = b;
         e = v[ia] - v[ib];
         break;
       case netlist::AlignmentKind::HorizontalCenter:
-        ia = n_ + p.a.index();
-        ib = n_ + p.b.index();
+        ia = n_ + a;
+        ib = n_ + b;
         e = v[ia] - v[ib];
         break;
     }
@@ -110,21 +127,21 @@ double ConstraintPenalties::alignment(std::span<const double> v,
 double ConstraintPenalties::ordering(std::span<const double> v,
                                      std::span<double> grad,
                                      double scale) const {
+  const netlist::CompiledCircuit& cc = *compiled_;
   double total = 0;
-  for (const netlist::OrderingConstraint& c :
-       circuit_->constraints().orderings) {
-    const bool horiz = c.direction == netlist::OrderDirection::LeftToRight;
-    for (std::size_t k = 0; k + 1 < c.devices.size(); ++k) {
-      const DeviceId a = c.devices[k];
-      const DeviceId b = c.devices[k + 1];
-      const double ext_a = horiz ? circuit_->device(a).width
-                                 : circuit_->device(a).height;
-      const double ext_b = horiz ? circuit_->device(b).width
-                                 : circuit_->device(b).height;
-      const std::size_t ia = horiz ? a.index() : n_ + a.index();
-      const std::size_t ib = horiz ? b.index() : n_ + b.index();
+  for (std::size_t k = 0; k < cc.num_orderings(); ++k) {
+    const bool horiz =
+        cc.order_direction(k) == netlist::OrderDirection::LeftToRight;
+    const std::span<const double> ext =
+        horiz ? cc.dev_width() : cc.dev_height();
+    const std::span<const std::uint32_t> devs = cc.order_devices(k);
+    for (std::size_t p = 0; p + 1 < devs.size(); ++p) {
+      const std::uint32_t a = devs[p];
+      const std::uint32_t b = devs[p + 1];
+      const std::size_t ia = horiz ? a : n_ + a;
+      const std::size_t ib = horiz ? b : n_ + b;
       // Require v[ib] - v[ia] >= (ext_a + ext_b) / 2; hinge^2 otherwise.
-      const double gap = v[ib] - v[ia] - (ext_a + ext_b) / 2;
+      const double gap = v[ib] - v[ia] - (ext[a] + ext[b]) / 2;
       if (gap < 0) {
         total += gap * gap;
         grad[ib] += scale * 2.0 * gap;
@@ -138,18 +155,19 @@ double ConstraintPenalties::ordering(std::span<const double> v,
 double ConstraintPenalties::common_centroid(std::span<const double> v,
                                              std::span<double> grad,
                                              double scale) const {
+  const netlist::CompiledCircuit& cc = *compiled_;
   double total = 0;
-  for (const netlist::CommonCentroidQuad& q :
-       circuit_->constraints().common_centroids) {
+  for (std::size_t k = 0; k < cc.num_centroids(); ++k) {
+    const std::uint32_t a1 = cc.cent_a1()[k], a2 = cc.cent_a2()[k];
+    const std::uint32_t b1 = cc.cent_b1()[k], b2 = cc.cent_b2()[k];
     for (std::size_t dim = 0; dim < 2; ++dim) {
       const std::size_t off = dim * n_;
-      const double e = v[off + q.a1.index()] + v[off + q.a2.index()] -
-                       v[off + q.b1.index()] - v[off + q.b2.index()];
+      const double e = v[off + a1] + v[off + a2] - v[off + b1] - v[off + b2];
       total += e * e;
-      grad[off + q.a1.index()] += scale * 2.0 * e;
-      grad[off + q.a2.index()] += scale * 2.0 * e;
-      grad[off + q.b1.index()] -= scale * 2.0 * e;
-      grad[off + q.b2.index()] -= scale * 2.0 * e;
+      grad[off + a1] += scale * 2.0 * e;
+      grad[off + a2] += scale * 2.0 * e;
+      grad[off + b1] -= scale * 2.0 * e;
+      grad[off + b2] -= scale * 2.0 * e;
     }
   }
   return total;
@@ -158,13 +176,14 @@ double ConstraintPenalties::common_centroid(std::span<const double> v,
 double ConstraintPenalties::boundary(std::span<const double> v,
                                      std::span<double> grad, double scale,
                                      const geom::Rect& region) const {
+  const std::span<const double> half_w = compiled_->dev_half_width();
+  const std::span<const double> half_h = compiled_->dev_half_height();
   double total = 0;
   for (std::size_t i = 0; i < n_; ++i) {
-    const netlist::Device& d = circuit_->device(DeviceId{i});
-    const double xlo = region.xlo() + d.width / 2;
-    const double xhi = region.xhi() - d.width / 2;
-    const double ylo = region.ylo() + d.height / 2;
-    const double yhi = region.yhi() - d.height / 2;
+    const double xlo = region.xlo() + half_w[i];
+    const double xhi = region.xhi() - half_w[i];
+    const double ylo = region.ylo() + half_h[i];
+    const double yhi = region.yhi() - half_h[i];
     auto hinge = [&](std::size_t idx, double lo, double hi) {
       double e = 0;
       if (v[idx] < lo) e = v[idx] - lo;
@@ -181,14 +200,17 @@ double ConstraintPenalties::boundary(std::span<const double> v,
 }
 
 void ConstraintPenalties::project_symmetry(std::span<double> v) const {
-  for (const netlist::SymmetryGroup& g :
-       circuit_->constraints().symmetry_groups) {
-    const double m = optimal_axis(v, g, n_);
-    for (auto [a, b] : g.pairs) {
-      const std::size_t ma = mir_idx(a.index(), g.axis, n_);
-      const std::size_t mb = mir_idx(b.index(), g.axis, n_);
-      const std::size_t oa = ort_idx(a.index(), g.axis, n_);
-      const std::size_t ob = ort_idx(b.index(), g.axis, n_);
+  const netlist::CompiledCircuit& cc = *compiled_;
+  for (std::size_t g = 0; g < cc.num_symmetry_groups(); ++g) {
+    const Axis axis = cc.sym_axis(g);
+    const double m = optimal_axis(v, cc, g, n_);
+    const std::span<const std::uint32_t> pa = cc.sym_pair_a(g);
+    const std::span<const std::uint32_t> pb = cc.sym_pair_b(g);
+    for (std::size_t p = 0; p < pa.size(); ++p) {
+      const std::size_t ma = mir_idx(pa[p], axis, n_);
+      const std::size_t mb = mir_idx(pb[p], axis, n_);
+      const std::size_t oa = ort_idx(pa[p], axis, n_);
+      const std::size_t ob = ort_idx(pb[p], axis, n_);
       const double half = (v[ma] - v[mb]) / 2.0;
       v[ma] = m + half;
       v[mb] = m - half;
@@ -196,8 +218,8 @@ void ConstraintPenalties::project_symmetry(std::span<double> v) const {
       v[oa] = orth;
       v[ob] = orth;
     }
-    for (DeviceId d : g.self_symmetric) {
-      v[mir_idx(d.index(), g.axis, n_)] = m;
+    for (std::uint32_t d : cc.sym_self(g)) {
+      v[mir_idx(d, axis, n_)] = m;
     }
   }
 }

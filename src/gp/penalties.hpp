@@ -10,16 +10,26 @@
 //   Order(v): squared hinge on monotone-order gap violations.
 //   Bound(v): quadratic pull-back of device edges into the placement region
 //             (keeps the density model's charges inside the domain).
+//
+// All terms iterate the CompiledCircuit's flattened constraint tables and
+// flat device half-extents — no AoS constraint walking in the hot loop.
 
+#include <memory>
 #include <span>
 
 #include "geom/rect.hpp"
-#include "netlist/circuit.hpp"
+#include "netlist/compiled.hpp"
 
 namespace aplace::gp {
 
 class ConstraintPenalties {
  public:
+  /// Borrow a compiled snapshot the caller keeps alive.
+  explicit ConstraintPenalties(const netlist::CompiledCircuit& compiled);
+  /// Share ownership of a compiled snapshot.
+  explicit ConstraintPenalties(
+      std::shared_ptr<const netlist::CompiledCircuit> compiled);
+  /// Convenience: compile privately from a raw circuit.
   explicit ConstraintPenalties(const netlist::Circuit& circuit);
 
   /// Each evaluates at v = (x.., y..), adds scale * gradient, returns value.
@@ -40,7 +50,8 @@ class ConstraintPenalties {
   void project_symmetry(std::span<double> v) const;
 
  private:
-  const netlist::Circuit* circuit_;
+  const netlist::CompiledCircuit* compiled_;
+  std::shared_ptr<const netlist::CompiledCircuit> keep_;
   std::size_t n_;
 };
 

@@ -13,13 +13,23 @@ namespace aplace::legal {
 
 using netlist::Axis;
 
-IlpDetailedPlacer::IlpDetailedPlacer(const netlist::Circuit& circuit,
+IlpDetailedPlacer::IlpDetailedPlacer(const netlist::CompiledCircuit& compiled,
                                      IlpOptions opts)
-    : circuit_(&circuit), opts_(opts) {
-  APLACE_CHECK(circuit.finalized());
+    : circuit_(&compiled.circuit()), compiled_(&compiled), opts_(opts) {
   APLACE_CHECK(opts.grid_pitch > 0);
   APLACE_CHECK(opts.utilization > 0 && opts.utilization <= 1.0);
 }
+
+IlpDetailedPlacer::IlpDetailedPlacer(
+    std::shared_ptr<const netlist::CompiledCircuit> compiled, IlpOptions opts)
+    : IlpDetailedPlacer(*compiled, opts) {
+  keep_ = std::move(compiled);
+}
+
+IlpDetailedPlacer::IlpDetailedPlacer(const netlist::Circuit& circuit,
+                                     IlpOptions opts)
+    : IlpDetailedPlacer(
+          std::make_shared<const netlist::CompiledCircuit>(circuit), opts) {}
 
 IlpResult IlpDetailedPlacer::place(std::span<const double> gp_positions) const {
   const netlist::Circuit& c = *circuit_;
@@ -131,10 +141,9 @@ IlpResult IlpDetailedPlacer::place(std::span<const double> gp_positions) const {
     const bool shrink_w = bb.width() >= bb.height();
 
     // Walk the binding chain of the critical dimension from its far edge.
-    const auto extent = [&](std::size_t i) {
-      const netlist::Device& d = c.device(DeviceId{i});
-      return shrink_w ? d.width : d.height;
-    };
+    const std::span<const double> ext_arr =
+        shrink_w ? compiled_->dev_width() : compiled_->dev_height();
+    const auto extent = [&](std::size_t i) { return ext_arr[i]; };
     const auto coord = [&](std::size_t i) {
       return shrink_w ? pos[i] : pos[n + i];
     };
@@ -243,19 +252,22 @@ solver::MilpSolution IlpDetailedPlacer::solve_round(
     std::vector<int>& vy, std::vector<int>& vfx, std::vector<int>& vfy,
     IlpResult& result, long max_nodes) const {
   const netlist::Circuit& c = *circuit_;
-  const std::size_t n = c.num_devices();
+  const netlist::CompiledCircuit& cc = *compiled_;
+  const std::size_t n = cc.num_devices();
   const double gu = opts_.grid_pitch;
+  const std::span<const double> dev_w = cc.dev_width();
+  const std::span<const double> dev_h = cc.dev_height();
 
   // ---- variables -------------------------------------------------------------
   solver::LpProblem lp;
   const double inf = solver::kInf;
-  auto gw = [&](DeviceId d) { return c.device(d).width / gu; };
-  auto gh = [&](DeviceId d) { return c.device(d).height / gu; };
+  auto gw = [&](std::size_t d) { return dev_w[d] / gu; };
+  auto gh = [&](std::size_t d) { return dev_h[d] / gu; };
 
   // W~ = H~ = sqrt(sum s_i / zeta) in grid units (paper constants).
   double total_area_gu = 0;
-  for (const netlist::Device& d : c.devices()) {
-    total_area_gu += (d.width / gu) * (d.height / gu);
+  for (std::size_t i = 0; i < n; ++i) {
+    total_area_gu += (dev_w[i] / gu) * (dev_h[i] / gu);
   }
   const double wh_tilde = std::sqrt(total_area_gu / opts_.utilization);
 
@@ -265,11 +277,12 @@ solver::MilpSolution IlpDetailedPlacer::solve_round(
   vfy.assign(n, -1);
   double max_w = 0, max_h = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    const DeviceId d{i};
-    vx[i] = lp.add_variable(gw(d) / 2, inf, 0.0, c.device(d).name + ".x");
-    vy[i] = lp.add_variable(gh(d) / 2, inf, 0.0, c.device(d).name + ".y");
-    max_w = std::max(max_w, gw(d));
-    max_h = std::max(max_h, gh(d));
+    vx[i] =
+        lp.add_variable(gw(i) / 2, inf, 0.0, c.device(DeviceId{i}).name + ".x");
+    vy[i] =
+        lp.add_variable(gh(i) / 2, inf, 0.0, c.device(DeviceId{i}).name + ".y");
+    max_w = std::max(max_w, gw(i));
+    max_h = std::max(max_h, gh(i));
   }
   const int vW =
       lp.add_variable(max_w, inf, opts_.mu * wh_tilde / 2.0, "W");
@@ -279,14 +292,13 @@ solver::MilpSolution IlpDetailedPlacer::solve_round(
     // A flip variable only matters when some pin is offset from the device
     // center line in that dimension; otherwise skip it (fewer binaries).
     std::vector<char> fx_useful(n, 0), fy_useful(n, 0);
-    for (const netlist::Pin& pin : c.pins()) {
-      const netlist::Device& dev = c.device(pin.device);
-      if (std::abs(dev.width - 2 * pin.offset.x) > 1e-12) {
-        fx_useful[pin.device.index()] = 1;
-      }
-      if (std::abs(dev.height - 2 * pin.offset.y) > 1e-12) {
-        fy_useful[pin.device.index()] = 1;
-      }
+    const std::span<const std::uint32_t> pdev = cc.pin_device();
+    const std::span<const double> pox = cc.pin_offset_x();
+    const std::span<const double> poy = cc.pin_offset_y();
+    for (std::size_t p = 0; p < cc.num_pins(); ++p) {
+      const std::uint32_t i = pdev[p];
+      if (std::abs(dev_w[i] - 2 * pox[p]) > 1e-12) fx_useful[i] = 1;
+      if (std::abs(dev_h[i] - 2 * poy[p]) > 1e-12) fy_useful[i] = 1;
     }
     for (std::size_t i = 0; i < n; ++i) {
       const std::string& name = c.device(DeviceId{i}).name;
@@ -311,10 +323,11 @@ solver::MilpSolution IlpDetailedPlacer::solve_round(
     }
   }
   // Net bounding boxes (xmin, xmax, ymin, ymax).
-  const std::size_t ne = c.num_nets();
+  const std::size_t ne = cc.num_nets();
+  const std::span<const double> net_weight = cc.net_weight();
   std::vector<std::array<int, 4>> vnet(ne);
   for (std::size_t e = 0; e < ne; ++e) {
-    const double w = c.net(NetId{e}).weight;
+    const double w = net_weight[e];
     vnet[e][0] = lp.add_variable(0, inf, -w, c.net(NetId{e}).name + ".xmin");
     vnet[e][1] = lp.add_variable(0, inf, +w, c.net(NetId{e}).name + ".xmax");
     vnet[e][2] = lp.add_variable(0, inf, -w, c.net(NetId{e}).name + ".ymin");
@@ -325,17 +338,18 @@ solver::MilpSolution IlpDetailedPlacer::solve_round(
   using solver::Relation;
 
   // ---- (4b)+(4d): net bounds over pin positions with flipping ----------------
+  const std::span<const std::uint32_t> pin_device = cc.pin_device();
+  const std::span<const double> pin_off_x = cc.pin_offset_x();
+  const std::span<const double> pin_off_y = cc.pin_offset_y();
   for (std::size_t e = 0; e < ne; ++e) {
-    for (PinId pid : c.net(NetId{e}).pins) {
-      const netlist::Pin& pin = c.pin(pid);
-      const std::size_t i = pin.device.index();
-      const netlist::Device& dev = c.device(pin.device);
+    for (std::uint32_t pid : cc.net_pins(e)) {
+      const std::size_t i = pin_device[pid];
       // Offsets from the device *center* in grid units; flipping adds
       // f * (w - 2*xpin).
-      const double cx = (pin.offset.x - dev.width / 2) / gu;
-      const double cy = (pin.offset.y - dev.height / 2) / gu;
-      const double dx = (dev.width - 2 * pin.offset.x) / gu;
-      const double dy = (dev.height - 2 * pin.offset.y) / gu;
+      const double cx = (pin_off_x[pid] - dev_w[i] / 2) / gu;
+      const double cy = (pin_off_y[pid] - dev_h[i] / 2) / gu;
+      const double dx = (dev_w[i] - 2 * pin_off_x[pid]) / gu;
+      const double dy = (dev_h[i] - 2 * pin_off_y[pid]) / gu;
 
       auto bound = [&](int vmin, int vmax, int vpos, int vflip, double c0,
                        double dflip) {
@@ -355,11 +369,10 @@ solver::MilpSolution IlpDetailedPlacer::solve_round(
 
   // ---- (4c): die extents -------------------------------------------------------
   for (std::size_t i = 0; i < n; ++i) {
-    const DeviceId d{i};
     lp.add_constraint({{vx[i], 1.0}, {vW, -1.0}}, Relation::LessEq,
-                      -gw(d) / 2);
+                      -gw(i) / 2);
     lp.add_constraint({{vy[i], 1.0}, {vH, -1.0}}, Relation::LessEq,
-                      -gh(d) / 2);
+                      -gh(i) / 2);
   }
 
   // ---- (4e)+(4i): pairwise separation ------------------------------------------
@@ -368,67 +381,63 @@ solver::MilpSolution IlpDetailedPlacer::solve_round(
     const std::size_t b = po.right_or_top.index();
     if (po.horizontal) {
       lp.add_constraint({{vx[a], 1.0}, {vx[b], -1.0}}, Relation::LessEq,
-                        -(gw(po.left_or_bottom) + gw(po.right_or_top)) / 2);
+                        -(gw(a) + gw(b)) / 2);
     } else {
       lp.add_constraint({{vy[a], 1.0}, {vy[b], -1.0}}, Relation::LessEq,
-                        -(gh(po.left_or_bottom) + gh(po.right_or_top)) / 2);
+                        -(gh(a) + gh(b)) / 2);
     }
   }
 
   // ---- (4f): hard symmetry -------------------------------------------------------
-  for (const netlist::SymmetryGroup& g : c.constraints().symmetry_groups) {
-    const bool vert = g.axis == Axis::Vertical;
+  for (std::size_t g = 0; g < cc.num_symmetry_groups(); ++g) {
+    const bool vert = cc.sym_axis(g) == Axis::Vertical;
     const int vm = lp.add_variable(0, inf, 0.0, "axis");
     auto mir_var = [&](std::size_t d) { return vert ? vx[d] : vy[d]; };
     auto ort_var = [&](std::size_t d) { return vert ? vy[d] : vx[d]; };
-    for (auto [a, b] : g.pairs) {
+    const std::span<const std::uint32_t> pa = cc.sym_pair_a(g);
+    const std::span<const std::uint32_t> pb = cc.sym_pair_b(g);
+    for (std::size_t k = 0; k < pa.size(); ++k) {
       lp.add_constraint(
-          {{mir_var(a.index()), 1.0}, {mir_var(b.index()), 1.0}, {vm, -2.0}},
+          {{mir_var(pa[k]), 1.0}, {mir_var(pb[k]), 1.0}, {vm, -2.0}},
           Relation::Equal, 0.0);
-      lp.add_constraint(
-          {{ort_var(a.index()), 1.0}, {ort_var(b.index()), -1.0}},
-          Relation::Equal, 0.0);
-    }
-    for (DeviceId d : g.self_symmetric) {
-      lp.add_constraint({{mir_var(d.index()), 1.0}, {vm, -1.0}},
+      lp.add_constraint({{ort_var(pa[k]), 1.0}, {ort_var(pb[k]), -1.0}},
                         Relation::Equal, 0.0);
+    }
+    for (std::uint32_t d : cc.sym_self(g)) {
+      lp.add_constraint({{mir_var(d), 1.0}, {vm, -1.0}}, Relation::Equal,
+                        0.0);
     }
   }
 
   // ---- (4g)+(4h): alignment -------------------------------------------------------
-  for (const netlist::AlignmentPair& p : c.constraints().alignments) {
-    switch (p.kind) {
+  for (std::size_t k = 0; k < cc.num_alignments(); ++k) {
+    const std::size_t a = cc.align_a()[k], b = cc.align_b()[k];
+    switch (cc.align_kind()[k]) {
       case netlist::AlignmentKind::Bottom:
-        lp.add_constraint(
-            {{vy[p.a.index()], 1.0}, {vy[p.b.index()], -1.0}},
-            Relation::Equal, (gh(p.a) - gh(p.b)) / 2);
+        lp.add_constraint({{vy[a], 1.0}, {vy[b], -1.0}}, Relation::Equal,
+                          (gh(a) - gh(b)) / 2);
         break;
       case netlist::AlignmentKind::VerticalCenter:
-        lp.add_constraint(
-            {{vx[p.a.index()], 1.0}, {vx[p.b.index()], -1.0}},
-            Relation::Equal, 0.0);
+        lp.add_constraint({{vx[a], 1.0}, {vx[b], -1.0}}, Relation::Equal,
+                          0.0);
         break;
       case netlist::AlignmentKind::HorizontalCenter:
-        lp.add_constraint(
-            {{vy[p.a.index()], 1.0}, {vy[p.b.index()], -1.0}},
-            Relation::Equal, 0.0);
+        lp.add_constraint({{vy[a], 1.0}, {vy[b], -1.0}}, Relation::Equal,
+                          0.0);
         break;
     }
   }
 
   // ---- common centroid: diagonal-sum equalities --------------------------------
-  for (const netlist::CommonCentroidQuad& q :
-       c.constraints().common_centroids) {
-    lp.add_constraint({{vx[q.a1.index()], 1.0},
-                       {vx[q.a2.index()], 1.0},
-                       {vx[q.b1.index()], -1.0},
-                       {vx[q.b2.index()], -1.0}},
-                      Relation::Equal, 0.0);
-    lp.add_constraint({{vy[q.a1.index()], 1.0},
-                       {vy[q.a2.index()], 1.0},
-                       {vy[q.b1.index()], -1.0},
-                       {vy[q.b2.index()], -1.0}},
-                      Relation::Equal, 0.0);
+  for (std::size_t q = 0; q < cc.num_centroids(); ++q) {
+    const std::size_t a1 = cc.cent_a1()[q], a2 = cc.cent_a2()[q];
+    const std::size_t b1 = cc.cent_b1()[q], b2 = cc.cent_b2()[q];
+    lp.add_constraint(
+        {{vx[a1], 1.0}, {vx[a2], 1.0}, {vx[b1], -1.0}, {vx[b2], -1.0}},
+        Relation::Equal, 0.0);
+    lp.add_constraint(
+        {{vy[a1], 1.0}, {vy[a2], 1.0}, {vy[b1], -1.0}, {vy[b2], -1.0}},
+        Relation::Equal, 0.0);
   }
 
   // ---- solve -------------------------------------------------------------------

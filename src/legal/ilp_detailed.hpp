@@ -12,6 +12,7 @@
 // the unsnapped (still feasible) solution is kept if snapping would break
 // legality.
 
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -19,6 +20,7 @@
 #include "base/deadline.hpp"
 #include "base/status.hpp"
 #include "legal/relative_order.hpp"
+#include "netlist/compiled.hpp"
 #include "netlist/evaluator.hpp"
 #include "netlist/placement.hpp"
 #include "solver/milp.hpp"
@@ -67,7 +69,16 @@ struct IlpResult {
 
 class IlpDetailedPlacer {
  public:
-  IlpDetailedPlacer(const netlist::Circuit& circuit, IlpOptions opts = {});
+  /// Borrow a compiled snapshot the caller keeps alive.
+  IlpDetailedPlacer(const netlist::CompiledCircuit& compiled,
+                    IlpOptions opts = {});
+  /// Share ownership of a compiled snapshot.
+  explicit IlpDetailedPlacer(
+      std::shared_ptr<const netlist::CompiledCircuit> compiled,
+      IlpOptions opts = {});
+  /// Convenience: compile privately from a raw circuit.
+  explicit IlpDetailedPlacer(const netlist::Circuit& circuit,
+                             IlpOptions opts = {});
 
   /// Legalize + detail-place starting from GP device centers (x.., y..).
   [[nodiscard]] IlpResult place(std::span<const double> gp_positions) const;
@@ -87,6 +98,8 @@ class IlpDetailedPlacer {
                         const std::vector<int>& vfy, IlpResult& result) const;
 
   const netlist::Circuit* circuit_;
+  const netlist::CompiledCircuit* compiled_;
+  std::shared_ptr<const netlist::CompiledCircuit> keep_;
   IlpOptions opts_;
 };
 

@@ -24,92 +24,95 @@ struct Skeleton {
   int vW = -1, vH = -1;
 };
 
-Skeleton build_skeleton(const netlist::Circuit& c,
+Skeleton build_skeleton(const netlist::CompiledCircuit& cc,
                         const std::vector<PairOrder>& orders, double gu,
                         double extent_cost) {
-  const std::size_t n = c.num_devices();
+  const netlist::Circuit& c = cc.circuit();
+  const std::size_t n = cc.num_devices();
+  const std::span<const double> dev_w = cc.dev_width();
+  const std::span<const double> dev_h = cc.dev_height();
   Skeleton s;
   s.vx.resize(n);
   s.vy.resize(n);
   const double inf = solver::kInf;
-  auto gw = [&](DeviceId d) { return c.device(d).width / gu; };
-  auto gh = [&](DeviceId d) { return c.device(d).height / gu; };
+  auto gw = [&](std::size_t d) { return dev_w[d] / gu; };
+  auto gh = [&](std::size_t d) { return dev_h[d] / gu; };
 
   double max_w = 0, max_h = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    const DeviceId d{i};
-    s.vx[i] = s.lp.add_variable(gw(d) / 2, inf, 0.0, c.device(d).name + ".x");
-    s.vy[i] = s.lp.add_variable(gh(d) / 2, inf, 0.0, c.device(d).name + ".y");
-    max_w = std::max(max_w, gw(d));
-    max_h = std::max(max_h, gh(d));
+    s.vx[i] =
+        s.lp.add_variable(gw(i) / 2, inf, 0.0, c.device(DeviceId{i}).name + ".x");
+    s.vy[i] =
+        s.lp.add_variable(gh(i) / 2, inf, 0.0, c.device(DeviceId{i}).name + ".y");
+    max_w = std::max(max_w, gw(i));
+    max_h = std::max(max_h, gh(i));
   }
   s.vW = s.lp.add_variable(max_w, inf, extent_cost, "W");
   s.vH = s.lp.add_variable(max_h, inf, extent_cost, "H");
 
   for (std::size_t i = 0; i < n; ++i) {
-    const DeviceId d{i};
     s.lp.add_constraint({{s.vx[i], 1.0}, {s.vW, -1.0}}, Relation::LessEq,
-                        -gw(d) / 2);
+                        -gw(i) / 2);
     s.lp.add_constraint({{s.vy[i], 1.0}, {s.vH, -1.0}}, Relation::LessEq,
-                        -gh(d) / 2);
+                        -gh(i) / 2);
   }
   for (const PairOrder& po : orders) {
     const std::size_t a = po.left_or_bottom.index();
     const std::size_t b = po.right_or_top.index();
     if (po.horizontal) {
       s.lp.add_constraint({{s.vx[a], 1.0}, {s.vx[b], -1.0}}, Relation::LessEq,
-                          -(gw(po.left_or_bottom) + gw(po.right_or_top)) / 2);
+                          -(gw(a) + gw(b)) / 2);
     } else {
       s.lp.add_constraint({{s.vy[a], 1.0}, {s.vy[b], -1.0}}, Relation::LessEq,
-                          -(gh(po.left_or_bottom) + gh(po.right_or_top)) / 2);
+                          -(gh(a) + gh(b)) / 2);
     }
   }
-  for (const netlist::SymmetryGroup& g : c.constraints().symmetry_groups) {
-    const bool vert = g.axis == Axis::Vertical;
+  for (std::size_t g = 0; g < cc.num_symmetry_groups(); ++g) {
+    const bool vert = cc.sym_axis(g) == Axis::Vertical;
     const int vm = s.lp.add_variable(0, inf, 0.0, "axis");
     auto mir_var = [&](std::size_t d) { return vert ? s.vx[d] : s.vy[d]; };
     auto ort_var = [&](std::size_t d) { return vert ? s.vy[d] : s.vx[d]; };
-    for (auto [a, b] : g.pairs) {
+    const std::span<const std::uint32_t> pa = cc.sym_pair_a(g);
+    const std::span<const std::uint32_t> pb = cc.sym_pair_b(g);
+    for (std::size_t k = 0; k < pa.size(); ++k) {
       s.lp.add_constraint(
-          {{mir_var(a.index()), 1.0}, {mir_var(b.index()), 1.0}, {vm, -2.0}},
+          {{mir_var(pa[k]), 1.0}, {mir_var(pb[k]), 1.0}, {vm, -2.0}},
           Relation::Equal, 0.0);
-      s.lp.add_constraint(
-          {{ort_var(a.index()), 1.0}, {ort_var(b.index()), -1.0}},
-          Relation::Equal, 0.0);
-    }
-    for (DeviceId d : g.self_symmetric) {
-      s.lp.add_constraint({{mir_var(d.index()), 1.0}, {vm, -1.0}},
+      s.lp.add_constraint({{ort_var(pa[k]), 1.0}, {ort_var(pb[k]), -1.0}},
                           Relation::Equal, 0.0);
     }
+    for (std::uint32_t d : cc.sym_self(g)) {
+      s.lp.add_constraint({{mir_var(d), 1.0}, {vm, -1.0}}, Relation::Equal,
+                          0.0);
+    }
   }
-  for (const netlist::CommonCentroidQuad& q :
-       c.constraints().common_centroids) {
-    s.lp.add_constraint({{s.vx[q.a1.index()], 1.0},
-                         {s.vx[q.a2.index()], 1.0},
-                         {s.vx[q.b1.index()], -1.0},
-                         {s.vx[q.b2.index()], -1.0}},
+  for (std::size_t q = 0; q < cc.num_centroids(); ++q) {
+    const std::size_t a1 = cc.cent_a1()[q], a2 = cc.cent_a2()[q];
+    const std::size_t b1 = cc.cent_b1()[q], b2 = cc.cent_b2()[q];
+    s.lp.add_constraint({{s.vx[a1], 1.0},
+                         {s.vx[a2], 1.0},
+                         {s.vx[b1], -1.0},
+                         {s.vx[b2], -1.0}},
                         Relation::Equal, 0.0);
-    s.lp.add_constraint({{s.vy[q.a1.index()], 1.0},
-                         {s.vy[q.a2.index()], 1.0},
-                         {s.vy[q.b1.index()], -1.0},
-                         {s.vy[q.b2.index()], -1.0}},
+    s.lp.add_constraint({{s.vy[a1], 1.0},
+                         {s.vy[a2], 1.0},
+                         {s.vy[b1], -1.0},
+                         {s.vy[b2], -1.0}},
                         Relation::Equal, 0.0);
   }
-  for (const netlist::AlignmentPair& p : c.constraints().alignments) {
-    switch (p.kind) {
+  for (std::size_t k = 0; k < cc.num_alignments(); ++k) {
+    const std::size_t a = cc.align_a()[k], b = cc.align_b()[k];
+    switch (cc.align_kind()[k]) {
       case netlist::AlignmentKind::Bottom:
-        s.lp.add_constraint({{s.vy[p.a.index()], 1.0},
-                             {s.vy[p.b.index()], -1.0}},
-                            Relation::Equal, (gh(p.a) - gh(p.b)) / 2);
+        s.lp.add_constraint({{s.vy[a], 1.0}, {s.vy[b], -1.0}},
+                            Relation::Equal, (gh(a) - gh(b)) / 2);
         break;
       case netlist::AlignmentKind::VerticalCenter:
-        s.lp.add_constraint({{s.vx[p.a.index()], 1.0},
-                             {s.vx[p.b.index()], -1.0}},
+        s.lp.add_constraint({{s.vx[a], 1.0}, {s.vx[b], -1.0}},
                             Relation::Equal, 0.0);
         break;
       case netlist::AlignmentKind::HorizontalCenter:
-        s.lp.add_constraint({{s.vy[p.a.index()], 1.0},
-                             {s.vy[p.b.index()], -1.0}},
+        s.lp.add_constraint({{s.vy[a], 1.0}, {s.vy[b], -1.0}},
                             Relation::Equal, 0.0);
         break;
     }
@@ -119,13 +122,24 @@ Skeleton build_skeleton(const netlist::Circuit& c,
 
 }  // namespace
 
-TwoStageLpLegalizer::TwoStageLpLegalizer(const netlist::Circuit& circuit,
-                                         TwoStageOptions opts)
-    : circuit_(&circuit), opts_(opts) {
-  APLACE_CHECK(circuit.finalized());
+TwoStageLpLegalizer::TwoStageLpLegalizer(
+    const netlist::CompiledCircuit& compiled, TwoStageOptions opts)
+    : circuit_(&compiled.circuit()), compiled_(&compiled), opts_(opts) {
   APLACE_CHECK(opts.grid_pitch > 0);
   APLACE_CHECK(opts.area_slack >= 1.0);
 }
+
+TwoStageLpLegalizer::TwoStageLpLegalizer(
+    std::shared_ptr<const netlist::CompiledCircuit> compiled,
+    TwoStageOptions opts)
+    : TwoStageLpLegalizer(*compiled, opts) {
+  keep_ = std::move(compiled);
+}
+
+TwoStageLpLegalizer::TwoStageLpLegalizer(const netlist::Circuit& circuit,
+                                         TwoStageOptions opts)
+    : TwoStageLpLegalizer(
+          std::make_shared<const netlist::CompiledCircuit>(circuit), opts) {}
 
 TwoStageResult TwoStageLpLegalizer::place(
     std::span<const double> gp_positions) const {
@@ -194,7 +208,7 @@ bool TwoStageLpLegalizer::run_stages(const std::vector<PairOrder>& orders,
   const double gu = opts_.grid_pitch;
 
   // ---- stage 1: area compaction (min W + H) ---------------------------------
-  Skeleton s1 = build_skeleton(c, orders, gu, /*extent_cost=*/1.0);
+  Skeleton s1 = build_skeleton(*compiled_, orders, gu, /*extent_cost=*/1.0);
   const solver::LpSolution sol1 = solve_lp(s1.lp);
   result.status = sol1.status;
   if (!sol1.ok()) {
@@ -207,26 +221,31 @@ bool TwoStageLpLegalizer::run_stages(const std::vector<PairOrder>& orders,
   result.stage1_height = H1;
 
   // ---- stage 2: wirelength under the compacted extents -----------------------
-  Skeleton s2 = build_skeleton(c, orders, gu, /*extent_cost=*/0.0);
+  Skeleton s2 = build_skeleton(*compiled_, orders, gu, /*extent_cost=*/0.0);
   solver::LpProblem& lp = s2.lp;
   lp.add_constraint({{s2.vW, 1.0}}, Relation::LessEq,
                     W1 * opts_.area_slack + 1e-9);
   lp.add_constraint({{s2.vH, 1.0}}, Relation::LessEq,
                     H1 * opts_.area_slack + 1e-9);
 
-  const std::size_t ne = c.num_nets();
+  const netlist::CompiledCircuit& cc = *compiled_;
+  const std::span<const double> net_weight = cc.net_weight();
+  const std::span<const std::uint32_t> pin_device = cc.pin_device();
+  const std::span<const double> pin_off_x = cc.pin_offset_x();
+  const std::span<const double> pin_off_y = cc.pin_offset_y();
+  const std::span<const double> dev_w = cc.dev_width();
+  const std::span<const double> dev_h = cc.dev_height();
+  const std::size_t ne = cc.num_nets();
   for (std::size_t e = 0; e < ne; ++e) {
-    const netlist::Net& net = c.net(NetId{e});
-    const int vxmin = lp.add_variable(0, solver::kInf, -net.weight, "");
-    const int vxmax = lp.add_variable(0, solver::kInf, +net.weight, "");
-    const int vymin = lp.add_variable(0, solver::kInf, -net.weight, "");
-    const int vymax = lp.add_variable(0, solver::kInf, +net.weight, "");
-    for (PinId pid : net.pins) {
-      const netlist::Pin& pin = c.pin(pid);
-      const std::size_t i = pin.device.index();
-      const netlist::Device& dev = c.device(pin.device);
-      const double cx = (pin.offset.x - dev.width / 2) / gu;
-      const double cy = (pin.offset.y - dev.height / 2) / gu;
+    const double weight = net_weight[e];
+    const int vxmin = lp.add_variable(0, solver::kInf, -weight, "");
+    const int vxmax = lp.add_variable(0, solver::kInf, +weight, "");
+    const int vymin = lp.add_variable(0, solver::kInf, -weight, "");
+    const int vymax = lp.add_variable(0, solver::kInf, +weight, "");
+    for (std::uint32_t pid : cc.net_pins(e)) {
+      const std::size_t i = pin_device[pid];
+      const double cx = (pin_off_x[pid] - dev_w[i] / 2) / gu;
+      const double cy = (pin_off_y[pid] - dev_h[i] / 2) / gu;
       lp.add_constraint({{vxmin, 1.0}, {s2.vx[i], -1.0}}, Relation::LessEq,
                         cx);
       lp.add_constraint({{s2.vx[i], 1.0}, {vxmax, -1.0}}, Relation::LessEq,

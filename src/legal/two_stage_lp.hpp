@@ -9,6 +9,7 @@
 // (paper Sec. IV-B): two sequential objectives instead of one integrated
 // one, and no device flipping.
 
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -16,6 +17,7 @@
 #include "base/deadline.hpp"
 #include "base/status.hpp"
 #include "legal/relative_order.hpp"
+#include "netlist/compiled.hpp"
 #include "netlist/placement.hpp"
 #include "solver/lp.hpp"
 
@@ -54,8 +56,16 @@ struct TwoStageResult {
 
 class TwoStageLpLegalizer {
  public:
-  TwoStageLpLegalizer(const netlist::Circuit& circuit,
+  /// Borrow a compiled snapshot the caller keeps alive.
+  TwoStageLpLegalizer(const netlist::CompiledCircuit& compiled,
                       TwoStageOptions opts = {});
+  /// Share ownership of a compiled snapshot.
+  explicit TwoStageLpLegalizer(
+      std::shared_ptr<const netlist::CompiledCircuit> compiled,
+      TwoStageOptions opts = {});
+  /// Convenience: compile privately from a raw circuit.
+  explicit TwoStageLpLegalizer(const netlist::Circuit& circuit,
+                               TwoStageOptions opts = {});
 
   [[nodiscard]] TwoStageResult place(
       std::span<const double> gp_positions) const;
@@ -67,6 +77,8 @@ class TwoStageLpLegalizer {
                   TwoStageResult& result) const;
 
   const netlist::Circuit* circuit_;
+  const netlist::CompiledCircuit* compiled_;
+  std::shared_ptr<const netlist::CompiledCircuit> keep_;
   TwoStageOptions opts_;
 };
 

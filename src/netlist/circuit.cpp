@@ -1,7 +1,10 @@
 #include "netlist/circuit.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <unordered_set>
+
+#include "base/fnv.hpp"
 
 namespace aplace::netlist {
 
@@ -162,7 +165,85 @@ void Circuit::finalize() {
                              "must be on a net before finalize()");
   }
   build_device_net_adjacency();
+  digest_ = compute_digest();
   finalized_ = true;
+}
+
+std::uint64_t Circuit::compute_digest() const {
+  // Canonical serialization: every structural field in registration order,
+  // strings null-terminated, numbers as raw little-endian bit patterns (the
+  // build is single-platform; doubles hash their exact bits).
+  std::uint64_t h = base::kFnvOffsetBasis;
+  auto mix_bytes = [&](const void* p, std::size_t n) {
+    h = base::fnv1a64_accumulate(
+        h, std::string_view(static_cast<const char*>(p), n));
+  };
+  auto mix_str = [&](const std::string& s) {
+    mix_bytes(s.data(), s.size());
+    const char zero = '\0';
+    mix_bytes(&zero, 1);
+  };
+  auto mix_u64 = [&](std::uint64_t v) { mix_bytes(&v, sizeof v); };
+  auto mix_f64 = [&](double d) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &d, sizeof bits);
+    mix_u64(bits);
+  };
+
+  mix_str(name_);
+  mix_u64(devices_.size());
+  for (const Device& d : devices_) {
+    mix_str(d.name);
+    mix_u64(static_cast<std::uint64_t>(d.type));
+    mix_f64(d.width);
+    mix_f64(d.height);
+  }
+  mix_u64(pins_.size());
+  for (const Pin& p : pins_) {
+    mix_str(p.name);
+    mix_u64(p.device.index());
+    mix_f64(p.offset.x);
+    mix_f64(p.offset.y);
+  }
+  mix_u64(nets_.size());
+  for (const Net& n : nets_) {
+    mix_str(n.name);
+    mix_f64(n.weight);
+    mix_u64(n.critical ? 1 : 0);
+    mix_u64(n.pins.size());
+    for (PinId p : n.pins) mix_u64(p.index());
+  }
+  mix_u64(constraints_.symmetry_groups.size());
+  for (const SymmetryGroup& g : constraints_.symmetry_groups) {
+    mix_u64(static_cast<std::uint64_t>(g.axis));
+    mix_u64(g.pairs.size());
+    for (auto [a, b] : g.pairs) {
+      mix_u64(a.index());
+      mix_u64(b.index());
+    }
+    mix_u64(g.self_symmetric.size());
+    for (DeviceId d : g.self_symmetric) mix_u64(d.index());
+  }
+  mix_u64(constraints_.alignments.size());
+  for (const AlignmentPair& p : constraints_.alignments) {
+    mix_u64(static_cast<std::uint64_t>(p.kind));
+    mix_u64(p.a.index());
+    mix_u64(p.b.index());
+  }
+  mix_u64(constraints_.orderings.size());
+  for (const OrderingConstraint& c : constraints_.orderings) {
+    mix_u64(static_cast<std::uint64_t>(c.direction));
+    mix_u64(c.devices.size());
+    for (DeviceId d : c.devices) mix_u64(d.index());
+  }
+  mix_u64(constraints_.common_centroids.size());
+  for (const CommonCentroidQuad& q : constraints_.common_centroids) {
+    mix_u64(q.a1.index());
+    mix_u64(q.a2.index());
+    mix_u64(q.b1.index());
+    mix_u64(q.b2.index());
+  }
+  return h;
 }
 
 void Circuit::build_device_net_adjacency() {

@@ -44,6 +44,16 @@ class Circuit {
   void finalize();
   [[nodiscard]] bool finalized() const { return finalized_; }
 
+  /// FNV-1a64 over a canonical serialization of the whole netlist (devices,
+  /// pins, nets, constraints). Computed eagerly by finalize() so concurrent
+  /// readers never race on lazy initialization. Two circuits with equal
+  /// digests compile to identical CompiledCircuit tables; the batch layer
+  /// keys its compile cache and journal drift checks on it.
+  [[nodiscard]] std::uint64_t digest() const {
+    APLACE_DCHECK(finalized_);
+    return digest_;
+  }
+
   // ---- read access ---------------------------------------------------------
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] std::size_t num_devices() const { return devices_.size(); }
@@ -96,6 +106,7 @@ class Circuit {
   }
 
   void build_device_net_adjacency();
+  [[nodiscard]] std::uint64_t compute_digest() const;
 
   std::string name_;
   std::vector<Device> devices_;
@@ -107,6 +118,7 @@ class Circuit {
   ConstraintSet constraints_;
   std::unordered_map<std::string, DeviceId> device_by_name_;
   std::unordered_map<std::string, NetId> net_by_name_;
+  std::uint64_t digest_ = 0;
   bool finalized_ = false;
 };
 

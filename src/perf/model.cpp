@@ -4,26 +4,38 @@
 
 namespace aplace::perf {
 
-PerformanceModel::PerformanceModel(const netlist::Circuit& circuit,
+PerformanceModel::PerformanceModel(const netlist::CompiledCircuit& compiled,
                                    PerformanceSpec spec)
-    : circuit_(&circuit), spec_(std::move(spec)) {
-  APLACE_CHECK(circuit.finalized());
+    : compiled_(&compiled), spec_(std::move(spec)) {
   APLACE_CHECK_MSG(!spec_.metrics.empty(), "empty performance spec");
   spec_.normalize_weights();
 }
+
+PerformanceModel::PerformanceModel(
+    std::shared_ptr<const netlist::CompiledCircuit> compiled,
+    PerformanceSpec spec)
+    : PerformanceModel(*compiled, std::move(spec)) {
+  keep_ = std::move(compiled);
+}
+
+PerformanceModel::PerformanceModel(const netlist::Circuit& circuit,
+                                   PerformanceSpec spec)
+    : PerformanceModel(std::make_shared<const netlist::CompiledCircuit>(circuit),
+                       std::move(spec)) {}
 
 Features PerformanceModel::extract_features(
     const netlist::Placement& placement,
     const route::RoutingResult* routing) const {
   Features f;
+  const netlist::CompiledCircuit& cc = *compiled_;
+  const std::span<const std::uint8_t> critical = cc.net_critical();
   double crit = 0, total = 0;
-  for (std::size_t i = 0; i < circuit_->num_nets(); ++i) {
-    const NetId id{i};
+  for (std::size_t i = 0; i < cc.num_nets(); ++i) {
     // Routed length when available; HPWL (a lower bound) otherwise.
     const double len =
-        routing ? routing->net_length(id) : placement.net_hpwl(id);
+        routing ? routing->net_length(NetId{i}) : placement.net_hpwl(NetId{i});
     total += len;
-    if (circuit_->net(id).critical) crit += len;
+    if (critical[i] != 0) crit += len;
   }
   f.critical_len = crit / 50.0;
   f.total_len = total / 200.0;
@@ -31,10 +43,13 @@ Features PerformanceModel::extract_features(
 
   double sep = 0;
   std::size_t pairs = 0;
-  for (const netlist::SymmetryGroup& g :
-       circuit_->constraints().symmetry_groups) {
-    for (auto [a, b] : g.pairs) {
-      sep += (placement.position(a) - placement.position(b)).norm();
+  for (std::size_t g = 0; g < cc.num_symmetry_groups(); ++g) {
+    const std::span<const std::uint32_t> pa = cc.sym_pair_a(g);
+    const std::span<const std::uint32_t> pb = cc.sym_pair_b(g);
+    for (std::size_t k = 0; k < pa.size(); ++k) {
+      sep += (placement.position(DeviceId{pa[k]}) -
+              placement.position(DeviceId{pb[k]}))
+                 .norm();
       ++pairs;
     }
   }

@@ -10,8 +10,10 @@
 // to added poles — so the *shape* of placement-vs-performance comparisons is
 // preserved even though absolute numbers are synthetic.
 
+#include <memory>
 #include <optional>
 
+#include "netlist/compiled.hpp"
 #include "netlist/placement.hpp"
 #include "perf/spec.hpp"
 #include "route/router.hpp"
@@ -37,6 +39,13 @@ struct PerformanceResult {
 
 class PerformanceModel {
  public:
+  /// Borrow a compiled snapshot the caller keeps alive.
+  PerformanceModel(const netlist::CompiledCircuit& compiled,
+                   PerformanceSpec spec);
+  /// Share ownership of a compiled snapshot.
+  PerformanceModel(std::shared_ptr<const netlist::CompiledCircuit> compiled,
+                   PerformanceSpec spec);
+  /// Convenience: compile privately from a raw circuit.
   PerformanceModel(const netlist::Circuit& circuit, PerformanceSpec spec);
 
   [[nodiscard]] const PerformanceSpec& spec() const { return spec_; }
@@ -54,7 +63,8 @@ class PerformanceModel {
   [[nodiscard]] PerformanceResult evaluate_features(const Features& f) const;
 
  private:
-  const netlist::Circuit* circuit_;
+  const netlist::CompiledCircuit* compiled_;
+  std::shared_ptr<const netlist::CompiledCircuit> keep_;
   PerformanceSpec spec_;
 };
 

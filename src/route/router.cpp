@@ -134,12 +134,13 @@ void commit_path(RoutingGrid& g, const std::vector<std::size_t>& path) {
 
 }  // namespace
 
-RoutingResult GridRouter::route(const netlist::Placement& placement) const {
+RoutingResult GridRouter::route(const netlist::CompiledCircuit& compiled,
+                                const netlist::Placement& placement) const {
   obs::Span span("route/estimate");
   obs::counter("route/runs").inc();
-  const netlist::Circuit& circuit = placement.circuit();
+  APLACE_DCHECK(&compiled.circuit() == &placement.circuit());
   RoutingResult result;
-  result.nets.resize(circuit.num_nets());
+  result.nets.resize(compiled.num_nets());
 
   const geom::Rect bbox = placement.bounding_box().inflated(opts_.margin);
   double pitch = opts_.pitch;
@@ -151,7 +152,7 @@ RoutingResult GridRouter::route(const netlist::Placement& placement) const {
 
   // Route nets in ascending bbox half-perimeter order (small first), the
   // usual global-routing heuristic.
-  std::vector<std::size_t> order(circuit.num_nets());
+  std::vector<std::size_t> order(compiled.num_nets());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
   std::vector<double> key(order.size());
   for (std::size_t i = 0; i < order.size(); ++i) {
@@ -161,14 +162,14 @@ RoutingResult GridRouter::route(const netlist::Placement& placement) const {
                    [&](std::size_t a, std::size_t b) { return key[a] < key[b]; });
 
   for (std::size_t ni : order) {
-    const netlist::Net& net = circuit.net(NetId{ni});
+    const std::span<const std::uint32_t> net_pins = compiled.net_pins(ni);
     NetRoute& out = result.nets[ni];
 
     // Pin grid nodes.
     std::vector<std::size_t> pins;
-    pins.reserve(net.pins.size());
-    for (PinId pid : net.pins) {
-      const auto [cx, cy] = grid.nearest(placement.pin_position(pid));
+    pins.reserve(net_pins.size());
+    for (std::uint32_t pid : net_pins) {
+      const auto [cx, cy] = grid.nearest(placement.pin_position(PinId{pid}));
       pins.push_back(grid.idx(cx, cy));
     }
     std::sort(pins.begin(), pins.end());
@@ -216,6 +217,11 @@ RoutingResult GridRouter::route(const netlist::Placement& placement) const {
   for (double u : grid.h_use) result.max_edge_usage = std::max(result.max_edge_usage, u);
   for (double u : grid.v_use) result.max_edge_usage = std::max(result.max_edge_usage, u);
   return result;
+}
+
+RoutingResult GridRouter::route(const netlist::Placement& placement) const {
+  const netlist::CompiledCircuit compiled(placement.circuit());
+  return route(compiled, placement);
 }
 
 }  // namespace aplace::route

@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "netlist/compiled.hpp"
 #include "netlist/placement.hpp"
 
 namespace aplace::route {
@@ -38,7 +39,14 @@ class GridRouter {
  public:
   explicit GridRouter(RouterOptions options = {}) : opts_(options) {}
 
-  /// Route every net of the placement. Deterministic.
+  /// Route every net of the placement using a prebuilt compiled snapshot
+  /// (the net->pin CSR). Deterministic. `compiled` must describe the same
+  /// circuit the placement was built on.
+  [[nodiscard]] RoutingResult route(const netlist::CompiledCircuit& compiled,
+                                    const netlist::Placement& placement) const;
+
+  /// Convenience: compile a private snapshot, then route. Prefer the
+  /// overload above when routing many placements of the same circuit.
   [[nodiscard]] RoutingResult route(const netlist::Placement& placement) const;
 
  private:

@@ -43,13 +43,13 @@ std::size_t draw_distinct(numeric::Rng& rng, std::size_t i,
 
 }  // namespace
 
-SaPlacer::SaPlacer(const netlist::Circuit& circuit, SaOptions options)
-    : circuit_(&circuit),
+SaPlacer::SaPlacer(const netlist::CompiledCircuit& compiled, SaOptions options)
+    : circuit_(&compiled.circuit()),
+      compiled_(&compiled),
       opts_(std::move(options)),
-      eval_(circuit),
-      engine_(circuit) {
-  APLACE_CHECK(circuit.finalized());
-
+      eval_(compiled.circuit()),
+      engine_(compiled) {
+  const netlist::Circuit& circuit = compiled.circuit();
   const std::size_t n = circuit.num_devices();
   single_block_of_.assign(n, kNoBlock);
   device_orient_.assign(n, {});
@@ -82,6 +82,16 @@ SaPlacer::SaPlacer(const netlist::Circuit& circuit, SaOptions options)
   single_scratch_.resize(1);
   engine_.configure_blocks(block_members());
 }
+
+SaPlacer::SaPlacer(std::shared_ptr<const netlist::CompiledCircuit> compiled,
+                   SaOptions options)
+    : SaPlacer(*compiled, std::move(options)) {
+  keep_ = std::move(compiled);
+}
+
+SaPlacer::SaPlacer(const netlist::Circuit& circuit, SaOptions options)
+    : SaPlacer(std::make_shared<const netlist::CompiledCircuit>(circuit),
+               std::move(options)) {}
 
 std::vector<std::vector<Island::Member>> SaPlacer::block_members() const {
   std::vector<std::vector<Island::Member>> blocks(num_blocks());

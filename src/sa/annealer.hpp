@@ -85,6 +85,12 @@ struct SaResult {
 
 class SaPlacer {
  public:
+  /// Borrow a compiled snapshot the caller keeps alive.
+  SaPlacer(const netlist::CompiledCircuit& compiled, SaOptions options);
+  /// Share ownership of a compiled snapshot.
+  SaPlacer(std::shared_ptr<const netlist::CompiledCircuit> compiled,
+           SaOptions options);
+  /// Convenience: compile privately from a raw circuit.
   SaPlacer(const netlist::Circuit& circuit, SaOptions options);
 
   /// Run `num_chains` independent annealing chains from shuffled initial
@@ -151,6 +157,8 @@ class SaPlacer {
   [[nodiscard]] double cost_of(const netlist::Placement& pl) const;
 
   const netlist::Circuit* circuit_;
+  const netlist::CompiledCircuit* compiled_;
+  std::shared_ptr<const netlist::CompiledCircuit> keep_;
   SaOptions opts_;
   netlist::Evaluator eval_;
 

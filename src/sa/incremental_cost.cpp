@@ -12,57 +12,58 @@ constexpr std::uint32_t kUnstamped = std::numeric_limits<std::uint32_t>::max();
 
 }  // namespace
 
-IncrementalCost::IncrementalCost(const netlist::Circuit& circuit)
-    : circuit_(&circuit),
-      eval_(circuit),
-      state_(circuit),
-      trial_state_(circuit) {
-  const netlist::ConstraintSet& cs = circuit.constraints();
-
+IncrementalCost::IncrementalCost(const netlist::CompiledCircuit& compiled)
+    : circuit_(&compiled.circuit()),
+      compiled_(&compiled),
+      eval_(compiled.circuit()),
+      state_(compiled.circuit()),
+      trial_state_(compiled.circuit()) {
   // Flatten the positional constraints once; the block adjacency comes with
   // configure_blocks() when the caller knows the block structure.
-  for (std::size_t k = 0; k < cs.alignments.size(); ++k) {
+  for (std::size_t k = 0; k < compiled.num_alignments(); ++k) {
     constraints_.push_back(ConstraintRef{ConstraintRef::Kind::Alignment,
                                          static_cast<std::uint32_t>(k)});
   }
-  for (std::size_t k = 0; k < cs.orderings.size(); ++k) {
+  for (std::size_t k = 0; k < compiled.num_orderings(); ++k) {
     constraints_.push_back(ConstraintRef{ConstraintRef::Kind::Ordering,
                                          static_cast<std::uint32_t>(k)});
   }
-  for (std::size_t k = 0; k < cs.common_centroids.size(); ++k) {
+  for (std::size_t k = 0; k < compiled.num_centroids(); ++k) {
     constraints_.push_back(ConstraintRef{ConstraintRef::Kind::Centroid,
                                          static_cast<std::uint32_t>(k)});
   }
 
-  const std::size_t n = circuit.num_devices();
+  const std::size_t n = compiled.num_devices();
+  const std::size_t num_nets = compiled.num_nets();
   off_.assign(n, {});
   orient_.assign(n, {});
   block_of_.assign(n, 0);
-  net_xspan_.assign(circuit.num_nets(), 0.0);
-  net_yspan_.assign(circuit.num_nets(), 0.0);
-  trial_xspan_.assign(circuit.num_nets(), 0.0);
-  trial_yspan_.assign(circuit.num_nets(), 0.0);
+  net_xspan_.assign(num_nets, 0.0);
+  net_yspan_.assign(num_nets, 0.0);
+  trial_xspan_.assign(num_nets, 0.0);
+  trial_yspan_.assign(num_nets, 0.0);
   cons_residual_.assign(constraints_.size(), 0.0);
   trial_cons_residual_.assign(constraints_.size(), 0.0);
-  net_epoch_.assign(circuit.num_nets(), 0);
+  net_epoch_.assign(num_nets, 0);
   cons_epoch_.assign(constraints_.size(), 0);
 
-  net_weight_.resize(circuit.num_nets());
-  for (std::size_t i = 0; i < circuit.num_nets(); ++i) {
-    net_weight_[i] = circuit.net(NetId{i}).weight;
-  }
-  dev_w_.resize(n);
-  dev_h_.resize(n);
-  dev_halfw_.resize(n);
-  dev_halfh_.resize(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const netlist::Device& dev = circuit.device(DeviceId{i});
-    dev_w_[i] = dev.width;
-    dev_h_[i] = dev.height;
-    dev_halfw_[i] = dev.width / 2;
-    dev_halfh_[i] = dev.height / 2;
-  }
+  // Hot-loop views straight into the compiled snapshot's flat arrays.
+  net_weight_ = compiled.net_weight();
+  dev_w_ = compiled.dev_width();
+  dev_h_ = compiled.dev_height();
+  dev_halfw_ = compiled.dev_half_width();
+  dev_halfh_ = compiled.dev_half_height();
 }
+
+IncrementalCost::IncrementalCost(
+    std::shared_ptr<const netlist::CompiledCircuit> compiled)
+    : IncrementalCost(*compiled) {
+  keep_ = std::move(compiled);
+}
+
+IncrementalCost::IncrementalCost(const netlist::Circuit& circuit)
+    : IncrementalCost(
+          std::make_shared<const netlist::CompiledCircuit>(circuit)) {}
 
 void IncrementalCost::configure_blocks(
     const std::vector<std::vector<Member>>& blocks) {
@@ -88,10 +89,10 @@ void IncrementalCost::configure_blocks(
   for (std::size_t b = 0; b < num_blocks_; ++b) {
     const std::size_t begin = block_net_.size();
     for (std::size_t k = block_dev_off_[b]; k < block_dev_off_[b + 1]; ++k) {
-      for (NetId net : circuit_->nets_of(block_dev_[k])) {
-        if (stamp[net.index()] != static_cast<std::uint32_t>(b)) {
-          stamp[net.index()] = static_cast<std::uint32_t>(b);
-          block_net_.push_back(static_cast<std::uint32_t>(net.index()));
+      for (std::uint32_t net : compiled_->device_nets(block_dev_[k].index())) {
+        if (stamp[net] != static_cast<std::uint32_t>(b)) {
+          stamp[net] = static_cast<std::uint32_t>(b);
+          block_net_.push_back(net);
         }
       }
     }
@@ -122,17 +123,20 @@ void IncrementalCost::configure_blocks(
   }
 
   // Per-slot pin lists, in net pin order (so refresh_rel_boxes reproduces
-  // the min/max sequence a full-pin walk would, bit for bit).
+  // the min/max sequence a full-pin walk would, bit for bit). Fed from the
+  // compiled net->pin CSR, which preserves declaration order.
+  const std::span<const std::uint32_t> pin_device = compiled_->pin_device();
+  const std::span<const double> pin_off_x = compiled_->pin_offset_x();
+  const std::span<const double> pin_off_y = compiled_->pin_offset_y();
   slot_pin_off_.assign(block_net_.size() + 1, 0);
   slot_pin_.clear();
   for (std::size_t b = 0; b < num_blocks_; ++b) {
     for (std::size_t s = block_net_off_[b]; s < block_net_off_[b + 1]; ++s) {
-      const netlist::Net& net = circuit_->net(NetId{block_net_[s]});
-      for (PinId pid : net.pins) {
-        const netlist::Pin& pin = circuit_->pin(pid);
-        if (block_of_[pin.device.index()] != b) continue;
-        slot_pin_.push_back(SlotPin{
-            pin.offset, static_cast<std::uint32_t>(pin.device.index()), 0});
+      for (std::uint32_t pid : compiled_->net_pins(block_net_[s])) {
+        const std::uint32_t dev = pin_device[pid];
+        if (block_of_[dev] != b) continue;
+        slot_pin_.push_back(
+            SlotPin{{pin_off_x[pid], pin_off_y[pid]}, dev, 0});
       }
       slot_pin_off_[s + 1] = slot_pin_.size();
     }
@@ -141,40 +145,36 @@ void IncrementalCost::configure_blocks(
   // block -> flat constraints (deduplicated per constraint) and the
   // reverse constraint -> unique blocks.
   std::vector<std::vector<std::uint32_t>> per_block(num_blocks_);
-  std::vector<DeviceId> cons_devs;
-  const netlist::ConstraintSet& cs = circuit_->constraints();
+  std::vector<std::uint32_t> cons_devs;
+  const netlist::CompiledCircuit& cc = *compiled_;
   cons_block_off_.assign(1, 0);
   cons_block_.clear();
   for (std::size_t c = 0; c < constraints_.size(); ++c) {
     cons_devs.clear();
+    const std::uint32_t idx = constraints_[c].index;
     switch (constraints_[c].kind) {
-      case ConstraintRef::Kind::Alignment: {
-        const netlist::AlignmentPair& p = cs.alignments[constraints_[c].index];
-        cons_devs = {p.a, p.b};
+      case ConstraintRef::Kind::Alignment:
+        cons_devs = {cc.align_a()[idx], cc.align_b()[idx]};
         break;
-      }
       case ConstraintRef::Kind::Ordering: {
-        const netlist::OrderingConstraint& o =
-            cs.orderings[constraints_[c].index];
-        cons_devs.assign(o.devices.begin(), o.devices.end());
+        const std::span<const std::uint32_t> devs = cc.order_devices(idx);
+        cons_devs.assign(devs.begin(), devs.end());
         break;
       }
-      case ConstraintRef::Kind::Centroid: {
-        const netlist::CommonCentroidQuad& q =
-            cs.common_centroids[constraints_[c].index];
-        cons_devs = {q.a1, q.a2, q.b1, q.b2};
+      case ConstraintRef::Kind::Centroid:
+        cons_devs = {cc.cent_a1()[idx], cc.cent_a2()[idx], cc.cent_b1()[idx],
+                     cc.cent_b2()[idx]};
         break;
-      }
     }
-    for (DeviceId d : cons_devs) {
-      std::vector<std::uint32_t>& list = per_block[block_of_[d.index()]];
+    for (std::uint32_t d : cons_devs) {
+      std::vector<std::uint32_t>& list = per_block[block_of_[d]];
       if (list.empty() || list.back() != static_cast<std::uint32_t>(c)) {
         list.push_back(static_cast<std::uint32_t>(c));
       }
     }
     const std::size_t begin = cons_block_.size();
-    for (DeviceId d : cons_devs) {
-      cons_block_.push_back(static_cast<std::uint32_t>(block_of_[d.index()]));
+    for (std::uint32_t d : cons_devs) {
+      cons_block_.push_back(static_cast<std::uint32_t>(block_of_[d]));
     }
     std::sort(cons_block_.begin() + static_cast<std::ptrdiff_t>(begin),
               cons_block_.end());
@@ -290,18 +290,21 @@ double IncrementalCost::constraint_residual(const double* ox, const double* oy,
   // Same center-based formulas as netlist::Evaluator, fed from block origin
   // + in-block offset (the exact sum the realize path produces, so these
   // match an Evaluator run on a realized Placement bit for bit; full_cost()
-  // cross-checks that).
-  const netlist::ConstraintSet& cs = circuit_->constraints();
-  const auto pos = [&](DeviceId d) { return position_from(ox, oy, d); };
+  // cross-checks that). Constraint operands come from the compiled flat
+  // tables, which preserve registration order.
+  const netlist::CompiledCircuit& cc = *compiled_;
+  const auto pos = [&](std::uint32_t d) {
+    return position_from(ox, oy, DeviceId{d});
+  };
   switch (c.kind) {
     case ConstraintRef::Kind::Alignment: {
-      const netlist::AlignmentPair& p = cs.alignments[c.index];
-      const geom::Point pa = pos(p.a);
-      const geom::Point pb = pos(p.b);
-      switch (p.kind) {
+      const std::uint32_t a = cc.align_a()[c.index];
+      const std::uint32_t b = cc.align_b()[c.index];
+      const geom::Point pa = pos(a);
+      const geom::Point pb = pos(b);
+      switch (cc.align_kind()[c.index]) {
         case netlist::AlignmentKind::Bottom:
-          return std::abs((pa.y - dev_halfh_[p.a.index()]) -
-                          (pb.y - dev_halfh_[p.b.index()]));
+          return std::abs((pa.y - dev_halfh_[a]) - (pb.y - dev_halfh_[b]));
         case netlist::AlignmentKind::VerticalCenter:
           return std::abs(pa.x - pb.x);
         case netlist::AlignmentKind::HorizontalCenter:
@@ -310,27 +313,30 @@ double IncrementalCost::constraint_residual(const double* ox, const double* oy,
       return 0.0;
     }
     case ConstraintRef::Kind::Ordering: {
-      const netlist::OrderingConstraint& o = cs.orderings[c.index];
+      const std::span<const std::uint32_t> devs = cc.order_devices(c.index);
+      const bool l2r =
+          cc.order_direction(c.index) == netlist::OrderDirection::LeftToRight;
       double res = 0;
-      for (std::size_t i = 0; i + 1 < o.devices.size(); ++i) {
-        const DeviceId a = o.devices[i];
-        const DeviceId b = o.devices[i + 1];
-        if (o.direction == netlist::OrderDirection::LeftToRight) {
-          const double gap = (pos(b).x - dev_halfw_[b.index()]) -
-                             (pos(a).x + dev_halfw_[a.index()]);
+      for (std::size_t i = 0; i + 1 < devs.size(); ++i) {
+        const std::uint32_t a = devs[i];
+        const std::uint32_t b = devs[i + 1];
+        if (l2r) {
+          const double gap =
+              (pos(b).x - dev_halfw_[b]) - (pos(a).x + dev_halfw_[a]);
           if (gap < 0) res += -gap;
         } else {
-          const double gap = (pos(b).y - dev_halfh_[b.index()]) -
-                             (pos(a).y + dev_halfh_[a.index()]);
+          const double gap =
+              (pos(b).y - dev_halfh_[b]) - (pos(a).y + dev_halfh_[a]);
           if (gap < 0) res += -gap;
         }
       }
       return res;
     }
     case ConstraintRef::Kind::Centroid: {
-      const netlist::CommonCentroidQuad& q = cs.common_centroids[c.index];
-      const geom::Point a1 = pos(q.a1), a2 = pos(q.a2);
-      const geom::Point b1 = pos(q.b1), b2 = pos(q.b2);
+      const geom::Point a1 = pos(cc.cent_a1()[c.index]);
+      const geom::Point a2 = pos(cc.cent_a2()[c.index]);
+      const geom::Point b1 = pos(cc.cent_b1()[c.index]);
+      const geom::Point b2 = pos(cc.cent_b2()[c.index]);
       return std::abs((a1.x + a2.x) - (b1.x + b2.x)) +
              std::abs((a1.y + a2.y) - (b1.y + b2.y));
     }

@@ -46,10 +46,13 @@
 // property-test oracle (tests assert agreement within 1e-9).
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "geom/orientation.hpp"
 #include "geom/point.hpp"
+#include "netlist/compiled.hpp"
 #include "netlist/evaluator.hpp"
 #include "netlist/placement.hpp"
 #include "sa/island.hpp"
@@ -95,6 +98,12 @@ class IncrementalCost {
     }
   };
 
+  /// Borrow a compiled snapshot the caller keeps alive.
+  explicit IncrementalCost(const netlist::CompiledCircuit& compiled);
+  /// Share ownership of a compiled snapshot.
+  explicit IncrementalCost(
+      std::shared_ptr<const netlist::CompiledCircuit> compiled);
+  /// Convenience: compile privately from a raw circuit.
   explicit IncrementalCost(const netlist::Circuit& circuit);
 
   void set_weights(const Weights& w) { weights_ = w; }
@@ -192,6 +201,8 @@ class IncrementalCost {
   void materialize(const double* ox, const double* oy, netlist::Placement& pl);
 
   const netlist::Circuit* circuit_;
+  const netlist::CompiledCircuit* compiled_;
+  std::shared_ptr<const netlist::CompiledCircuit> keep_;
   netlist::Evaluator eval_;
   Weights weights_;
 
@@ -225,11 +236,12 @@ class IncrementalCost {
   std::vector<std::uint64_t> net_mask_;
   std::vector<std::uint64_t> cons_mask_;
 
-  // Flat per-net / per-device copies of the fields the hot loop reads (Net
-  // and Device carry strings/vectors, so going through them drags cold
-  // cache lines into every evaluation).
-  std::vector<double> net_weight_;
-  std::vector<double> dev_w_, dev_h_, dev_halfw_, dev_halfh_;
+  // Flat per-net / per-device views of the fields the hot loop reads,
+  // borrowed from the compiled snapshot (Net and Device carry
+  // strings/vectors, so going through them would drag cold cache lines
+  // into every evaluation).
+  std::span<const double> net_weight_;
+  std::span<const double> dev_w_, dev_h_, dev_halfw_, dev_halfh_;
 
   // ---- per-reset geometry caches -------------------------------------------
   std::vector<geom::Point> off_;            ///< device offset in its block

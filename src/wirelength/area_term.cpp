@@ -9,7 +9,7 @@ namespace {
 // WA smooth extent over edge coordinates; every device owns two edges whose
 // derivative w.r.t. the device center is 1. Returns extent; writes d/dcenter.
 double wa_edge_extent(std::span<const double> centers,
-                      const std::vector<double>& half, double gamma,
+                      std::span<const double> half, double gamma,
                       std::vector<double>& dcenter) {
   const std::size_t n = centers.size();
   dcenter.assign(n, 0.0);
@@ -49,16 +49,18 @@ double wa_edge_extent(std::span<const double> centers,
 
 }  // namespace
 
-WaAreaTerm::WaAreaTerm(const netlist::Circuit& circuit)
-    : n_(circuit.num_devices()) {
-  APLACE_CHECK(circuit.finalized());
-  half_w_.reserve(n_);
-  half_h_.reserve(n_);
-  for (const netlist::Device& d : circuit.devices()) {
-    half_w_.push_back(d.width / 2);
-    half_h_.push_back(d.height / 2);
-  }
+WaAreaTerm::WaAreaTerm(const netlist::CompiledCircuit& compiled)
+    : n_(compiled.num_devices()),
+      half_w_(compiled.dev_half_width()),
+      half_h_(compiled.dev_half_height()) {}
+
+WaAreaTerm::WaAreaTerm(std::shared_ptr<const netlist::CompiledCircuit> compiled)
+    : WaAreaTerm(*compiled) {
+  keep_ = std::move(compiled);
 }
+
+WaAreaTerm::WaAreaTerm(const netlist::Circuit& circuit)
+    : WaAreaTerm(std::make_shared<const netlist::CompiledCircuit>(circuit)) {}
 
 double WaAreaTerm::value_and_grad(std::span<const double> v,
                                   std::span<double> grad, double scale) const {

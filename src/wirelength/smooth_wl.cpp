@@ -11,46 +11,42 @@ namespace {
 
 // Pin coordinates for one dimension of one net, given the variable vector.
 void gather(std::span<const double> v, std::size_t dim_offset,
-            const std::vector<std::pair<std::size_t, double>>& pins,
+            std::span<const std::uint32_t> devs, std::span<const double> offs,
             std::vector<double>& out) {
   out.clear();
-  out.reserve(pins.size());
-  for (auto [dev, off] : pins) out.push_back(v[dim_offset + dev] + off);
+  out.reserve(devs.size());
+  for (std::size_t i = 0; i < devs.size(); ++i) {
+    out.push_back(v[dim_offset + devs[i]] + offs[i]);
+  }
 }
 
 }  // namespace
 
-SmoothWirelength::SmoothWirelength(const netlist::Circuit& circuit)
-    : n_(circuit.num_devices()) {
-  APLACE_CHECK(circuit.finalized());
-  nets_.reserve(circuit.num_nets());
-  for (const netlist::Net& net : circuit.nets()) {
-    // Degenerate nets: an empty pin list would make the minmax/max_element
-    // dereferences below undefined behavior, and a single-pin net has zero
-    // extent and zero gradient — skip both up front.
-    if (net.pins.size() < 2) continue;
-    NetPins np;
-    np.weight = net.weight;
-    for (PinId pid : net.pins) {
-      const netlist::Pin& pin = circuit.pin(pid);
-      const netlist::Device& dev = circuit.device(pin.device);
-      np.x.emplace_back(pin.device.index(), pin.offset.x - dev.width / 2);
-      np.y.emplace_back(pin.device.index(), pin.offset.y - dev.height / 2);
-    }
-    nets_.push_back(std::move(np));
-  }
+SmoothWirelength::SmoothWirelength(const netlist::CompiledCircuit& compiled)
+    : compiled_(&compiled) {}
+
+SmoothWirelength::SmoothWirelength(
+    std::shared_ptr<const netlist::CompiledCircuit> compiled)
+    : SmoothWirelength(*compiled) {
+  keep_ = std::move(compiled);
 }
 
+SmoothWirelength::SmoothWirelength(const netlist::Circuit& circuit)
+    : SmoothWirelength(
+          std::make_shared<const netlist::CompiledCircuit>(circuit)) {}
+
 double SmoothWirelength::exact_hpwl(std::span<const double> v) const {
+  const netlist::CompiledCircuit& cc = *compiled_;
+  const std::size_t n = num_devices();
   double total = 0;
   std::vector<double> coords;
-  for (const NetPins& np : nets_) {
-    gather(v, 0, np.x, coords);
+  for (std::size_t ni = 0; ni < cc.num_wl_nets(); ++ni) {
+    gather(v, 0, cc.wl_pin_device(ni), cc.wl_pin_dx(ni), coords);
     auto [xmin, xmax] = std::minmax_element(coords.begin(), coords.end());
     const double wx = *xmax - *xmin;
-    gather(v, n_, np.y, coords);
+    gather(v, n, cc.wl_pin_device(ni), cc.wl_pin_dy(ni), coords);
     auto [ymin, ymax] = std::minmax_element(coords.begin(), coords.end());
-    total += np.weight * (wx + (*ymax - *ymin));
+    total += cc.wl_weight()[ni] * (wx + (*ymax - *ymin));
   }
   return total;
 }
@@ -119,31 +115,33 @@ template <class ExtentFn>
 double SmoothWirelength::accumulate(std::span<const double> v,
                                     std::span<double> grad,
                                     ExtentFn&& extent) const {
-  const std::size_t n = n_;
+  const netlist::CompiledCircuit& cc = *compiled_;
+  const std::size_t n = num_devices();
+  const std::size_t num_nets = cc.num_wl_nets();
   // One chunk of nets, accumulated into `g` (either the caller's gradient
   // directly, or a per-chunk partial on the parallel path).
   auto run_range = [&](std::size_t lo, std::size_t hi, std::span<double> g) {
     double total = 0;
     std::vector<double> coords, dcoord;
     for (std::size_t ni = lo; ni < hi; ++ni) {
-      const NetPins& np = nets_[ni];
-      gather(v, 0, np.x, coords);
-      total += np.weight * extent(coords, gamma_, dcoord);
-      for (std::size_t i = 0; i < np.x.size(); ++i) {
-        g[np.x[i].first] += np.weight * dcoord[i];
+      const std::span<const std::uint32_t> devs = cc.wl_pin_device(ni);
+      const double weight = cc.wl_weight()[ni];
+      gather(v, 0, devs, cc.wl_pin_dx(ni), coords);
+      total += weight * extent(coords, gamma_, dcoord);
+      for (std::size_t i = 0; i < devs.size(); ++i) {
+        g[devs[i]] += weight * dcoord[i];
       }
-      gather(v, n, np.y, coords);
-      total += np.weight * extent(coords, gamma_, dcoord);
-      for (std::size_t i = 0; i < np.y.size(); ++i) {
-        g[n + np.y[i].first] += np.weight * dcoord[i];
+      gather(v, n, devs, cc.wl_pin_dy(ni), coords);
+      total += weight * extent(coords, gamma_, dcoord);
+      for (std::size_t i = 0; i < devs.size(); ++i) {
+        g[n + devs[i]] += weight * dcoord[i];
       }
     }
     return total;
   };
 
-  const std::size_t chunks =
-      base::ThreadPool::chunk_count(nets_.size(), kNetGrain);
-  if (chunks <= 1) return run_range(0, nets_.size(), grad);
+  const std::size_t chunks = base::ThreadPool::chunk_count(num_nets, kNetGrain);
+  if (chunks <= 1) return run_range(0, num_nets, grad);
 
   if (grad_part_.size() != chunks) {
     grad_part_.assign(chunks, std::vector<double>());
@@ -153,9 +151,9 @@ double SmoothWirelength::accumulate(std::span<const double> v,
   pool.parallel_for(0, chunks, 1, [&](std::size_t c0, std::size_t c1) {
     for (std::size_t c = c0; c < c1; ++c) {
       grad_part_[c].assign(2 * n, 0.0);
-      total_part_[c] = run_range(
-          c * kNetGrain, std::min(nets_.size(), (c + 1) * kNetGrain),
-          grad_part_[c]);
+      total_part_[c] =
+          run_range(c * kNetGrain, std::min(num_nets, (c + 1) * kNetGrain),
+                    grad_part_[c]);
     }
   });
   // Reduce gradients device-wise, chunks in fixed order per entry.

@@ -12,17 +12,27 @@
 // v = (x_1..x_n, y_1..y_n). Pin offsets (relative to device centers, in the
 // unflipped orientation) are constants during global placement, so
 // d pin / d center = 1.
+//
+// The kernels gather/scatter over the CompiledCircuit wirelength table
+// (non-degenerate nets, center-relative pin offsets) — no adjacency is
+// built here.
 
 #include <memory>
 #include <span>
 
-#include "netlist/circuit.hpp"
+#include "netlist/compiled.hpp"
 #include "numeric/vec.hpp"
 
 namespace aplace::wirelength {
 
 class SmoothWirelength {
  public:
+  /// Borrow a compiled snapshot the caller keeps alive.
+  explicit SmoothWirelength(const netlist::CompiledCircuit& compiled);
+  /// Share ownership of a compiled snapshot (flow/batch cache path).
+  explicit SmoothWirelength(
+      std::shared_ptr<const netlist::CompiledCircuit> compiled);
+  /// Convenience: compile privately from a raw circuit.
   explicit SmoothWirelength(const netlist::Circuit& circuit);
   virtual ~SmoothWirelength() = default;
 
@@ -43,22 +53,20 @@ class SmoothWirelength {
   [[nodiscard]] double exact_hpwl(std::span<const double> v) const;
 
  protected:
-  struct NetPins {
-    // Per pin: owning device index and offset from the device center.
-    std::vector<std::pair<std::size_t, double>> x;  // (device, dx)
-    std::vector<std::pair<std::size_t, double>> y;  // (device, dy)
-    double weight = 1.0;
-  };
+  [[nodiscard]] const netlist::CompiledCircuit& compiled() const {
+    return *compiled_;
+  }
+  [[nodiscard]] std::size_t num_devices() const {
+    return compiled_->num_devices();
+  }
 
-  [[nodiscard]] const std::vector<NetPins>& nets() const { return nets_; }
-  [[nodiscard]] std::size_t num_devices() const { return n_; }
-
-  /// Run `extent` over every net, accumulating the weighted total and the
-  /// gradient into `grad`. Nets are cut into fixed chunks of kNetGrain
-  /// (independent of thread count); chunks beyond the first run on the
-  /// global pool with private gradient partials that are reduced in chunk
-  /// order, so the result is bit-identical for any pool size. One-chunk
-  /// circuits take the direct serial path with no scratch.
+  /// Run `extent` over every net of the compiled wirelength table,
+  /// accumulating the weighted total and the gradient into `grad`. Nets are
+  /// cut into fixed chunks of kNetGrain (independent of thread count);
+  /// chunks beyond the first run on the global pool with private gradient
+  /// partials that are reduced in chunk order, so the result is
+  /// bit-identical for any pool size. One-chunk circuits take the direct
+  /// serial path with no scratch.
   /// `extent(coords, gamma, dcoord)` returns the smoothed extent of one
   /// coordinate set and writes its gradient to dcoord.
   template <class ExtentFn>
@@ -70,8 +78,8 @@ class SmoothWirelength {
  private:
   static constexpr std::size_t kNetGrain = 128;
 
-  std::size_t n_;
-  std::vector<NetPins> nets_;
+  const netlist::CompiledCircuit* compiled_;
+  std::shared_ptr<const netlist::CompiledCircuit> keep_;
 
   // Per-chunk scratch for the parallel path (empty until first used; each
   // instance is driven by one placement flow at a time, so `mutable` here

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <iterator>
 #include <vector>
 
 #include "base/thread_pool.hpp"
@@ -184,6 +185,44 @@ TEST_F(DeterminismTest, ObsDisabledBitIdenticalForSaFlow) {
   EXPECT_EQ(io::placement_to_text(on.placement),
             io::placement_to_text(off.placement));
   expect_same_quality(on.quality, off.quality, "sa-obs-toggle", 1);
+}
+
+TEST_F(DeterminismTest, GoldenQualityPinnedAcrossFullCircuitRegistry) {
+  // Committed golden values: run_prior_work at gp.seed=3 on every registry
+  // circuit must reproduce these doubles *exactly* (EXPECT_EQ, no
+  // tolerance). Catches cross-version drift the thread-count tests above
+  // cannot see — they only compare a binary against itself. If an
+  // intentional algorithm change moves these numbers, regenerate the table
+  // with the same flow/seed and say so in the commit message.
+  struct Golden {
+    const char* name;
+    double hpwl, area, overlap_area;
+  };
+  constexpr Golden kGolden[] = {
+      {"Adder", 59.199999999999996, 72, 0},
+      {"CC-OTA", 83.400000000000006, 168, 0},
+      {"Comp1", 78.900000000000006, 117, 0},
+      {"Comp2", 120, 217, 0},
+      {"CM-OTA1", 72.5, 156, 0},
+      {"CM-OTA2", 104.40000000000001, 204, 0},
+      {"SCF", 352.50000000000006, 1935, 0},
+      {"VGA", 105.09999999999999, 208, 0},
+      {"VCO1", 212.5, 374, 0},
+      {"VCO2", 391.19999999999999, 812, 0},
+  };
+  ASSERT_EQ(std::size(kGolden), circuits::testcase_names().size());
+
+  for (const Golden& g : kGolden) {
+    circuits::TestCase tc = circuits::make_testcase(g.name);
+    core::PriorWorkOptions opts;
+    opts.gp.seed = 3;
+    const core::FlowResult r = core::run_prior_work(tc.circuit, opts);
+    ASSERT_TRUE(r.ok()) << g.name;
+    EXPECT_TRUE(r.legal(1e-6)) << g.name;
+    EXPECT_EQ(r.quality.hpwl, g.hpwl) << g.name;
+    EXPECT_EQ(r.quality.area, g.area) << g.name;
+    EXPECT_EQ(r.quality.overlap_area, g.overlap_area) << g.name;
+  }
 }
 
 TEST_F(DeterminismTest, BatchResultsIdenticalSequentialVsParallel) {

@@ -293,6 +293,57 @@ TEST_F(JournalTest, LoadCompletedToleratesGarbageLines) {
   }
 }
 
+TEST_F(JournalTest, CircuitDriftInvalidatesTerminalRecords) {
+  // Terminal records carry Circuit::digest(). A resumed batch whose circuit
+  // changed content — but kept its name and device count, so the
+  // label|flow|circuit|ndev key still matches — must re-run the job instead
+  // of restoring a stale result.
+  const auto build = [](double w0) {
+    netlist::Circuit c("drift");
+    const DeviceId d0 = c.add_device("m0", netlist::DeviceType::Nmos, w0, 2.0);
+    const DeviceId d1 = c.add_device("m1", netlist::DeviceType::Pmos, 3.0, 2.0);
+    const PinId p0 = c.add_center_pin(d0, "a");
+    const PinId p1 = c.add_center_pin(d1, "a");
+    c.add_net("n", {p0, p1});
+    c.finalize();
+    return c;
+  };
+  const netlist::Circuit original = build(3.0);
+  const netlist::Circuit drifted = build(4.0);
+  ASSERT_NE(original.digest(), drifted.digest());
+
+  core::BatchJob job;
+  job.circuit = &original;
+  job.flow = core::FlowKind::Sa;
+  job.sa.sa.max_moves = 500;
+  ASSERT_EQ(core::batch_job_key(job),
+            core::batch_job_key([&] {
+              core::BatchJob j = job;
+              j.circuit = &drifted;
+              return j;
+            }()));
+
+  core::BatchOptions opts;
+  opts.journal_path = journal_path("drift.jsonl");
+  const core::BatchReport first = core::run_batch({&job, 1}, opts);
+  ASSERT_EQ(first.num_ok, 1u);
+
+  // Unchanged circuit: the record is valid and restores.
+  core::BatchOptions resume = opts;
+  resume.resume_journal = true;
+  const core::BatchReport same = core::run_batch({&job, 1}, resume);
+  EXPECT_EQ(same.num_resumed, 1u);
+
+  // Drifted circuit: same key, different digest — the job re-runs and the
+  // result reflects the new netlist.
+  core::BatchJob drifted_job = job;
+  drifted_job.circuit = &drifted;
+  const core::BatchReport rerun = core::run_batch({&drifted_job, 1}, resume);
+  EXPECT_EQ(rerun.num_resumed, 0u);
+  ASSERT_EQ(rerun.num_ok, 1u);
+  EXPECT_FALSE(rerun.items[0].resumed);
+}
+
 TEST_F(JournalTest, JournalKeyDisambiguatesJobs) {
   // Same circuit, different flows and labels → distinct keys.
   EXPECT_NE(core::batch_job_key(jobs_[0]), core::batch_job_key(jobs_[1]));
