@@ -222,11 +222,16 @@ class JsonReport {
       std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
       return false;
     }
+    // `threads` is the pool's *resolved* size (what actually ran);
+    // `threads_requested` is the pre-clamp constructor argument. They
+    // differ when e.g. APLACE_THREADS=0 resolves to 1.
     out << "{\n"
         << "  \"schema\": \"aplace-bench-v1\",\n"
         << "  \"bench\": \"" << escaped(bench_) << "\",\n"
         << "  \"threads\": " << base::ThreadPool::global().num_threads()
         << ",\n"
+        << "  \"threads_requested\": "
+        << base::ThreadPool::global().requested_threads() << ",\n"
         << "  \"quick\": " << (quick_mode() ? "true" : "false") << ",\n"
         << "  \"runs\": [";
     for (std::size_t i = 0; i < runs_.size(); ++i) {

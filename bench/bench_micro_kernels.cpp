@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "base/simd.hpp"
 #include "bench_common.hpp"
 #include "circuits/testcases.hpp"
 #include "density/electro.hpp"
@@ -17,6 +18,7 @@
 #include "gnn/model.hpp"
 #include "netlist/compiled.hpp"
 #include "netlist/evaluator.hpp"
+#include "numeric/fft.hpp"
 #include "numeric/rng.hpp"
 #include "numeric/spectral.hpp"
 #include "sa/annealer.hpp"
@@ -429,6 +431,119 @@ void print_compiled_core_table(bench::JsonReport& json) {
   }
 }
 
+// Quick-mode SIMD kernel table: scalar reference vs. Vec4d path of the
+// three analytical hot kernels, each timed best-of-3 on the largest paper
+// circuit (docs/PERFORMANCE.md explains how to read the rows):
+//   wa-grad-*  WA wirelength value+gradient over the compiled pin CSR
+//   splat-*    electrostatic charge build (bilinear splat + normalize) on
+//              a 256x256 bin grid
+//   fft-*      dct2+dct3+dst3 trio at n=256 (the Poisson solve's inner 1D
+//              transforms)
+// The rows land in BENCH_micro_kernels.json and the *_simd_speedup metrics
+// are gated by scripts/check_bench_regression.py, so losing the vector
+// path (or a build change silently disabling it) fails CI.
+void print_simd_kernel_table(bench::JsonReport& json) {
+  using clock = std::chrono::steady_clock;
+
+  std::string largest;
+  std::size_t most = 0;
+  for (const std::string& name : circuits::testcase_names()) {
+    const std::size_t n = circuits::make_testcase(name).circuit.num_devices();
+    if (n > most) {
+      most = n;
+      largest = name;
+    }
+  }
+  circuits::TestCase tc = circuits::make_testcase(largest);
+  std::printf("\n==== SIMD kernels: scalar vs %s (%s, %zu devices) ====\n",
+              simd::dispatch_name(), largest.c_str(), most);
+  std::printf("%-12s %14s %14s %10s\n", "kernel", "scalar (us)", "simd (us)",
+              "speedup");
+
+  // Best of three timed repetitions of `reps` calls: the run least
+  // disturbed by machine load, same policy as the SA table.
+  const auto best_of3 = [&](int reps, const auto& fn) {
+    double best = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto t0 = clock::now();
+      for (int i = 0; i < reps; ++i) fn();
+      const double us =
+          std::chrono::duration<double, std::micro>(clock::now() - t0)
+              .count() /
+          reps;
+      best = std::min(best, us);
+    }
+    return best;
+  };
+  const auto row = [&](const char* kernel, const std::string& label,
+                       double scalar_us, double simd_us) {
+    std::printf("%-12s %14.2f %14.2f %9.2fx\n", kernel, scalar_us, simd_us,
+                scalar_us / simd_us);
+    json.add_timing(label, std::string(kernel) + "-scalar", scalar_us / 1e6);
+    json.add_timing(label, std::string(kernel) + "-simd", simd_us / 1e6);
+    json.add_metric(std::string(kernel) + "_simd_speedup",
+                    scalar_us / simd_us);
+  };
+
+  const std::vector<double> v = spread(tc.circuit);
+  double sink = 0;
+
+  // WA wirelength value + gradient over the full circuit.
+  {
+    wirelength::WaWirelength wl(tc.circuit);
+    wl.set_gamma(1.0);
+    std::vector<double> g(v.size(), 0.0);
+    const auto once = [&] {
+      std::fill(g.begin(), g.end(), 0.0);
+      sink += wl.value_and_grad(v, g);
+    };
+    const int reps = bench::quick_mode() ? 300 : 1000;
+    wl.set_use_simd(false);
+    const double scalar_us = best_of3(reps, once);
+    wl.set_use_simd(true);
+    const double simd_us = best_of3(reps, once);
+    row("wa-grad", largest, scalar_us, simd_us);
+  }
+
+  // Charge-density build (bilinear splat + normalize + overflow) at the
+  // paper's largest grid. The tight region makes every device span many
+  // bin columns, which is exactly the regime the 256x256 grids of the
+  // production flows put the splat in.
+  {
+    density::ElectroDensity ed(tc.circuit, {0, 0, 16, 16}, 256, 256, 0.85);
+    const auto once = [&] { ed.build_density(v); };
+    const int reps = bench::quick_mode() ? 30 : 100;
+    ed.set_use_simd(false);
+    const double scalar_us = best_of3(reps, once);
+    ed.set_use_simd(true);
+    const double simd_us = best_of3(reps, once);
+    row("splat", largest, scalar_us, simd_us);
+  }
+
+  // The Poisson solve's inner 1D transforms: forward DCT + both syntheses.
+  {
+    const std::size_t n = 256;
+    numeric::fft::FftPlan plan(n);
+    std::vector<double> in(n), spec(n), out(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      in[i] = std::sin(0.7 * static_cast<double>(i));
+    }
+    const auto once = [&] {
+      plan.dct2(in.data(), 1, spec.data(), 1);
+      plan.dct3(spec.data(), 1, out.data(), 1);
+      plan.dst3(spec.data(), 1, out.data(), 1);
+      sink += out[1];
+    };
+    const int reps = bench::quick_mode() ? 2000 : 10000;
+    plan.set_use_simd(false);
+    const double scalar_us = best_of3(reps, once);
+    plan.set_use_simd(true);
+    const double simd_us = best_of3(reps, once);
+    row("fft", "n=256", scalar_us, simd_us);
+  }
+  benchmark::DoNotOptimize(sink);
+}
+
 // Quick-mode before/after table: times the full 2D spectral solve on the
 // dense-basis (before) and FFT (after) paths without the google-benchmark
 // harness, so `APLACE_QUICK=1 ./bench_micro_kernels` prints the comparison
@@ -473,6 +588,7 @@ void print_spectral_table() {
     json.add_timing(label, "spectral-naive", naive_ms / 1e3);
     json.add_timing(label, "spectral-fft", fft_ms / 1e3);
   }
+  print_simd_kernel_table(json);
   print_compiled_core_table(json);
   print_sa_kernel_table(json);
   print_gp_term_breakdown(json);

@@ -19,7 +19,16 @@ for each matched pair the checker fails when:
   * a metric the baseline gates on (wall_seconds, hpwl, area,
     moves_per_sec) is present in the baseline run but absent from the
     matching current run — a silently dropped metric is a hard failure,
-    never a skip, so schema drift can't blind the gate.
+    never a skip, so schema drift can't blind the gate;
+  * a top-level "metrics" entry ending in "_speedup" (higher is better,
+    e.g. the scalar-vs-SIMD kernel ratios) drops below
+    baseline * (1 - --rate-tol), or is present in the baseline but
+    missing from the current file;
+  * a --metric-floor NAME=VALUE requirement is violated: the named
+    metric must be present somewhere in the current results and be
+    >= VALUE. Floors are absolute contracts (e.g. "the SIMD wirelength
+    kernel stays at least 2x faster than its scalar twin"), independent
+    of whatever the baseline happened to record.
 
 New runs (present now, absent from the baseline) are reported but do not
 fail the gate, so adding a bench doesn't require a lockstep baseline
@@ -47,9 +56,17 @@ from pathlib import Path
 SCHEMA = "aplace-bench-v1"
 
 
-def load_runs(directory: Path) -> dict[tuple[str, str, str], dict]:
-    """Map (bench, circuit, flow) -> run record for every BENCH_*.json."""
+def load_runs(
+    directory: Path,
+) -> tuple[dict[tuple[str, str, str], dict], dict[tuple[str, str], float]]:
+    """Load every BENCH_*.json in a directory.
+
+    Returns (runs, metrics): runs maps (bench, circuit, flow) -> run
+    record, metrics maps (bench, metric_name) -> value for the top-level
+    "metrics" object of each file.
+    """
     runs: dict[tuple[str, str, str], dict] = {}
+    metrics: dict[tuple[str, str], float] = {}
     files = sorted(directory.glob("BENCH_*.json"))
     if not files:
         raise FileNotFoundError(f"no BENCH_*.json files in {directory}")
@@ -64,7 +81,9 @@ def load_runs(directory: Path) -> dict[tuple[str, str, str], dict]:
             if key in runs:
                 raise ValueError(f"{path}: duplicate run {key}")
             runs[key] = run
-    return runs
+        for name, value in doc.get("metrics", {}).items():
+            metrics[(bench, name)] = value
+    return runs, metrics
 
 
 def check(
@@ -139,6 +158,47 @@ def check(
     return failures
 
 
+def check_metrics(
+    baseline: dict[tuple[str, str], float],
+    current: dict[tuple[str, str], float],
+    rate_tol: float,
+    floors: dict[str, float],
+) -> list[str]:
+    """Gate the top-level per-bench metrics objects."""
+    failures: list[str] = []
+    for (bench, metric), bv in sorted(baseline.items()):
+        if not metric.endswith("_speedup"):
+            continue
+        name = f"{bench}/metrics/{metric}"
+        cv = current.get((bench, metric))
+        if cv is None:
+            failures.append(
+                f"{name}: present in baseline but missing from current "
+                f"results"
+            )
+            continue
+        floor = bv * (1.0 - rate_tol)
+        if cv < floor:
+            failures.append(
+                f"{name}: speedup {cv:.2f}x < {floor:.2f}x "
+                f"(baseline {bv:.2f}x, tol {rate_tol:.0%})"
+            )
+
+    by_name = {metric: value for (_, metric), value in current.items()}
+    for metric, floor in sorted(floors.items()):
+        cv = by_name.get(metric)
+        if cv is None:
+            failures.append(
+                f"metric floor {metric}>={floor:g}: metric missing from "
+                f"current results"
+            )
+        elif cv < floor:
+            failures.append(
+                f"metric floor violated: {metric} = {cv:.2f} < {floor:g}"
+            )
+    return failures
+
+
 def refresh(baseline_dir: Path, current_dir: Path) -> int:
     """Rewrite the baseline from the current results (deliberate rebase)."""
     files = sorted(current_dir.glob("BENCH_*.json"))
@@ -182,6 +242,10 @@ def main() -> int:
     parser.add_argument("--rate-tol", type=float, default=0.35,
                         help="relative throughput-rate tolerance; rates are "
                         "higher-is-better (default 0.35)")
+    parser.add_argument("--metric-floor", action="append", default=[],
+                        metavar="NAME=VALUE",
+                        help="absolute floor for a top-level metric; the "
+                        "metric must exist and be >= VALUE (repeatable)")
     parser.add_argument("--refresh", action="store_true",
                         help="rewrite --baseline from --current instead of "
                         "gating (validates schemas, prunes stale files)")
@@ -190,15 +254,31 @@ def main() -> int:
     if args.refresh:
         return refresh(args.baseline, args.current)
 
+    floors: dict[str, float] = {}
+    for spec in args.metric_floor:
+        name, sep, value = spec.partition("=")
+        if not sep or not name:
+            print(f"error: bad --metric-floor {spec!r} (want NAME=VALUE)",
+                  file=sys.stderr)
+            return 2
+        try:
+            floors[name] = float(value)
+        except ValueError:
+            print(f"error: bad --metric-floor value {spec!r}",
+                  file=sys.stderr)
+            return 2
+
     try:
-        baseline = load_runs(args.baseline)
-        current = load_runs(args.current)
+        baseline, base_metrics = load_runs(args.baseline)
+        current, cur_metrics = load_runs(args.current)
     except (OSError, ValueError, KeyError) as e:
         print(f"error: {e}", file=sys.stderr)
         return 2
 
     failures = check(baseline, current, args.time_tol, args.time_slack,
                      args.quality_tol, args.rate_tol)
+    failures += check_metrics(base_metrics, cur_metrics, args.rate_tol,
+                              floors)
     print(f"checked {len(baseline)} baseline runs against "
           f"{len(current)} current runs")
     if failures:

@@ -1,0 +1,61 @@
+#pragma once
+// 32-byte-aligned storage for SIMD kernels.
+//
+// AlignedAllocator<T> is a minimal C++17 aligned-new allocator whose
+// alignment matches simd::Vec4d (one AVX2 register / two SSE2-NEON
+// registers). AlignedVec is the std::vector instantiation the hot-path
+// containers use: CompiledCircuit's double tables, PlacementState
+// coordinates and every per-net/per-row kernel scratch buffer, so the
+// 4-lane loops in src/base/simd.hpp can use aligned loads with no
+// peeling/fixup prologue.
+//
+// padded4(n) rounds a length up to the next multiple of 4 lanes; kernels
+// size scratch to padded4(n) and neutralize the pad lanes explicitly
+// (see simd::zero_tail), which keeps every inner loop full-width.
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace aplace::base {
+
+inline constexpr std::size_t kSimdAlign = 32;
+
+template <class T, std::size_t Align = kSimdAlign>
+struct AlignedAllocator {
+  using value_type = T;
+  static_assert(Align >= alignof(T) && (Align & (Align - 1)) == 0,
+                "alignment must be a power of two >= alignof(T)");
+
+  AlignedAllocator() noexcept = default;
+  template <class U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}  // NOLINT
+
+  template <class U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Align}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Align});
+  }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+};
+
+/// The SIMD-kernel vector type: contents identical to std::vector<double>,
+/// storage guaranteed 32-byte aligned.
+using AlignedVec = std::vector<double, AlignedAllocator<double>>;
+
+/// Smallest multiple of 4 that is >= n (scratch padding for 4-lane loops).
+[[nodiscard]] constexpr std::size_t padded4(std::size_t n) {
+  return (n + 3) & ~std::size_t{3};
+}
+
+}  // namespace aplace::base

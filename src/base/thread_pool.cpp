@@ -28,7 +28,8 @@ PoolMetrics& pool_metrics() {
 
 }  // namespace
 
-ThreadPool::ThreadPool(unsigned threads) : threads_(std::max(threads, 1u)) {
+ThreadPool::ThreadPool(unsigned threads)
+    : requested_(threads), threads_(std::max(threads, 1u)) {
   workers_.reserve(threads_ - 1);
   for (unsigned i = 0; i + 1 < threads_; ++i) {
     workers_.emplace_back([this] { worker_loop(); });

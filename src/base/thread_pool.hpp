@@ -46,7 +46,16 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  [[nodiscard]] unsigned num_threads() const { return threads_; }
+  /// Resolved pool size: the number of execution contexts that actually
+  /// exist (spawned workers + the participating caller). This is what
+  /// determinism and bench metadata care about.
+  [[nodiscard]] unsigned num_threads() const {
+    return static_cast<unsigned>(workers_.size()) + 1;
+  }
+
+  /// The thread count the constructor was asked for, before clamping
+  /// (e.g. 0 resolves to 1). Bench reports emit both values.
+  [[nodiscard]] unsigned requested_threads() const { return requested_; }
 
   /// A set of tasks whose completion can be awaited together. wait() helps
   /// drain the pool's queue (any group's tasks), so groups nest freely.
@@ -138,7 +147,8 @@ class ThreadPool {
   // was empty.
   bool run_one(std::unique_lock<std::mutex>& lock);
 
-  unsigned threads_;
+  unsigned requested_;  // raw constructor argument (pre-clamp)
+  unsigned threads_;    // resolved size (>= 1)
   std::mutex mu_;
   std::condition_variable work_cv_;
   std::deque<Task> queue_;

@@ -4,11 +4,121 @@
 #include <cmath>
 #include <numbers>
 
+#include "base/simd.hpp"
 #include "base/thread_pool.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 
 namespace aplace::density {
+namespace {
+
+using base::padded4;
+using simd::Vec4d;
+
+// Per-column overlap lengths of `rect` against x-bins [c0, c1], written to
+// ov[0..count) with zeroed pad lanes; mirrors bin_rect()/overlap_area()
+// arithmetic exactly (min(xhi) - max(xlo), clamped at 0), so the separable
+// product ov_x * ov_y is bit-identical to the scalar per-bin overlap.
+std::size_t fill_overlaps(double region_lo, double bin_len, std::size_t b0,
+                          std::size_t b1, double rect_lo, double rect_hi,
+                          double* ov) {
+  const std::size_t count = b1 - b0 + 1;
+  for (std::size_t j = 0; j < count; ++j) {
+    const double lo = region_lo + static_cast<double>(b0 + j) * bin_len;
+    const double d = std::min(lo + bin_len, rect_hi) - std::max(lo, rect_lo);
+    ov[j] = d > 0 ? d : 0.0;
+  }
+  for (std::size_t j = count; j < padded4(count); ++j) ov[j] = 0.0;
+  return count;
+}
+
+// 4-lane separable splat: into(r, c) += (amount/area) * ov_y(r) * ov_x(c),
+// streaming each bin row left to right (rows are contiguous in the
+// row-major matrix, so this is cache-blocked by construction).
+void splat_simd(const BinGrid& grid, const geom::Rect& rect, double amount,
+                numeric::Matrix& into,
+                std::pair<base::AlignedVec&, base::AlignedVec&> scratch) {
+  if (rect.area() <= 0) return;
+  const auto [cx0, cx1] = grid.x_range(rect.xlo(), rect.xhi());
+  const auto [cy0, cy1] = grid.y_range(rect.ylo(), rect.yhi());
+  double* ovx = scratch.first.data();
+  double* ovy = scratch.second.data();
+  const std::size_t nxd = fill_overlaps(grid.region().xlo(), grid.bin_w(),
+                                        cx0, cx1, rect.xlo(), rect.xhi(), ovx);
+  fill_overlaps(grid.region().ylo(), grid.bin_h(), cy0, cy1, rect.ylo(),
+                rect.yhi(), ovy);
+  const double per_area = amount / rect.area();
+  for (std::size_t r = cy0; r <= cy1; ++r) {
+    const double w = per_area * ovy[r - cy0];
+    if (w <= 0) continue;
+    double* row = &into(r, cx0);
+    const Vec4d wv = Vec4d::broadcast(w);
+    std::size_t j = 0;
+    for (; j + 4 <= nxd; j += 4) {
+      Vec4d::fma(wv, Vec4d::load(ovx + j), Vec4d::loadu(row + j))
+          .storeu(row + j);
+    }
+    for (; j < nxd; ++j) row[j] += w * ovx[j];
+  }
+}
+
+struct ForceAcc {
+  double psi = 0, ex = 0, ey = 0, area = 0;
+};
+
+// 4-lane separable force interpolation: per-row dot products of the
+// per-column overlaps against the psi/ex/ey rows (three fused accumulators
+// sharing one ovx load), each scaled by the row overlap; the overlapped
+// area factors into (sum ov_x) * (sum ov_y).
+ForceAcc force_simd(const BinGrid& grid, const numeric::Matrix& psi,
+                    const numeric::Matrix& exm, const numeric::Matrix& eym,
+                    const geom::Rect& rect,
+                    std::pair<base::AlignedVec&, base::AlignedVec&> scratch) {
+  ForceAcc acc;
+  const auto [cx0, cx1] = grid.x_range(rect.xlo(), rect.xhi());
+  const auto [cy0, cy1] = grid.y_range(rect.ylo(), rect.yhi());
+  double* ovx = scratch.first.data();
+  double* ovy = scratch.second.data();
+  const std::size_t nxd = fill_overlaps(grid.region().xlo(), grid.bin_w(),
+                                        cx0, cx1, rect.xlo(), rect.xhi(), ovx);
+  const std::size_t nyd = fill_overlaps(grid.region().ylo(), grid.bin_h(),
+                                        cy0, cy1, rect.ylo(), rect.yhi(), ovy);
+  double sum_x = 0, sum_y = 0;
+  for (std::size_t j = 0; j < nxd; ++j) sum_x += ovx[j];
+  for (std::size_t j = 0; j < nyd; ++j) sum_y += ovy[j];
+  acc.area = sum_x * sum_y;
+  for (std::size_t r = 0; r < nyd; ++r) {
+    const double wy = ovy[r];
+    if (wy <= 0) continue;
+    const std::size_t row_off = (cy0 + r) * psi.cols() + cx0;
+    const double* prow = psi.data().data() + row_off;
+    const double* xrow = exm.data().data() + row_off;
+    const double* yrow = eym.data().data() + row_off;
+    Vec4d ap = Vec4d::zero(), ax = Vec4d::zero(), ay = Vec4d::zero();
+    std::size_t j = 0;
+    for (; j + 4 <= nxd; j += 4) {
+      const Vec4d w = Vec4d::load(ovx + j);
+      ap = Vec4d::fma(w, Vec4d::loadu(prow + j), ap);
+      ax = Vec4d::fma(w, Vec4d::loadu(xrow + j), ax);
+      ay = Vec4d::fma(w, Vec4d::loadu(yrow + j), ay);
+    }
+    if (j < nxd) {
+      // Masked tail: ovx pad lanes are zero, matrix rows are loaded through
+      // a partial copy so the read never crosses the row's end.
+      const std::size_t rem = nxd - j;
+      const Vec4d w = Vec4d::load(ovx + j);
+      ap = Vec4d::fma(w, Vec4d::load_partial(prow + j, rem), ap);
+      ax = Vec4d::fma(w, Vec4d::load_partial(xrow + j, rem), ax);
+      ay = Vec4d::fma(w, Vec4d::load_partial(yrow + j, rem), ay);
+    }
+    acc.psi += wy * simd::hsum_ordered(ap);
+    acc.ex += wy * simd::hsum_ordered(ax);
+    acc.ey += wy * simd::hsum_ordered(ay);
+  }
+  return acc;
+}
+
+}  // namespace
 
 ElectroDensity::ElectroDensity(const netlist::CompiledCircuit& compiled,
                                const geom::Rect& region, std::size_t nx,
@@ -18,6 +128,7 @@ ElectroDensity::ElectroDensity(const netlist::CompiledCircuit& compiled,
       target_(target_density),
       basis_x_(nx),
       basis_y_(ny),
+      use_simd_(simd::default_enabled()),
       rho_(ny, nx),
       psi_(ny, nx),
       ex_(ny, nx),
@@ -50,6 +161,11 @@ ElectroDensity::ElectroDensity(const netlist::CompiledCircuit& compiled,
     occ_part_.assign(chunks, numeric::Matrix(ny, nx));
     energy_part_.assign(chunks, 0.0);
   }
+  scratch_.resize(std::max<std::size_t>(chunks, 1));
+  for (DevScratch& s : scratch_) {
+    s.ovx.resize(padded4(nx));
+    s.ovy.resize(padded4(ny));
+  }
 }
 
 ElectroDensity::ElectroDensity(
@@ -77,32 +193,29 @@ geom::Point ElectroDensity::clamped_center(const geom::Point& c,
           clamp1(c.y, rg.ylo() + d.h / 2, rg.yhi() - d.h / 2)};
 }
 
-double ElectroDensity::value_and_grad(std::span<const double> v,
-                                      std::span<double> grad, double scale) {
-  // One histogram sample per eval (two clock reads on a >=µs operation);
-  // the spectral transforms inside count themselves via fft/transforms2d.
-  static const obs::Counter evals = obs::counter("density/evals");
-  static const obs::Histogram eval_seconds =
-      obs::histogram("density/eval_seconds");
-  const bool record = obs::enabled();
-  const double obs_t0 = record ? obs::now_seconds() : 0.0;
-  evals.inc();
-
+void ElectroDensity::build_density(std::span<const double> v) {
   const std::size_t n = devices_.size();
-  APLACE_DCHECK(v.size() == 2 * n && grad.size() == v.size());
+  APLACE_DCHECK(v.size() == 2 * n);
 
-  // --- charge density -------------------------------------------------------
   // Clamp the lookup position into the region: a device dragged outside
   // by the wirelength pull still deposits charge into the boundary bins
-  // (and below, samples the field there), so its Neumann mirror image
-  // produces the force that pulls it back inside.
+  // (and in the force pass, samples the field there), so its Neumann mirror
+  // image produces the force that pulls it back inside.
+  const bool use_simd = use_simd_;
   auto splat_range = [&](std::size_t lo, std::size_t hi, numeric::Matrix& rho,
-                         numeric::Matrix& occ) {
+                         numeric::Matrix& occ, DevScratch& s) {
     for (std::size_t i = lo; i < hi; ++i) {
       const DeviceInfo& d = devices_[i];
       const geom::Point c = clamped_center({v[i], v[n + i]}, d);
-      grid_.splat(geom::Rect::centered(c, d.w, d.h), d.charge, rho);
-      grid_.splat(geom::Rect::centered(c, d.real_w, d.real_h), d.charge, occ);
+      const geom::Rect eff = geom::Rect::centered(c, d.w, d.h);
+      const geom::Rect real = geom::Rect::centered(c, d.real_w, d.real_h);
+      if (use_simd) {
+        splat_simd(grid_, eff, d.charge, rho, {s.ovx, s.ovy});
+        splat_simd(grid_, real, d.charge, occ, {s.ovx, s.ovy});
+      } else {
+        grid_.splat(eff, d.charge, rho);
+        grid_.splat(real, d.charge, occ);
+      }
     }
   };
   const std::size_t chunks = base::ThreadPool::chunk_count(n, kDeviceGrain);
@@ -110,7 +223,7 @@ double ElectroDensity::value_and_grad(std::span<const double> v,
   if (chunks <= 1) {
     rho_.fill(0.0);
     occupancy_.fill(0.0);  // true footprint area
-    splat_range(0, n, rho_, occupancy_);
+    splat_range(0, n, rho_, occupancy_, scratch_[0]);
   } else {
     // Each fixed chunk of devices accumulates into its own partial; the
     // partials are then summed bin-wise in chunk order, so the result does
@@ -120,7 +233,7 @@ double ElectroDensity::value_and_grad(std::span<const double> v,
         rho_part_[c].fill(0.0);
         occ_part_[c].fill(0.0);
         splat_range(c * kDeviceGrain, std::min(n, (c + 1) * kDeviceGrain),
-                    rho_part_[c], occ_part_[c]);
+                    rho_part_[c], occ_part_[c], scratch_[c]);
       }
     });
     const std::size_t bins = rho_.data().size();
@@ -149,6 +262,24 @@ double ElectroDensity::value_and_grad(std::span<const double> v,
   for (double o : occupancy_.data()) over += std::max(0.0, o - cap);
   const double total_area = compiled_->total_device_area();
   overflow_ = total_area > 0 ? over / total_area : 0.0;
+}
+
+double ElectroDensity::value_and_grad(std::span<const double> v,
+                                      std::span<double> grad, double scale) {
+  // One histogram sample per eval (two clock reads on a >=µs operation);
+  // the spectral transforms inside count themselves via fft/transforms2d.
+  static const obs::Counter evals = obs::counter("density/evals");
+  static const obs::Histogram eval_seconds =
+      obs::histogram("density/eval_seconds");
+  const bool record = obs::enabled();
+  const double obs_t0 = record ? obs::now_seconds() : 0.0;
+  evals.inc();
+
+  const std::size_t n = devices_.size();
+  APLACE_DCHECK(v.size() == 2 * n && grad.size() == v.size());
+
+  // --- charge density + overflow --------------------------------------------
+  build_density(v);
 
   // --- spectral Poisson solve ----------------------------------------------
   // All transforms run in place on the member matrices: psi_ temporarily
@@ -187,23 +318,33 @@ double ElectroDensity::value_and_grad(std::span<const double> v,
   // Gradient entries are disjoint per device; the energy sum keeps one
   // partial per fixed chunk and reduces them in chunk order (bit-identical
   // for any thread count).
-  auto force_range = [&](std::size_t lo, std::size_t hi) {
+  const bool use_simd = use_simd_;
+  auto force_range = [&](std::size_t lo, std::size_t hi, DevScratch& s) {
     double energy_acc = 0;
     for (std::size_t i = lo; i < hi; ++i) {
       const DeviceInfo& d = devices_[i];
       const geom::Point c = clamped_center({v[i], v[n + i]}, d);
       const geom::Rect rect = geom::Rect::centered(c, d.w, d.h);
-      const auto [cx0, cx1] = grid_.x_range(rect.xlo(), rect.xhi());
-      const auto [cy0, cy1] = grid_.y_range(rect.ylo(), rect.yhi());
       double psi_acc = 0, ex_acc = 0, ey_acc = 0, area_acc = 0;
-      for (std::size_t r = cy0; r <= cy1; ++r) {
-        for (std::size_t cc = cx0; cc <= cx1; ++cc) {
-          const double ov = grid_.bin_rect(r, cc).overlap_area(rect);
-          if (ov <= 0) continue;
-          psi_acc += ov * psi_(r, cc);
-          ex_acc += ov * ex_(r, cc);
-          ey_acc += ov * ey_(r, cc);
-          area_acc += ov;
+      if (use_simd) {
+        const ForceAcc acc =
+            force_simd(grid_, psi_, ex_, ey_, rect, {s.ovx, s.ovy});
+        psi_acc = acc.psi;
+        ex_acc = acc.ex;
+        ey_acc = acc.ey;
+        area_acc = acc.area;
+      } else {
+        const auto [cx0, cx1] = grid_.x_range(rect.xlo(), rect.xhi());
+        const auto [cy0, cy1] = grid_.y_range(rect.ylo(), rect.yhi());
+        for (std::size_t r = cy0; r <= cy1; ++r) {
+          for (std::size_t cc = cx0; cc <= cx1; ++cc) {
+            const double ov = grid_.bin_rect(r, cc).overlap_area(rect);
+            if (ov <= 0) continue;
+            psi_acc += ov * psi_(r, cc);
+            ex_acc += ov * ex_(r, cc);
+            ey_acc += ov * ey_(r, cc);
+            area_acc += ov;
+          }
         }
       }
       if (area_acc <= 0) continue;  // region degenerate beyond clamping
@@ -214,14 +355,17 @@ double ElectroDensity::value_and_grad(std::span<const double> v,
     }
     return energy_acc;
   };
+  const std::size_t chunks = base::ThreadPool::chunk_count(n, kDeviceGrain);
+  base::ThreadPool& pool = base::ThreadPool::global();
   double energy = 0;
   if (chunks <= 1) {
-    energy = force_range(0, n);
+    energy = force_range(0, n, scratch_[0]);
   } else {
     pool.parallel_for(0, chunks, 1, [&](std::size_t c0, std::size_t c1) {
       for (std::size_t c = c0; c < c1; ++c) {
         energy_part_[c] =
-            force_range(c * kDeviceGrain, std::min(n, (c + 1) * kDeviceGrain));
+            force_range(c * kDeviceGrain, std::min(n, (c + 1) * kDeviceGrain),
+                        scratch_[c]);
       }
     });
     for (std::size_t c = 0; c < chunks; ++c) energy += energy_part_[c];

@@ -14,10 +14,21 @@
 // energy N(v) = 1/2 sum_i q_i psi(x_i) is the smoothed overlap term of the
 // placement objective; its gradient w.r.t. a device center is -q_i * E
 // averaged over the device footprint.
+//
+// The bilinear splat and the force interpolation exist twice: the scalar
+// per-bin reference (BinGrid::splat / overlap_area loops) and a 4-lane
+// simd::Vec4d kernel that exploits separability — overlap(bin, rect) =
+// ov_x(col) * ov_y(row) exactly — precomputing per-column overlaps once per
+// device and streaming each bin row 4 columns at a time (cache-blocked by
+// construction: rows are contiguous in the row-major matrices).
+// set_use_simd() switches per instance at runtime; both paths keep the
+// chunk-ordered ThreadPool reduction, so each is bit-identical at any
+// thread count, and they agree to <= 1e-12 relative (tests/simd_test.cpp).
 
 #include <memory>
 #include <span>
 
+#include "base/aligned.hpp"
 #include "density/bin_grid.hpp"
 #include "netlist/compiled.hpp"
 #include "numeric/spectral.hpp"
@@ -40,6 +51,16 @@ class ElectroDensity {
 
   [[nodiscard]] const BinGrid& grid() const { return grid_; }
   [[nodiscard]] double target_density() const { return target_; }
+
+  /// Select the vectorized (true) or scalar-reference (false) splat/force
+  /// kernels. Defaults to simd::default_enabled().
+  void set_use_simd(bool on) { use_simd_ = on; }
+  [[nodiscard]] bool use_simd() const { return use_simd_; }
+
+  /// Phase 1 of value_and_grad: splat charge + occupancy at v, normalize
+  /// rho, refresh overflow(). Exposed so the splat kernel can be timed in
+  /// isolation (bench_micro_kernels); value_and_grad calls it internally.
+  void build_density(std::span<const double> v);
 
   /// Evaluate the potential energy N at v = (x.., y..) and *add*
   /// scale * dN/dv into grad. Also refreshes overflow(). Devices whose
@@ -72,6 +93,12 @@ class ElectroDensity {
     double real_w, real_h;
   };
 
+  // Per-chunk SIMD scratch: padded per-column / per-row overlap lengths of
+  // the device being processed (separable splat/force kernels).
+  struct DevScratch {
+    base::AlignedVec ovx, ovy;
+  };
+
   /// Device center clamped so its inflated footprint stays inside the
   /// region (escaped devices are looked up at the nearest boundary bins).
   [[nodiscard]] geom::Point clamped_center(const geom::Point& c,
@@ -83,6 +110,7 @@ class ElectroDensity {
   double target_;
   numeric::spectral::Basis basis_x_, basis_y_;
   std::vector<DeviceInfo> devices_;
+  bool use_simd_;
 
   // Scratch matrices reused across evaluations: value_and_grad performs no
   // heap allocation after construction (the Nesterov hot loop).
@@ -96,6 +124,7 @@ class ElectroDensity {
   static constexpr std::size_t kDeviceGrain = 256;
   std::vector<numeric::Matrix> rho_part_, occ_part_;
   std::vector<double> energy_part_;
+  std::vector<DevScratch> scratch_;  // one per chunk (>= 1)
 };
 
 }  // namespace aplace::density

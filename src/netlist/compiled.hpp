@@ -18,6 +18,7 @@
 #include <span>
 #include <vector>
 
+#include "base/aligned.hpp"
 #include "geom/orientation.hpp"
 #include "netlist/circuit.hpp"
 #include "netlist/placement.hpp"
@@ -26,10 +27,12 @@ namespace aplace::netlist {
 
 /// SoA mirror of Placement (x[], y[], orient[]) for kernels that want flat
 /// coordinate arrays. Round-trips losslessly with Placement: the same
-/// doubles and orientation flags, no transformation applied.
+/// doubles and orientation flags, no transformation applied. Coordinate
+/// storage is 32-byte aligned (base::AlignedVec) so 4-lane SIMD kernels can
+/// use aligned loads.
 struct PlacementState {
-  std::vector<double> x;
-  std::vector<double> y;
+  base::AlignedVec x;
+  base::AlignedVec y;
   std::vector<geom::Orientation> orient;
 
   PlacementState() = default;
@@ -195,24 +198,27 @@ class CompiledCircuit {
   }
 
  private:
-  template <class T>
-  [[nodiscard]] static std::span<const T> csr(
-      const std::vector<std::size_t>& off, const std::vector<T>& data,
-      std::size_t i) {
+  template <class Vec>
+  [[nodiscard]] static std::span<const typename Vec::value_type> csr(
+      const std::vector<std::size_t>& off, const Vec& data, std::size_t i) {
     return {data.data() + off[i], off[i + 1] - off[i]};
   }
 
   const Circuit* circuit_;
 
-  std::vector<double> dev_width_, dev_height_, dev_area_;
-  std::vector<double> dev_half_width_, dev_half_height_;
+  // Double tables use 32-byte-aligned storage (base::AlignedVec); the
+  // std::span accessors above are unchanged, so this is invisible to
+  // consumers except that SIMD kernels may use aligned loads on the table
+  // heads.
+  base::AlignedVec dev_width_, dev_height_, dev_area_;
+  base::AlignedVec dev_half_width_, dev_half_height_;
   std::vector<DeviceType> dev_type_;
   double total_device_area_ = 0;
 
-  std::vector<double> pin_offset_x_, pin_offset_y_;
+  base::AlignedVec pin_offset_x_, pin_offset_y_;
   std::vector<std::uint32_t> pin_device_, pin_net_;
 
-  std::vector<double> net_weight_;
+  base::AlignedVec net_weight_;
   std::vector<std::uint8_t> net_critical_;
 
   std::vector<std::size_t> net_pin_off_;
@@ -226,8 +232,8 @@ class CompiledCircuit {
 
   std::vector<std::size_t> wl_off_;
   std::vector<std::uint32_t> wl_dev_;
-  std::vector<double> wl_dx_, wl_dy_;
-  std::vector<double> wl_weight_;
+  base::AlignedVec wl_dx_, wl_dy_;
+  base::AlignedVec wl_weight_;
   std::vector<std::uint32_t> wl_net_id_;
 
   std::vector<Axis> sym_axis_;

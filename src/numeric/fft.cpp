@@ -5,8 +5,11 @@
 #include <utility>
 
 #include "base/check.hpp"
+#include "base/simd.hpp"
 
 namespace aplace::numeric::fft {
+
+using simd::Vec4d;
 
 std::size_t next_pow2(std::size_t n) {
   std::size_t p = 2;
@@ -15,7 +18,13 @@ std::size_t next_pow2(std::size_t n) {
 }
 
 FftPlan::FftPlan(std::size_t n)
-    : n_(n), rev_(n), qre_(n), qim_(n), re_(n), im_(n) {
+    : n_(n),
+      use_simd_(simd::default_enabled()),
+      rev_(n),
+      qre_(n),
+      qim_(n),
+      re_(n),
+      im_(n) {
   APLACE_CHECK_MSG(is_pow2(n), "FftPlan needs a power-of-two size >= 2");
   const double pi = std::numbers::pi;
 
@@ -60,6 +69,30 @@ void FftPlan::transform(bool inverse) const {
     const std::size_t len = half << 1;
     const double* wr = &wre_[half - 1];
     const double* wi = &wim_[half - 1];
+    if (use_simd_ && half >= 4) {
+      // 4-lane butterflies: for half >= 4 the m-loop touches contiguous
+      // runs of re/im/twiddles (half is a power of two, so no tail).
+      const Vec4d sign = Vec4d::broadcast(inverse ? -1.0 : 1.0);
+      for (std::size_t start = 0; start < n_; start += len) {
+        for (std::size_t m = 0; m < half; m += 4) {
+          const std::size_t i = start + m;
+          const std::size_t j = i + half;
+          const Vec4d wrv = Vec4d::loadu(wr + m);
+          const Vec4d wiv = Vec4d::loadu(wi + m) * sign;
+          const Vec4d rej = Vec4d::loadu(re + j);
+          const Vec4d imj = Vec4d::loadu(im + j);
+          const Vec4d tr = wrv * rej - wiv * imj;
+          const Vec4d ti = wrv * imj + wiv * rej;
+          const Vec4d rei = Vec4d::loadu(re + i);
+          const Vec4d imi = Vec4d::loadu(im + i);
+          (rei - tr).storeu(re + j);
+          (imi - ti).storeu(im + j);
+          (rei + tr).storeu(re + i);
+          (imi + ti).storeu(im + i);
+        }
+      }
+      continue;
+    }
     for (std::size_t start = 0; start < n_; start += len) {
       for (std::size_t m = 0; m < half; ++m) {
         const std::size_t i = start + m;
@@ -90,7 +123,16 @@ void FftPlan::dct2(const double* in, std::size_t in_stride, double* out,
   // scale to the reconstruction-ready convention of spectral::Basis::dct.
   const double s = 2.0 / static_cast<double>(n_);
   out[0] = (0.5 * s) * re_[0];
-  for (std::size_t k = 1; k < n_; ++k) {
+  std::size_t k = 1;
+  if (use_simd_ && out_stride == 1) {
+    const Vec4d sv = Vec4d::broadcast(s);
+    for (; k + 4 <= n_; k += 4) {
+      const Vec4d c = Vec4d::fma(Vec4d::loadu(&qre_[k]), Vec4d::loadu(&re_[k]),
+                                 Vec4d::loadu(&qim_[k]) * Vec4d::loadu(&im_[k]));
+      (sv * c).storeu(out + k);
+    }
+  }
+  for (; k < n_; ++k) {
     out[k * out_stride] = s * (qre_[k] * re_[k] + qim_[k] * im_[k]);
   }
 }
@@ -113,7 +155,20 @@ void FftPlan::dct3(const double* in, std::size_t in_stride, double* out,
   // FFT folded in), then one unnormalized inverse FFT and un-permute.
   re_[0] = in[0];
   im_[0] = 0.0;
-  for (std::size_t k = 1; k < n_; ++k) {
+  std::size_t k = 1;
+  if (use_simd_ && in_stride == 1) {
+    const Vec4d half = Vec4d::broadcast(0.5);
+    for (; k + 4 <= n_; k += 4) {
+      const Vec4d x = half * Vec4d::loadu(in + k);
+      // in[n-k], in[n-k-1], ... : a reversed contiguous run.
+      const Vec4d y = half * Vec4d::loadu(in + n_ - k - 3).reverse();
+      const Vec4d qr = Vec4d::loadu(&qre_[k]);
+      const Vec4d qi = Vec4d::loadu(&qim_[k]);
+      Vec4d::fma(qr, x, qi * y).storeu(&re_[k]);
+      (qi * x - qr * y).storeu(&im_[k]);
+    }
+  }
+  for (; k < n_; ++k) {
     const double x = 0.5 * in[k * in_stride];
     const double y = 0.5 * in[(n_ - k) * in_stride];
     re_[k] = qre_[k] * x + qim_[k] * y;
@@ -129,7 +184,19 @@ void FftPlan::dst3(const double* in, std::size_t in_stride, double* out,
   // the odd output samples negated.
   re_[0] = 0.0;
   im_[0] = 0.0;
-  for (std::size_t k = 1; k < n_; ++k) {
+  std::size_t k = 1;
+  if (use_simd_ && in_stride == 1) {
+    const Vec4d half = Vec4d::broadcast(0.5);
+    for (; k + 4 <= n_; k += 4) {
+      const Vec4d x = half * Vec4d::loadu(in + n_ - k - 3).reverse();
+      const Vec4d y = half * Vec4d::loadu(in + k);
+      const Vec4d qr = Vec4d::loadu(&qre_[k]);
+      const Vec4d qi = Vec4d::loadu(&qim_[k]);
+      Vec4d::fma(qr, x, qi * y).storeu(&re_[k]);
+      (qi * x - qr * y).storeu(&im_[k]);
+    }
+  }
+  for (; k < n_; ++k) {
     const double x = 0.5 * in[(n_ - k) * in_stride];
     const double y = 0.5 * in[k * in_stride];
     re_[k] = qre_[k] * x + qim_[k] * y;

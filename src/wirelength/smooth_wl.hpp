@@ -16,6 +16,14 @@
 // The kernels gather/scatter over the CompiledCircuit wirelength table
 // (non-degenerate nets, center-relative pin offsets) — no adjacency is
 // built here.
+//
+// Each net's per-pin inner loops exist twice: a scalar reference and a
+// 4-lane simd::Vec4d kernel (per-net max/min shift kept, exp values cached
+// between the value and gradient passes, masked tail for the remainder
+// pins). set_use_simd() switches per instance at runtime — the default
+// follows simd::default_enabled() — and the two paths agree to <= 1e-12
+// relative on every registry circuit (tests/simd_test.cpp). Within one
+// build+path, results stay bit-identical at any thread count.
 
 #include <memory>
 #include <span>
@@ -44,6 +52,12 @@ class SmoothWirelength {
   }
   [[nodiscard]] double gamma() const { return gamma_; }
 
+  /// Select the vectorized (true) or scalar-reference (false) inner loops.
+  /// Defaults to simd::default_enabled(). Either path is deterministic;
+  /// they agree to <= 1e-12 relative.
+  void set_use_simd(bool on) { use_simd_ = on; }
+  [[nodiscard]] bool use_simd() const { return use_simd_; }
+
   /// Evaluate at v (size 2n) and *add* the gradient into grad (size 2n).
   /// Returns the smoothed weighted wirelength.
   virtual double value_and_grad(std::span<const double> v,
@@ -53,6 +67,8 @@ class SmoothWirelength {
   [[nodiscard]] double exact_hpwl(std::span<const double> v) const;
 
  protected:
+  enum class Kind { kWa, kLse };
+
   [[nodiscard]] const netlist::CompiledCircuit& compiled() const {
     return *compiled_;
   }
@@ -60,18 +76,15 @@ class SmoothWirelength {
     return compiled_->num_devices();
   }
 
-  /// Run `extent` over every net of the compiled wirelength table,
-  /// accumulating the weighted total and the gradient into `grad`. Nets are
-  /// cut into fixed chunks of kNetGrain (independent of thread count);
-  /// chunks beyond the first run on the global pool with private gradient
-  /// partials that are reduced in chunk order, so the result is
-  /// bit-identical for any pool size. One-chunk circuits take the direct
-  /// serial path with no scratch.
-  /// `extent(coords, gamma, dcoord)` returns the smoothed extent of one
-  /// coordinate set and writes its gradient to dcoord.
-  template <class ExtentFn>
+  /// Run the smoothing kernel of `kind` over every net of the compiled
+  /// wirelength table, accumulating the weighted total and the gradient
+  /// into `grad`. Nets are cut into fixed chunks of kNetGrain (independent
+  /// of thread count); chunks beyond the first run on the global pool with
+  /// private gradient partials that are reduced in chunk order, so the
+  /// result is bit-identical for any pool size. One-chunk circuits take the
+  /// direct serial path with no partials.
   double accumulate(std::span<const double> v, std::span<double> grad,
-                    ExtentFn&& extent) const;
+                    Kind kind) const;
 
   double gamma_ = 1.0;
 
@@ -80,6 +93,8 @@ class SmoothWirelength {
 
   const netlist::CompiledCircuit* compiled_;
   std::shared_ptr<const netlist::CompiledCircuit> keep_;
+  std::size_t max_net_pins_ = 0;
+  bool use_simd_;
 
   // Per-chunk scratch for the parallel path (empty until first used; each
   // instance is driven by one placement flow at a time, so `mutable` here

@@ -10,6 +10,7 @@
 #include <iterator>
 #include <vector>
 
+#include "base/simd.hpp"
 #include "base/thread_pool.hpp"
 #include "circuits/testcases.hpp"
 #include "core/batch.hpp"
@@ -115,6 +116,37 @@ TEST_F(DeterminismTest, PriorWorkIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST_F(DeterminismTest, SimdKernelsIdenticalAcrossThreadCounts) {
+  // The SIMD kernels must honor the same thread-count contract as the
+  // scalar ones: per-net/per-device work is independent and the
+  // chunk-ordered reductions are untouched, so with SIMD explicitly ON the
+  // flow is bit-identical at 1/2/8 threads (regardless of the APLACE_SIMD
+  // environment this test process inherited).
+  struct SimdOnGuard {
+    bool saved = simd::default_enabled();
+    SimdOnGuard() { simd::set_default_enabled(true); }
+    ~SimdOnGuard() { simd::set_default_enabled(saved); }
+  } simd_on;
+
+  circuits::TestCase tc = circuits::make_testcase("VCO2");
+  core::EPlaceAOptions opts;
+  opts.candidates = 2;
+  opts.gp.seed = 11;
+
+  std::vector<core::FlowResult> results;
+  for (unsigned threads : kThreadCounts) {
+    base::ThreadPool::set_global_threads(threads);
+    results.push_back(core::run_eplace_a(tc.circuit, opts));
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    expect_same_quality(results[0].quality, results[i].quality, "eplace-simd",
+                        kThreadCounts[i]);
+    EXPECT_EQ(io::placement_to_text(results[0].placement),
+              io::placement_to_text(results[i].placement))
+        << "placement bits moved at " << kThreadCounts[i] << " threads";
+  }
+}
+
 TEST_F(DeterminismTest, MultiChainSaBeatsOrMatchesSingleChain) {
   // Multi-chain is a best-of reduction over independent streams: its cost
   // can only improve on the best single chain it contains (chain 0 uses
@@ -194,6 +226,18 @@ TEST_F(DeterminismTest, GoldenQualityPinnedAcrossFullCircuitRegistry) {
   // cannot see — they only compare a binary against itself. If an
   // intentional algorithm change moves these numbers, regenerate the table
   // with the same flow/seed and say so in the commit message.
+  //
+  // Pinned on the scalar kernel path: the SIMD kernels agree only to 1e-12
+  // per evaluation (and their bits differ between AVX2/SSE2/scalar builds),
+  // which the iterate trajectory amplifies, so exact cross-build pinning is
+  // only meaningful for the scalar reference. simd_test.cpp covers the
+  // scalar-vs-SIMD agreement contract.
+  struct SimdOffGuard {
+    bool saved = simd::default_enabled();
+    SimdOffGuard() { simd::set_default_enabled(false); }
+    ~SimdOffGuard() { simd::set_default_enabled(saved); }
+  } simd_off;
+
   struct Golden {
     const char* name;
     double hpwl, area, overlap_area;
